@@ -1,0 +1,84 @@
+//! Micro-benchmarks of the SACK substrate: range sets, reassembly, block
+//! generation and scoreboard feedback processing.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qtp_sack::{RangeSet, ReceiverBuffer, Scoreboard, SeqRange};
+use qtp_simnet::time::SimTime;
+
+fn bench_rangeset(c: &mut Criterion) {
+    c.bench_function("sack/rangeset_insert_sequential_1k", |b| {
+        b.iter(|| {
+            let mut s = RangeSet::new();
+            for seq in 0..1000u64 {
+                s.insert(black_box(seq));
+            }
+            s
+        })
+    });
+    c.bench_function("sack/rangeset_insert_fragmented_1k", |b| {
+        b.iter(|| {
+            let mut s = RangeSet::new();
+            for seq in 0..1000u64 {
+                s.insert(black_box(seq * 2));
+            }
+            s
+        })
+    });
+    c.bench_function("sack/rangeset_contains", |b| {
+        let mut s = RangeSet::new();
+        for seq in 0..1000u64 {
+            s.insert(seq * 2);
+        }
+        b.iter(|| s.contains(black_box(999)))
+    });
+}
+
+fn bench_reassembly(c: &mut Criterion) {
+    c.bench_function("sack/reassembly_inorder_1k", |b| {
+        b.iter(|| {
+            let mut buf = ReceiverBuffer::new();
+            for seq in 0..1000u64 {
+                let _ = buf.on_packet(seq);
+            }
+            buf
+        })
+    });
+    c.bench_function("sack/reassembly_with_gaps_1k", |b| {
+        b.iter(|| {
+            let mut buf = ReceiverBuffer::new();
+            for seq in 0..1000u64 {
+                if seq % 20 != 19 {
+                    let _ = buf.on_packet(seq);
+                }
+            }
+            buf.sack_blocks(4)
+        })
+    });
+    c.bench_function("sack/block_generation", |b| {
+        let mut buf = ReceiverBuffer::new();
+        for seq in 0..1000u64 {
+            if seq % 7 != 6 {
+                let _ = buf.on_packet(seq);
+            }
+        }
+        b.iter(|| buf.sack_blocks(black_box(4)))
+    });
+}
+
+fn bench_scoreboard(c: &mut Criterion) {
+    c.bench_function("sack/scoreboard_feedback_cycle", |b| {
+        b.iter(|| {
+            let mut sb = Scoreboard::new();
+            for k in 0..256u64 {
+                sb.register_send(SimTime::from_micros(k * 100));
+            }
+            // Feedback with a hole: declares losses, sacks the rest.
+            let d1 = sb.on_feedback(100, &[SeqRange::new(104, 200)]);
+            let d2 = sb.on_feedback(100, &[SeqRange::new(104, 256)]);
+            (d1, d2)
+        })
+    });
+}
+
+criterion_group!(benches, bench_rangeset, bench_reassembly, bench_scoreboard);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Micro-benchmarks of the wire codecs (QTP and TCP headers).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qtp_core::{CapabilitySet, QtpPacket};
+use qtp_sack::SeqRange;
+use qtp_simnet::time::Rate;
+use qtp_tcp::TcpHeader;
+
+fn bench_qtp_wire(c: &mut Criterion) {
+    let data = QtpPacket::Data {
+        seq: 123_456,
+        ts_nanos: 987_654_321,
+        adu_ts_nanos: 987_000_000,
+        rtt_hint_micros: 42_000,
+        is_retx: false,
+    };
+    let fb = QtpPacket::Feedback {
+        ts_echo_nanos: 1,
+        t_delay_micros: 2,
+        x_recv: 125_000,
+        p_ppb: Some(12_345_678),
+        cum_ack: 10_000,
+        blocks: vec![SeqRange::new(10_002, 10_010), SeqRange::new(10_020, 10_021)],
+    };
+    let syn = QtpPacket::Syn {
+        ts_nanos: 5,
+        offered: CapabilitySet::qtp_af(Rate::from_mbps(2)),
+    };
+    for (name, pkt) in [("data", &data), ("feedback", &fb), ("syn", &syn)] {
+        let bytes = pkt.encode();
+        c.bench_function(&format!("wire/qtp_encode_{name}"), |b| {
+            b.iter(|| black_box(pkt).encode())
+        });
+        c.bench_function(&format!("wire/qtp_decode_{name}"), |b| {
+            b.iter(|| QtpPacket::decode(black_box(&bytes)).unwrap())
+        });
+    }
+}
+
+fn bench_tcp_wire(c: &mut Criterion) {
+    let ack = TcpHeader::ack(
+        42_000,
+        77,
+        vec![SeqRange::new(42_002, 42_010), SeqRange::new(42_020, 42_022)],
+    );
+    let bytes = ack.encode();
+    c.bench_function("wire/tcp_encode_ack_sack", |b| b.iter(|| black_box(&ack).encode()));
+    c.bench_function("wire/tcp_decode_ack_sack", |b| {
+        b.iter(|| TcpHeader::decode(black_box(&bytes)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_qtp_wire, bench_tcp_wire);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Experiment runner: regenerates every evaluation claim of the paper.
+//!
+//! ```text
+//! expt all            # run everything, print markdown tables
+//! expt e2 e5          # run selected experiments
+//! expt --json all     # also dump machine-readable JSON to stdout
+//! ```
+
+use std::env;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let ids: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.to_lowercase())
+        .collect();
+    let ids: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
+        qtp_bench::ALL_IDS.to_vec()
+    } else {
+        ids.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!("# QTP experiment harness — reproduction of Jourjon et al., CoNEXT 2006\n");
+    let mut tables = Vec::new();
+    for id in ids {
+        let t0 = Instant::now();
+        match qtp_bench::run_experiment(id) {
+            Some(table) => {
+                print!("{}", table.to_markdown());
+                println!("_(generated in {:.1} s)_\n", t0.elapsed().as_secs_f64());
+                tables.push(table);
+            }
+            None => eprintln!("unknown experiment id: {id}"),
+        }
+    }
+    if json {
+        println!("```json");
+        println!("{}", serde_json::to_string_pretty(&tables).unwrap());
+        println!("```");
+    }
+}

@@ -1,0 +1,46 @@
+//! # qtp-bench — experiment harness and micro-benchmarks
+//!
+//! The paper is a short "towards" paper without numbered figures; its
+//! evaluation is a set of textual claims. Each claim is reproduced by one
+//! experiment here (see `DESIGN.md` §4 for the index). Run them with:
+//!
+//! ```text
+//! cargo run -p qtp-bench --release --bin expt -- all
+//! cargo run -p qtp-bench --release --bin expt -- e2 e5
+//! ```
+//!
+//! Criterion micro-benchmarks (`cargo bench`) price the individual
+//! mechanisms (equation, loss history, SACK structures, RIO, wire codecs)
+//! and cross-check the E5 operation-count ledger against real CPU time.
+
+pub mod common;
+pub mod experiments_a;
+pub mod experiments_b;
+pub mod experiments_c;
+pub mod table;
+
+use table::Table;
+
+/// All experiment ids in order.
+pub const ALL_IDS: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+];
+
+/// Run one experiment by id.
+pub fn run_experiment(id: &str) -> Option<Table> {
+    match id {
+        "e1" => Some(experiments_a::e1()),
+        "e2" => Some(experiments_a::e2()),
+        "e3" => Some(experiments_a::e3()),
+        "e4" => Some(experiments_a::e4()),
+        "e5" => Some(experiments_a::e5()),
+        "e6" => Some(experiments_b::e6()),
+        "e7" => Some(experiments_b::e7()),
+        "e8" => Some(experiments_b::e8()),
+        "e9" => Some(experiments_b::e9()),
+        "e10" => Some(experiments_b::e10()),
+        "e11" => Some(experiments_c::e11()),
+        "e12" => Some(experiments_c::e12()),
+        _ => None,
+    }
+}

@@ -1,0 +1,92 @@
+//! Minimal result-table type the experiment harness prints (markdown) and
+//! serializes (JSON) so `EXPERIMENTS.md` can be regenerated mechanically.
+
+use serde::Serialize;
+
+/// One experiment output table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Experiment id, e.g. "E2".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The paper claim this table checks.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+    /// Verdict line filled by the experiment ("SHAPE HOLDS: ..." etc.).
+    pub verdict: String,
+}
+
+impl Table {
+    pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            verdict: String::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Render as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("*Claim:* {}\n\n", self.claim));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            self.headers.iter().map(|_| "---|").collect::<String>()
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        if !self.verdict.is_empty() {
+            out.push_str(&format!("\n**Measured:** {}\n", self.verdict));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Format bits/second in Mbit/s with two decimals.
+pub fn mbps(bps: f64) -> String {
+    format!("{:.2}", bps / 1e6)
+}
+
+/// Format a ratio with two decimals.
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new("E0", "demo", "x beats y", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.verdict = "holds".into();
+        let md = t.to_markdown();
+        assert!(md.contains("### E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("**Measured:** holds"));
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(mbps(2_500_000.0), "2.50");
+        assert_eq!(ratio(0.987), "0.99");
+    }
+}

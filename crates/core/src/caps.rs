@@ -1,0 +1,249 @@
+//! Capability sets and negotiation.
+//!
+//! The paper's central idea: a transport whose service is **negotiated per
+//! connection** from three orthogonal axes (paper §1):
+//!
+//! 1. *reliability* — none / full / partial (TTL or retransmission budget);
+//! 2. *receiver processing* — standard RFC 3448 receiver-side loss
+//!    estimation, or the QTPlight sender-side variant that leaves the
+//!    receiver with nothing but SACK generation;
+//! 3. *QoS awareness* — plain TFRC, or gTFRC with a bandwidth target
+//!    negotiated with the underlying AF network service.
+//!
+//! A client offers a [`CapabilitySet`]; the server intersects it with its
+//! own support ([`ServerPolicy`]) and returns the chosen set in the
+//! `SYNACK`. Both named instances are just presets:
+//!
+//! * **QTPAF**   = `Gtfrc(g)` + `Full` + `ReceiverLoss`
+//! * **QTPlight** = `Tfrc` + (usually `None` or partial) + `SenderLoss`
+
+use qtp_sack::ReliabilityMode;
+use qtp_simnet::time::Rate;
+use std::time::Duration;
+
+/// Where the TFRC loss-event rate is computed (axis 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FeedbackMode {
+    /// RFC 3448: the receiver maintains the loss history and reports `p`.
+    ReceiverLoss,
+    /// QTPlight: the receiver sends SACK-style feedback only; the sender
+    /// estimates `p` itself.
+    SenderLoss,
+}
+
+impl FeedbackMode {
+    /// Stable wire code.
+    pub fn wire_code(self) -> u8 {
+        match self {
+            FeedbackMode::ReceiverLoss => 0,
+            FeedbackMode::SenderLoss => 1,
+        }
+    }
+
+    /// Decode a wire code.
+    pub fn from_wire(code: u8) -> Option<Self> {
+        match code {
+            0 => Some(FeedbackMode::ReceiverLoss),
+            1 => Some(FeedbackMode::SenderLoss),
+            _ => None,
+        }
+    }
+}
+
+/// Congestion-control variant (axis 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CcKind {
+    /// RFC 3448 TFRC.
+    Tfrc,
+    /// gTFRC with a negotiated bandwidth guarantee.
+    Gtfrc { target: Rate },
+    /// Fixed-rate (open loop) — used by ablation experiments only.
+    Fixed { rate: Rate },
+}
+
+impl CcKind {
+    /// Stable wire code (without parameters).
+    pub fn wire_code(self) -> u8 {
+        match self {
+            CcKind::Tfrc => 0,
+            CcKind::Gtfrc { .. } => 1,
+            CcKind::Fixed { .. } => 2,
+        }
+    }
+}
+
+/// A full service profile, offered/chosen during the handshake.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapabilitySet {
+    pub reliability: ReliabilityMode,
+    pub feedback: FeedbackMode,
+    pub cc: CcKind,
+}
+
+impl CapabilitySet {
+    /// The **QTPAF** profile: QoS-aware congestion control with full
+    /// reliability (paper §4).
+    pub fn qtp_af(target: Rate) -> Self {
+        CapabilitySet {
+            reliability: ReliabilityMode::Full,
+            feedback: FeedbackMode::ReceiverLoss,
+            cc: CcKind::Gtfrc { target },
+        }
+    }
+
+    /// The **QTPlight** profile: sender-side loss estimation, no
+    /// retransmission (paper §3's streaming configuration).
+    pub fn qtp_light() -> Self {
+        CapabilitySet {
+            reliability: ReliabilityMode::None,
+            feedback: FeedbackMode::SenderLoss,
+            cc: CcKind::Tfrc,
+        }
+    }
+
+    /// QTPlight with partial reliability — the composition the paper's §3
+    /// highlights as a free by-product ("our solution allows applying
+    /// efficient selective retransmission of lost data").
+    pub fn qtp_light_partial(ttl: Duration) -> Self {
+        CapabilitySet {
+            reliability: ReliabilityMode::PartialTtl(ttl),
+            feedback: FeedbackMode::SenderLoss,
+            cc: CcKind::Tfrc,
+        }
+    }
+
+    /// Standard TFRC (the baseline instance): receiver-side estimation,
+    /// no reliability.
+    pub fn tfrc_standard() -> Self {
+        CapabilitySet {
+            reliability: ReliabilityMode::None,
+            feedback: FeedbackMode::ReceiverLoss,
+            cc: CcKind::Tfrc,
+        }
+    }
+}
+
+/// What a server is willing to grant.
+#[derive(Debug, Clone)]
+pub struct ServerPolicy {
+    /// Accept sender-side estimation requests? (A powerful server says yes;
+    /// that is the paper's asymmetry argument.)
+    pub allow_sender_loss: bool,
+    /// Accept reliability modes that retransmit?
+    pub allow_reliability: bool,
+    /// Largest bandwidth guarantee the server will grant, if any.
+    pub max_target: Option<Rate>,
+}
+
+impl Default for ServerPolicy {
+    fn default() -> Self {
+        ServerPolicy {
+            allow_sender_loss: true,
+            allow_reliability: true,
+            max_target: None,
+        }
+    }
+}
+
+impl ServerPolicy {
+    /// Intersect an offer with this policy, producing the chosen set.
+    /// Degradation is always toward the *simpler* mechanism, never a
+    /// rejection: the connection proceeds with the best granted service.
+    pub fn negotiate(&self, offered: CapabilitySet) -> CapabilitySet {
+        let feedback = if offered.feedback == FeedbackMode::SenderLoss && !self.allow_sender_loss
+        {
+            FeedbackMode::ReceiverLoss
+        } else {
+            offered.feedback
+        };
+        let reliability = if offered.reliability.retransmits() && !self.allow_reliability {
+            ReliabilityMode::None
+        } else {
+            offered.reliability
+        };
+        let cc = match offered.cc {
+            CcKind::Gtfrc { target } => match self.max_target {
+                Some(max) if target > max => CcKind::Gtfrc { target: max },
+                Some(_) => CcKind::Gtfrc { target },
+                None => CcKind::Gtfrc { target },
+            },
+            other => other,
+        };
+        CapabilitySet {
+            reliability,
+            feedback,
+            cc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_definitions() {
+        let af = CapabilitySet::qtp_af(Rate::from_mbps(2));
+        assert_eq!(af.reliability, ReliabilityMode::Full);
+        assert_eq!(af.feedback, FeedbackMode::ReceiverLoss);
+        assert!(matches!(af.cc, CcKind::Gtfrc { .. }));
+
+        let light = CapabilitySet::qtp_light();
+        assert_eq!(light.reliability, ReliabilityMode::None);
+        assert_eq!(light.feedback, FeedbackMode::SenderLoss);
+        assert_eq!(light.cc, CcKind::Tfrc);
+    }
+
+    #[test]
+    fn permissive_server_grants_offer() {
+        let policy = ServerPolicy::default();
+        let offer = CapabilitySet::qtp_light_partial(Duration::from_millis(200));
+        assert_eq!(policy.negotiate(offer), offer);
+    }
+
+    #[test]
+    fn server_can_refuse_sender_loss() {
+        let policy = ServerPolicy {
+            allow_sender_loss: false,
+            ..ServerPolicy::default()
+        };
+        let chosen = policy.negotiate(CapabilitySet::qtp_light());
+        assert_eq!(chosen.feedback, FeedbackMode::ReceiverLoss);
+        assert_eq!(chosen.reliability, ReliabilityMode::None, "other axes kept");
+    }
+
+    #[test]
+    fn server_can_refuse_reliability() {
+        let policy = ServerPolicy {
+            allow_reliability: false,
+            ..ServerPolicy::default()
+        };
+        let chosen = policy.negotiate(CapabilitySet::qtp_af(Rate::from_mbps(1)));
+        assert_eq!(chosen.reliability, ReliabilityMode::None);
+        assert!(matches!(chosen.cc, CcKind::Gtfrc { .. }), "QoS axis kept");
+    }
+
+    #[test]
+    fn target_clamped_to_server_maximum() {
+        let policy = ServerPolicy {
+            max_target: Some(Rate::from_mbps(1)),
+            ..ServerPolicy::default()
+        };
+        let chosen = policy.negotiate(CapabilitySet::qtp_af(Rate::from_mbps(5)));
+        assert_eq!(chosen.cc, CcKind::Gtfrc { target: Rate::from_mbps(1) });
+        // Under the cap: unchanged.
+        let chosen = policy.negotiate(CapabilitySet::qtp_af(Rate::from_kbps(500)));
+        assert_eq!(
+            chosen.cc,
+            CcKind::Gtfrc { target: Rate::from_kbps(500) }
+        );
+    }
+
+    #[test]
+    fn wire_codes_roundtrip() {
+        for m in [FeedbackMode::ReceiverLoss, FeedbackMode::SenderLoss] {
+            assert_eq!(FeedbackMode::from_wire(m.wire_code()), Some(m));
+        }
+        assert_eq!(FeedbackMode::from_wire(9), None);
+    }
+}

@@ -1,0 +1,179 @@
+//! Congestion-control module dispatch.
+//!
+//! The sender endpoint is parameterised by one of the negotiable CC
+//! variants (paper axis 3). Enum dispatch keeps the composition explicit
+//! and the call sites monomorphic.
+
+use qtp_simnet::time::{Rate, SimTime};
+use qtp_tfrc::{GtfrcSender, SenderConfig, TfrcSender};
+use std::time::Duration;
+
+use crate::caps::CcKind;
+
+/// A congestion-control machine chosen at negotiation time.
+#[derive(Debug, Clone)]
+pub enum CcMachine {
+    Tfrc(TfrcSender),
+    Gtfrc(GtfrcSender),
+    /// Open-loop fixed rate (ablation tool; ignores feedback).
+    Fixed { rate: Rate, s: u32 },
+}
+
+impl CcMachine {
+    /// Instantiate from the negotiated kind.
+    pub fn new(kind: CcKind, s: u32) -> Self {
+        match kind {
+            CcKind::Tfrc => CcMachine::Tfrc(TfrcSender::new(SenderConfig::new(s))),
+            CcKind::Gtfrc { target } => {
+                CcMachine::Gtfrc(GtfrcSender::new(SenderConfig::new(s), target))
+            }
+            CcKind::Fixed { rate } => CcMachine::Fixed { rate, s },
+        }
+    }
+
+    /// Seed the RTT from the handshake.
+    pub fn seed_rtt(&mut self, now: SimTime, rtt: Duration) {
+        match self {
+            CcMachine::Tfrc(tx) => tx.seed_rtt(now, rtt),
+            CcMachine::Gtfrc(tx) => tx.seed_rtt(now, rtt),
+            CcMachine::Fixed { .. } => {}
+        }
+    }
+
+    /// Process a feedback report (`p` chosen by the endpoint's feedback
+    /// mode — the composition seam).
+    pub fn on_feedback(
+        &mut self,
+        now: SimTime,
+        ts_echo: SimTime,
+        t_delay: Duration,
+        x_recv: f64,
+        p: f64,
+    ) {
+        match self {
+            CcMachine::Tfrc(tx) => tx.on_feedback(now, ts_echo, t_delay, x_recv, p),
+            CcMachine::Gtfrc(tx) => tx.on_feedback(now, ts_echo, t_delay, x_recv, p),
+            CcMachine::Fixed { .. } => {}
+        }
+    }
+
+    /// Nofeedback-timer expiry.
+    pub fn on_nofeedback_timer(&mut self, now: SimTime) {
+        match self {
+            CcMachine::Tfrc(tx) => tx.on_nofeedback_timer(now),
+            CcMachine::Gtfrc(tx) => tx.on_nofeedback_timer(now),
+            CcMachine::Fixed { .. } => {}
+        }
+    }
+
+    /// Current nofeedback deadline (far future for fixed rate).
+    pub fn nofeedback_deadline(&self) -> SimTime {
+        match self {
+            CcMachine::Tfrc(tx) => tx.nofeedback_deadline(),
+            CcMachine::Gtfrc(tx) => tx.nofeedback_deadline(),
+            CcMachine::Fixed { .. } => SimTime::MAX,
+        }
+    }
+
+    /// Allowed sending rate, bytes/second.
+    pub fn allowed_rate(&self) -> f64 {
+        match self {
+            CcMachine::Tfrc(tx) => tx.allowed_rate(),
+            CcMachine::Gtfrc(tx) => tx.allowed_rate(),
+            CcMachine::Fixed { rate, .. } => rate.bytes_per_sec(),
+        }
+    }
+
+    /// Inter-packet gap at the allowed rate.
+    pub fn send_interval(&self) -> Duration {
+        match self {
+            CcMachine::Tfrc(tx) => tx.send_interval(),
+            CcMachine::Gtfrc(tx) => tx.send_interval(),
+            CcMachine::Fixed { rate, s } => rate.tx_time(*s),
+        }
+    }
+
+    /// Smoothed RTT, if known.
+    pub fn rtt(&self) -> Option<Duration> {
+        match self {
+            CcMachine::Tfrc(tx) => tx.rtt(),
+            CcMachine::Gtfrc(tx) => tx.tfrc().rtt(),
+            CcMachine::Fixed { .. } => None,
+        }
+    }
+
+    /// Sender-side CC processing operations so far.
+    pub fn ops(&self) -> u64 {
+        match self {
+            CcMachine::Tfrc(tx) => tx.meter.total(),
+            CcMachine::Gtfrc(tx) => tx.tfrc().meter.total(),
+            CcMachine::Fixed { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_each_kind() {
+        let t = CcMachine::new(CcKind::Tfrc, 1000);
+        assert!(matches!(t, CcMachine::Tfrc(_)));
+        let g = CcMachine::new(
+            CcKind::Gtfrc {
+                target: Rate::from_mbps(2),
+            },
+            1000,
+        );
+        assert!(matches!(g, CcMachine::Gtfrc(_)));
+        assert!(g.allowed_rate() >= 250_000.0, "gTFRC floor is the target");
+        let f = CcMachine::new(
+            CcKind::Fixed {
+                rate: Rate::from_kbps(800),
+            },
+            1000,
+        );
+        assert_eq!(f.allowed_rate(), 100_000.0);
+    }
+
+    #[test]
+    fn fixed_rate_ignores_feedback() {
+        let mut f = CcMachine::new(
+            CcKind::Fixed {
+                rate: Rate::from_kbps(800),
+            },
+            1000,
+        );
+        f.on_feedback(
+            SimTime::from_secs(1),
+            SimTime::ZERO,
+            Duration::ZERO,
+            10.0,
+            0.5,
+        );
+        assert_eq!(f.allowed_rate(), 100_000.0);
+        assert_eq!(f.nofeedback_deadline(), SimTime::MAX);
+        // 1000 B at 100 kB/s = 10 ms.
+        assert_eq!(f.send_interval(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn gtfrc_floor_survives_heavy_loss_feedback() {
+        let mut g = CcMachine::new(
+            CcKind::Gtfrc {
+                target: Rate::from_mbps(1),
+            },
+            1000,
+        );
+        g.seed_rtt(SimTime::ZERO, Duration::from_millis(100));
+        g.on_feedback(
+            SimTime::from_millis(100),
+            SimTime::ZERO,
+            Duration::ZERO,
+            1_000.0,
+            0.4,
+        );
+        assert!(g.allowed_rate() >= 125_000.0);
+    }
+}

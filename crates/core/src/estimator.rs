@@ -1,0 +1,224 @@
+//! Sender-side loss-event-rate estimation — the mechanism behind QTPlight
+//! (paper §3).
+//!
+//! Standard TFRC computes the loss event rate `p` at the receiver, which
+//! requires the loss-interval history and per-packet loss detection there.
+//! QTPlight's receiver sends only SACK feedback; this estimator recreates
+//! `p` at the **sender** from the scoreboard's loss declarations:
+//!
+//! * the scoreboard reports each newly-declared lost sequence together with
+//!   its original **send timestamp**;
+//! * losses whose send timestamps fall within one RTT of the current loss
+//!   event's start belong to the same event (the sender-side analogue of
+//!   RFC 3448 §5.2's receive-time rule — equivalent because send spacing
+//!   and receive spacing differ only by transit-time jitter);
+//! * the loss-interval history and WALI computation are the *same code*
+//!   the receiver would have run ([`qtp_tfrc::LossIntervalHistory`]) —
+//!   that is the paper's composition argument: the mechanism moved, its
+//!   definition did not.
+//!
+//! A second benefit the paper claims falls out directly: the sender no
+//! longer trusts **any** receiver-computed loss figure, so a selfish
+//! receiver (Georg & Gorinsky) cannot inflate its bandwidth share by
+//! under-reporting losses (experiment E6).
+
+use qtp_simnet::time::SimTime;
+use qtp_tfrc::{equation, LossIntervalHistory};
+use std::time::Duration;
+
+/// Sender-side loss event estimator.
+#[derive(Debug, Clone)]
+pub struct SenderLossEstimator {
+    history: LossIntervalHistory,
+    /// Send timestamp of the first loss of the current event.
+    event_start_ts: Option<SimTime>,
+    /// Segment size, for first-interval synthesis.
+    s: u32,
+    /// RFC 3448 §5.2 loss-event grouping (losses within one RTT collapse
+    /// into one event). Disabling this is design ablation **D1**: every
+    /// lost packet becomes its own event, which overestimates `p` under
+    /// bursty loss and depresses the rate (experiment E11).
+    grouping: bool,
+}
+
+impl SenderLossEstimator {
+    pub fn new(s: u32) -> Self {
+        SenderLossEstimator {
+            history: LossIntervalHistory::new(),
+            event_start_ts: None,
+            s,
+            grouping: true,
+        }
+    }
+
+    /// Enable/disable RTT-window loss-event grouping (D1 ablation).
+    pub fn set_grouping(&mut self, enabled: bool) {
+        self.grouping = enabled;
+    }
+
+    /// Fold newly-declared losses (sequence + original send time, ascending)
+    /// into the event structure.
+    ///
+    /// * `rtt` — the sender's current RTT estimate (grouping window).
+    /// * `x_recv` — most recent receive rate report (for first-interval
+    ///   synthesis per RFC 3448 §6.3.1).
+    ///
+    /// Returns `true` if at least one *new* loss event started.
+    pub fn on_losses(
+        &mut self,
+        losses: &[(u64, SimTime)],
+        rtt: Duration,
+        x_recv: f64,
+    ) -> bool {
+        let mut new_event = false;
+        for &(seq, send_ts) in losses {
+            match self.event_start_ts {
+                None => {
+                    let p_synth = equation::inverse(self.s, rtt.max(Duration::from_micros(1)), x_recv.max(self.s as f64));
+                    let first_interval = (1.0 / p_synth).max(1.0);
+                    self.history.record_first_loss(seq, first_interval);
+                    self.event_start_ts = Some(send_ts);
+                    new_event = true;
+                }
+                Some(start) => {
+                    let separate = !self.grouping || send_ts > start + rtt;
+                    // Sequence numbers must advance for the interval
+                    // bookkeeping even in ungrouped mode.
+                    if separate && self.history.open_start().is_some_and(|s0| seq > s0) {
+                        self.history.record_loss_event(seq);
+                        self.event_start_ts = Some(send_ts);
+                        new_event = true;
+                    }
+                }
+            }
+        }
+        new_event
+    }
+
+    /// Current loss event rate given the highest sequence the receiver has
+    /// seen (cumulative ack + sacked ranges upper bound).
+    pub fn loss_event_rate(&mut self, highest_seq_seen: u64) -> f64 {
+        self.history.loss_event_rate(highest_seq_seen)
+    }
+
+    /// Has any loss event been recorded?
+    pub fn has_loss(&self) -> bool {
+        self.history.has_loss()
+    }
+
+    /// Total estimator operations (sender-side cost ledger for E5).
+    pub fn total_ops(&self) -> u64 {
+        self.history.meter.total()
+    }
+
+    /// Access to the interval history (tests, instrumentation).
+    pub fn history(&self) -> &LossIntervalHistory {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u32 = 1000;
+    const RTT: Duration = Duration::from_millis(100);
+
+    fn ts(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn no_losses_p_is_zero() {
+        let mut e = SenderLossEstimator::new(S);
+        assert_eq!(e.loss_event_rate(1000), 0.0);
+        assert!(!e.has_loss());
+    }
+
+    #[test]
+    fn first_loss_synthesizes_interval_from_rate() {
+        let mut e = SenderLossEstimator::new(S);
+        // 100 kB/s at 100 ms RTT: inverse equation gives a specific p; the
+        // first interval is its reciprocal.
+        let new_event = e.on_losses(&[(500, ts(5_000))], RTT, 100_000.0);
+        assert!(new_event);
+        let p = e.loss_event_rate(520);
+        let p_expect = equation::inverse(S, RTT, 100_000.0);
+        assert!(
+            (p - p_expect).abs() / p_expect < 0.01,
+            "p={p}, expect={p_expect}"
+        );
+    }
+
+    #[test]
+    fn clustered_losses_are_one_event() {
+        let mut e = SenderLossEstimator::new(S);
+        // Three losses sent within 100 ms of each other: one event.
+        e.on_losses(
+            &[(100, ts(1_000)), (101, ts(1_010)), (105, ts(1_050))],
+            RTT,
+            1e5,
+        );
+        assert_eq!(e.history().intervals().len(), 1, "only the synthetic one");
+    }
+
+    #[test]
+    fn spread_losses_are_separate_events() {
+        let mut e = SenderLossEstimator::new(S);
+        e.on_losses(&[(100, ts(1_000))], RTT, 1e5);
+        e.on_losses(&[(200, ts(2_000))], RTT, 1e5);
+        e.on_losses(&[(300, ts(3_000))], RTT, 1e5);
+        // Synthetic + two closed intervals of 100 packets each.
+        assert_eq!(e.history().intervals().len(), 3);
+        let closed = &e.history().intervals()[..2];
+        assert!(closed.iter().all(|&l| (l - 100.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn steady_state_p_matches_loss_pattern() {
+        let mut e = SenderLossEstimator::new(S);
+        // One loss every 50 packets, events 500 ms apart (>> RTT).
+        for k in 1..=30u64 {
+            e.on_losses(&[(k * 50, ts(k * 500))], RTT, 1e5);
+        }
+        let p = e.loss_event_rate(30 * 50 + 1);
+        assert!((p - 0.02).abs() < 0.004, "p={p}");
+    }
+
+    #[test]
+    fn batched_and_incremental_agree() {
+        // Feeding losses one-by-one or in one batch gives identical state —
+        // needed because feedback packets batch loss declarations.
+        let losses: Vec<(u64, SimTime)> = (1..=10).map(|k| (k * 80, ts(k * 400))).collect();
+        let mut one = SenderLossEstimator::new(S);
+        for l in &losses {
+            one.on_losses(std::slice::from_ref(l), RTT, 1e5);
+        }
+        let mut batch = SenderLossEstimator::new(S);
+        batch.on_losses(&losses, RTT, 1e5);
+        assert_eq!(one.history().intervals(), batch.history().intervals());
+        assert_eq!(one.loss_event_rate(801), batch.loss_event_rate(801));
+    }
+
+    #[test]
+    fn estimate_tracks_receiver_equivalent() {
+        // The core QTPlight equivalence claim (E4 in miniature): feed the
+        // estimator the same loss pattern a receiver would see and compare p
+        // against a receiver-side history built identically.
+        let mut sender_side = SenderLossEstimator::new(S);
+        let mut receiver_side = LossIntervalHistory::new();
+        receiver_side.record_first_loss(100, 1.0 / equation::inverse(S, RTT, 1e5));
+        sender_side.on_losses(&[(100, ts(1_000))], RTT, 1e5);
+        for k in 2..=20u64 {
+            receiver_side.record_loss_event(k * 100);
+            sender_side.on_losses(&[(k * 100, ts(k * 1_000))], RTT, 1e5);
+        }
+        let hi = 2_050;
+        let p_rx = receiver_side.loss_event_rate(hi);
+        let p_tx = sender_side.loss_event_rate(hi);
+        assert!(
+            (p_rx - p_tx).abs() < 1e-12,
+            "identical inputs must give identical p: {p_rx} vs {p_tx}"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Named protocol instances and simulation wiring helpers.
+//!
+//! The paper derives two named instances from the composition framework;
+//! this module provides them as one-line constructors plus the glue that
+//! attaches a QTP connection to a simulated topology.
+
+use qtp_simnet::prelude::*;
+use qtp_simnet::sim::Simulator;
+use std::time::Duration;
+
+use crate::caps::CapabilitySet;
+use crate::probe::Probe;
+use crate::receiver::{QtpReceiver, QtpReceiverConfig};
+use crate::sender::{AppModel, QtpSender, QtpSenderConfig};
+
+/// Everything an experiment needs to observe one QTP connection.
+#[derive(Debug, Clone)]
+pub struct QtpHandles {
+    /// Flow id of the data direction (throughput/goodput accounting).
+    pub data_flow: FlowId,
+    /// Flow id of the feedback direction.
+    pub fb_flow: FlowId,
+    /// Sender-side probe.
+    pub tx: Probe,
+    /// Receiver-side probe.
+    pub rx: Probe,
+}
+
+/// Attach a QTP sender at `sender_node` and receiver at `receiver_node`.
+///
+/// Registers two flows (`<name>` for data, `<name>-fb` for feedback) and
+/// returns the probes for post-run inspection.
+pub fn attach_qtp(
+    sim: &mut Simulator,
+    sender_node: NodeId,
+    receiver_node: NodeId,
+    name: &str,
+    sender_cfg: QtpSenderConfig,
+    receiver_cfg: QtpReceiverConfig,
+) -> QtpHandles {
+    let data_flow = sim.register_flow(name);
+    let fb_flow = sim.register_flow(&format!("{name}-fb"));
+    let tx = Probe::new();
+    let rx = Probe::new();
+    sim.attach_agent(
+        sender_node,
+        Box::new(QtpSender::new(
+            data_flow,
+            receiver_node,
+            sender_cfg,
+            tx.clone(),
+        )),
+    );
+    sim.attach_agent(
+        receiver_node,
+        Box::new(QtpReceiver::new(
+            data_flow,
+            fb_flow,
+            sender_node,
+            receiver_cfg,
+            rx.clone(),
+        )),
+    );
+    QtpHandles {
+        data_flow,
+        fb_flow,
+        tx,
+        rx,
+    }
+}
+
+/// Sender configuration for **QTPAF**: gTFRC with target `g`, full
+/// reliability, receiver-side loss estimation (paper §4).
+pub fn qtp_af_sender(g: Rate) -> QtpSenderConfig {
+    QtpSenderConfig::new(CapabilitySet::qtp_af(g))
+}
+
+/// Sender configuration for **QTPlight**: sender-side loss estimation, no
+/// retransmission (paper §3).
+pub fn qtp_light_sender() -> QtpSenderConfig {
+    QtpSenderConfig::new(CapabilitySet::qtp_light())
+}
+
+/// QTPlight with TTL-bounded partial reliability (the selective
+/// retransmission by-product the paper highlights).
+pub fn qtp_light_partial_sender(ttl: Duration) -> QtpSenderConfig {
+    QtpSenderConfig::new(CapabilitySet::qtp_light_partial(ttl))
+}
+
+/// Standard TFRC instance (receiver-side estimation, unreliable) — the
+/// baseline both QTP instances are compared against.
+pub fn qtp_standard_sender() -> QtpSenderConfig {
+    QtpSenderConfig::new(CapabilitySet::tfrc_standard())
+}
+
+/// A media-like application model: `rate` worth of 1-packet ADUs.
+pub fn cbr_app(rate: Rate) -> AppModel {
+    AppModel::Cbr {
+        rate,
+        adu_packets: 1,
+    }
+}

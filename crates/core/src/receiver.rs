@@ -1,0 +1,403 @@
+//! The QTP receiver endpoint — where the paper's two instances differ most.
+//!
+//! In **ReceiverLoss** mode (standard TFRC / QTPAF) the receiver runs the
+//! full RFC 3448 machinery: per-packet loss detection, loss-event grouping,
+//! loss-interval history, and the WALI computation on every feedback. In
+//! **SenderLoss** mode (QTPlight) it keeps *only* a reassembly buffer and a
+//! byte counter: feedback is a cumulative ack, up to four SACK blocks, the
+//! echo timestamp pair and the raw receive rate. The per-packet cost gap
+//! between these two paths — measured by the meters this module aggregates
+//! into its [`Probe`] — is the paper's §3 claim, reproduced as experiment
+//! E5.
+//!
+//! The receiver also implements the **selfish receiver** attack of Georg &
+//! Gorinsky (paper §3's robustness argument): when `selfish_factor > 1`
+//! and the mode is ReceiverLoss, the reported loss event rate is divided
+//! by the factor and the receive rate inflated by it. In SenderLoss mode
+//! there is no loss report to falsify — which is the defence.
+
+use qtp_sack::{ReceiverBuffer, ReliabilityMode, MAX_SACK_BLOCKS};
+use qtp_simnet::prelude::*;
+use qtp_simnet::sim::{Agent, Ctx};
+use qtp_metrics::StateSize;
+use qtp_tfrc::TfrcReceiver;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::caps::{CapabilitySet, FeedbackMode, ServerPolicy};
+use crate::probe::Probe;
+use crate::wire::{p_to_ppb, QtpPacket};
+
+/// Receiver configuration.
+#[derive(Debug, Clone)]
+pub struct QtpReceiverConfig {
+    /// Negotiation policy.
+    pub policy: ServerPolicy,
+    /// Selfish-receiver attack factor (1.0 = honest). Under ReceiverLoss
+    /// the reported `p` is divided by this and `x_recv` multiplied by it.
+    pub selfish_factor: f64,
+}
+
+impl Default for QtpReceiverConfig {
+    fn default() -> Self {
+        QtpReceiverConfig {
+            policy: ServerPolicy::default(),
+            selfish_factor: 1.0,
+        }
+    }
+}
+
+/// Timer token kinds.
+const TK_FB: u64 = 0;
+
+/// The QTP receiver agent.
+pub struct QtpReceiver {
+    /// Incoming data flow (goodput accounting).
+    data_flow: FlowId,
+    /// Flow id for outgoing feedback packets.
+    fb_flow: FlowId,
+    sender_node: NodeId,
+    cfg: QtpReceiverConfig,
+    chosen: Option<CapabilitySet>,
+    /// Full RFC 3448 receiver (ReceiverLoss mode only).
+    tfrc_rx: Option<TfrcReceiver>,
+    /// Reassembly / SACK state (always present: it is cheap, and even
+    /// ReceiverLoss+None uses it for duplicate suppression).
+    buf: ReceiverBuffer,
+    /// ADU submit timestamps of buffered out-of-order packets, for latency
+    /// accounting once they deliver.
+    pending_adu_ts: BTreeMap<u64, u64>,
+    /// Payload bytes per packet (learned from the first data packet).
+    payload_bytes: u32,
+    /// Sender's RTT hint from the most recent data packet.
+    rtt_hint: Duration,
+    /// Highest sequence seen (for gap-triggered feedback).
+    highest_seen: Option<u64>,
+    /// Sender timestamp / local receive time of the newest data packet.
+    last_pkt: Option<(SimTime, SimTime)>,
+    /// Bytes received since the last feedback.
+    bytes_since_fb: u64,
+    /// When the current measurement round began.
+    round_started: Option<SimTime>,
+    /// Light-receiver bookkeeping cost (SenderLoss mode's entire load
+    /// beyond the reassembly buffer's own meter).
+    own_ops: u64,
+    gens: [u64; 1],
+    probe: Probe,
+}
+
+impl QtpReceiver {
+    pub fn new(
+        data_flow: FlowId,
+        fb_flow: FlowId,
+        sender_node: NodeId,
+        cfg: QtpReceiverConfig,
+        probe: Probe,
+    ) -> Self {
+        QtpReceiver {
+            data_flow,
+            fb_flow,
+            sender_node,
+            cfg,
+            chosen: None,
+            tfrc_rx: None,
+            buf: ReceiverBuffer::new(),
+            pending_adu_ts: BTreeMap::new(),
+            payload_bytes: 1000,
+            rtt_hint: Duration::from_millis(100),
+            highest_seen: None,
+            last_pkt: None,
+            bytes_since_fb: 0,
+            round_started: None,
+            own_ops: 0,
+            gens: [0],
+            probe,
+        }
+    }
+
+    /// The negotiated profile (after the handshake).
+    pub fn negotiated(&self) -> Option<CapabilitySet> {
+        self.chosen
+    }
+
+    fn arm_fb(&mut self, ctx: &mut Ctx, at: SimTime) {
+        self.gens[TK_FB as usize] += 1;
+        ctx.set_timer_at(at, TK_FB | (self.gens[TK_FB as usize] << 2));
+    }
+
+    fn token_live(&self, token: u64) -> Option<u64> {
+        let kind = token & 3;
+        let gen = token >> 2;
+        (kind == TK_FB && gen == self.gens[0]).then_some(kind)
+    }
+
+    fn on_syn(&mut self, ctx: &mut Ctx, ts_nanos: u64, offered: CapabilitySet) {
+        let chosen = self.chosen.unwrap_or_else(|| self.cfg.policy.negotiate(offered));
+        if self.chosen.is_none() {
+            self.chosen = Some(chosen);
+            if chosen.feedback == FeedbackMode::ReceiverLoss {
+                self.tfrc_rx = Some(TfrcReceiver::new(self.payload_bytes, self.rtt_hint));
+            }
+        }
+        let pkt = QtpPacket::SynAck {
+            ts_echo_nanos: ts_nanos,
+            chosen,
+        };
+        let size = pkt.wire_size();
+        ctx.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+    }
+
+    fn reliability(&self) -> ReliabilityMode {
+        self.chosen
+            .map(|c| c.reliability)
+            .unwrap_or(ReliabilityMode::None)
+    }
+
+    fn on_data(
+        &mut self,
+        ctx: &mut Ctx,
+        seq: u64,
+        ts_nanos: u64,
+        adu_ts_nanos: u64,
+        rtt_hint_micros: u32,
+        payload: u32,
+    ) {
+        let Some(chosen) = self.chosen else {
+            return; // data before handshake: drop
+        };
+        if payload > 0 {
+            self.payload_bytes = payload;
+        }
+        if rtt_hint_micros > 0 {
+            self.rtt_hint = Duration::from_micros(rtt_hint_micros as u64);
+        }
+        let sender_ts = SimTime::from_nanos(ts_nanos);
+        self.last_pkt = Some((sender_ts, ctx.now));
+        self.bytes_since_fb += payload as u64;
+        if self.round_started.is_none() {
+            self.round_started = Some(ctx.now);
+            // First data packet: start the feedback cadence.
+            let at = ctx.now + self.feedback_interval();
+            self.arm_fb(ctx, at);
+        }
+        self.own_ops += 3; // counter updates + hint check
+
+        // New-gap detection (drives immediate feedback in QTPlight mode).
+        let new_gap = match self.highest_seen {
+            Some(h) => seq > h + 1,
+            None => false,
+        };
+        self.highest_seen = Some(self.highest_seen.map_or(seq, |h| h.max(seq)));
+
+        // Heavy path: RFC 3448 receiver machinery.
+        let mut loss_event_fb = false;
+        if let Some(tfrc) = self.tfrc_rx.as_mut() {
+            let action = tfrc.on_data(ctx.now, seq, sender_ts, self.rtt_hint, payload);
+            loss_event_fb = action.feedback_now;
+        }
+
+        // Reassembly / delivery.
+        let deliver_in_order = self.reliability().retransmits();
+        match self.buf.on_packet(seq) {
+            qtp_sack::Arrival::Duplicate => {}
+            qtp_sack::Arrival::New { delivered } => {
+                if deliver_in_order {
+                    if delivered > 0 {
+                        // This packet plus any buffered run became deliverable.
+                        ctx.stats
+                            .app_deliver(self.data_flow, delivered * self.payload_bytes as u64);
+                        let now_s = ctx.now.as_secs_f64();
+                        let own_latency = now_s - adu_ts_nanos as f64 / 1e9;
+                        // Buffered packets that just flushed.
+                        let flushed: Vec<u64> = self
+                            .pending_adu_ts
+                            .range(..self.buf.cum_ack())
+                            .map(|(_, &ts)| ts)
+                            .collect();
+                        self.pending_adu_ts = self.pending_adu_ts.split_off(&self.buf.cum_ack());
+                        self.probe.update(|d| {
+                            d.latency_sum_s += own_latency.max(0.0);
+                            d.latency_samples += 1;
+                            for ts in flushed {
+                                d.latency_sum_s += (now_s - ts as f64 / 1e9).max(0.0);
+                                d.latency_samples += 1;
+                            }
+                        });
+                    } else {
+                        self.pending_adu_ts.insert(seq, adu_ts_nanos);
+                    }
+                } else {
+                    // Unordered delivery: hand every new packet up at once.
+                    ctx.stats
+                        .app_deliver(self.data_flow, self.payload_bytes as u64);
+                    let lat = (ctx.now.as_secs_f64() - adu_ts_nanos as f64 / 1e9).max(0.0);
+                    self.probe.update(|d| {
+                        d.latency_sum_s += lat;
+                        d.latency_samples += 1;
+                    });
+                }
+            }
+        }
+
+        // Immediate feedback on new loss evidence.
+        let immediate = loss_event_fb
+            || (chosen.feedback == FeedbackMode::SenderLoss && new_gap);
+        if immediate {
+            self.send_feedback(ctx);
+        }
+        self.update_probe_costs();
+    }
+
+    fn update_probe_costs(&mut self) {
+        let tfrc_ops = self.tfrc_rx.as_ref().map(|t| t.total_ops()).unwrap_or(0);
+        let tfrc_state = self.tfrc_rx.as_ref().map(|t| t.state_bytes()).unwrap_or(0);
+        let buf_ops = self.buf.meter.total();
+        let buf_state = self.buf.state_bytes();
+        let own = self.own_ops;
+        self.probe.update(|d| {
+            d.rx_data_pkts += 1;
+            d.rx_ops = tfrc_ops + buf_ops + own;
+            d.rx_state_bytes_peak = d.rx_state_bytes_peak.max(tfrc_state + buf_state);
+        });
+    }
+
+    fn feedback_interval(&self) -> Duration {
+        self.rtt_hint.max(Duration::from_millis(10))
+    }
+
+    /// Receive rate over the current round, bytes/second.
+    fn x_recv(&self, now: SimTime) -> f64 {
+        match self.round_started {
+            Some(start) => {
+                let dt = now.saturating_since(start).as_secs_f64();
+                if dt <= 0.0 {
+                    0.0
+                } else {
+                    self.bytes_since_fb as f64 / dt
+                }
+            }
+            None => 0.0,
+        }
+    }
+
+    fn send_feedback(&mut self, ctx: &mut Ctx) {
+        let Some(chosen) = self.chosen else { return };
+        let Some((last_ts, last_rx_time)) = self.last_pkt else {
+            return; // nothing received yet
+        };
+        let x_recv_honest = self.x_recv(ctx.now);
+        let t_delay = ctx.now.saturating_since(last_rx_time);
+        let selfish = self.cfg.selfish_factor.max(1.0);
+
+        let (p_ppb, x_recv) = match chosen.feedback {
+            FeedbackMode::ReceiverLoss => {
+                let tfrc = self
+                    .tfrc_rx
+                    .as_mut()
+                    .expect("ReceiverLoss implies TFRC receiver");
+                // Build the RFC 3448 report (also rolls the x_recv round
+                // inside the TFRC receiver; we use our own counter for the
+                // wire value so both modes measure identically).
+                let fb = tfrc.build_feedback(ctx.now);
+                let p_honest = fb.map(|f| f.p).unwrap_or(0.0);
+                let p_reported = p_honest / selfish;
+                self.own_ops += 2;
+                (
+                    Some(p_to_ppb(p_reported)),
+                    x_recv_honest * selfish,
+                )
+            }
+            FeedbackMode::SenderLoss => {
+                self.own_ops += 2;
+                (None, x_recv_honest * selfish)
+            }
+        };
+
+        // SACK blocks only when someone consumes them (reliability at the
+        // sender, or sender-side loss estimation).
+        let blocks = if self.reliability().retransmits()
+            || chosen.feedback == FeedbackMode::SenderLoss
+        {
+            self.buf.sack_blocks(MAX_SACK_BLOCKS)
+        } else {
+            Vec::new()
+        };
+
+        let pkt = QtpPacket::Feedback {
+            ts_echo_nanos: last_ts.as_nanos(),
+            t_delay_micros: t_delay.as_micros() as u32,
+            x_recv: x_recv as u64,
+            p_ppb,
+            cum_ack: self.buf.cum_ack(),
+            blocks,
+        };
+        let size = pkt.wire_size();
+        ctx.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        self.bytes_since_fb = 0;
+        self.round_started = Some(ctx.now);
+        self.probe.update(|d| d.rx_feedback_sent += 1);
+    }
+
+    fn on_forward(&mut self, ctx: &mut Ctx, new_cum: u64) {
+        let before_delivered = self.buf.delivered_total();
+        self.buf.on_forward(new_cum);
+        // Buffered packets released by the jump count as delivered.
+        let released = self.buf.delivered_total() - before_delivered;
+        if released > 0 && self.reliability().retransmits() {
+            ctx.stats
+                .app_deliver(self.data_flow, released * self.payload_bytes as u64);
+            let flushed: Vec<u64> = self
+                .pending_adu_ts
+                .range(..self.buf.cum_ack())
+                .map(|(_, &ts)| ts)
+                .collect();
+            self.pending_adu_ts = self.pending_adu_ts.split_off(&self.buf.cum_ack());
+            let now_s = ctx.now.as_secs_f64();
+            self.probe.update(|d| {
+                for ts in flushed {
+                    d.latency_sum_s += (now_s - ts as f64 / 1e9).max(0.0);
+                    d.latency_samples += 1;
+                }
+            });
+        }
+        self.own_ops += 2;
+    }
+}
+
+impl Agent for QtpReceiver {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        let header_len = pkt.header.len() as u32;
+        let Ok(decoded) = QtpPacket::decode(&pkt.header) else {
+            return;
+        };
+        match decoded {
+            QtpPacket::Syn { ts_nanos, offered } => self.on_syn(ctx, ts_nanos, offered),
+            QtpPacket::Data {
+                seq,
+                ts_nanos,
+                adu_ts_nanos,
+                rtt_hint_micros,
+                ..
+            } => {
+                let payload = pkt
+                    .wire_size
+                    .saturating_sub(header_len + crate::wire::IP_OVERHEAD);
+                self.on_data(ctx, seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, payload);
+            }
+            QtpPacket::Forward { new_cum } => self.on_forward(ctx, new_cum),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        if self.token_live(token).is_none() {
+            return;
+        }
+        // Periodic feedback: send only if data arrived this round.
+        if self.bytes_since_fb > 0 {
+            self.send_feedback(ctx);
+        }
+        let at = ctx.now + self.feedback_interval();
+        self.arm_fb(ctx, at);
+    }
+}

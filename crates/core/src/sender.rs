@@ -1,0 +1,503 @@
+//! The QTP sender endpoint: the composed transport (paper §1's "versatile
+//! transport protocol" on the sending side).
+//!
+//! One state machine hosts every negotiated composition:
+//!
+//! * **congestion control** — a [`CcMachine`] (TFRC, gTFRC, or fixed rate)
+//!   paces transmissions;
+//! * **reliability** — a [`Scoreboard`] + [`ReliabilityPolicy`] decide
+//!   which declared losses to retransmit and which to abandon (emitting
+//!   `FWD` to move the receiver past them);
+//! * **feedback** — in `ReceiverLoss` mode the loss event rate comes from
+//!   the feedback packet; in `SenderLoss` (QTPlight) mode it comes from
+//!   the local [`SenderLossEstimator`] fed by SACK declarations.
+//!
+//! The endpoint is a [`qtp_simnet::sim::Agent`]: everything is driven by
+//! packet arrivals and timers.
+
+use qtp_sack::{ReliabilityMode, Scoreboard, SeqRange};
+use qtp_simnet::prelude::*;
+use qtp_simnet::sim::{Agent, Ctx};
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::caps::{CapabilitySet, FeedbackMode};
+use crate::cc::CcMachine;
+use crate::estimator::SenderLossEstimator;
+use crate::probe::Probe;
+use crate::wire::{ppb_to_p, QtpPacket, IP_OVERHEAD};
+
+/// What the application on top of the sender does.
+#[derive(Debug, Clone)]
+pub enum AppModel {
+    /// Infinite backlog (bulk transfer / greedy source).
+    Greedy,
+    /// Send exactly this many packets, then stop (but keep retransmitting
+    /// until acknowledged under reliable modes).
+    Finite { packets: u64 },
+    /// Application-limited media source: ADUs of `adu_packets` packets
+    /// generated at `rate`; stale ADUs may be dropped at the sender under
+    /// TTL reliability before ever being transmitted.
+    Cbr { rate: Rate, adu_packets: u32 },
+}
+
+/// Sender configuration.
+#[derive(Debug, Clone)]
+pub struct QtpSenderConfig {
+    /// Profile to offer in the handshake.
+    pub offered: CapabilitySet,
+    /// Payload bytes per data packet.
+    pub s: u32,
+    /// Application model.
+    pub app: AppModel,
+    /// **D1 ablation** (experiments only): disable RTT-window loss-event
+    /// grouping in the sender-side estimator, so every lost packet counts
+    /// as its own loss event.
+    pub ablate_ungrouped_losses: bool,
+}
+
+impl QtpSenderConfig {
+    pub fn new(offered: CapabilitySet) -> Self {
+        QtpSenderConfig {
+            offered,
+            s: 1000,
+            app: AppModel::Greedy,
+            ablate_ungrouped_losses: false,
+        }
+    }
+}
+
+/// Timer token kinds (low 2 bits of the token; the rest is a generation).
+const TK_SYN: u64 = 0;
+const TK_PACE: u64 = 1;
+const TK_NOFB: u64 = 2;
+const TK_APP: u64 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    AwaitSynAck,
+    Running,
+}
+
+/// The QTP sender agent.
+pub struct QtpSender {
+    flow: FlowId,
+    receiver_node: NodeId,
+    cfg: QtpSenderConfig,
+    state: State,
+    chosen: Option<CapabilitySet>,
+    cc: Option<CcMachine>,
+    sb: Scoreboard,
+    policy: qtp_sack::ReliabilityPolicy,
+    estimator: Option<SenderLossEstimator>,
+    /// Pending application packets: submission time of each not-yet-sent
+    /// packet (only bounded for the Cbr model).
+    backlog: std::collections::VecDeque<SimTime>,
+    /// Packets handed to the network as *new* data so far.
+    sent_new: u64,
+    /// ADU submission time per sequence (for retransmission headers and
+    /// latency measurement); pruned as the cumulative ack advances.
+    adu_ts: BTreeMap<u64, SimTime>,
+    /// Timer generations per token kind.
+    gens: [u64; 4],
+    /// Last time a FWD was emitted (rate-limited to once per RTT).
+    last_fwd: SimTime,
+    /// Latest receive-rate report (for estimator synthesis).
+    last_x_recv: f64,
+    probe: Probe,
+}
+
+impl QtpSender {
+    pub fn new(flow: FlowId, receiver_node: NodeId, cfg: QtpSenderConfig, probe: Probe) -> Self {
+        let policy = qtp_sack::ReliabilityPolicy::new(cfg.offered.reliability);
+        QtpSender {
+            flow,
+            receiver_node,
+            cfg,
+            state: State::AwaitSynAck,
+            chosen: None,
+            cc: None,
+            sb: Scoreboard::new(),
+            policy,
+            estimator: None,
+            backlog: std::collections::VecDeque::new(),
+            sent_new: 0,
+            adu_ts: BTreeMap::new(),
+            gens: [0; 4],
+            last_fwd: SimTime::ZERO,
+            last_x_recv: 0.0,
+            probe,
+        }
+    }
+
+    /// The negotiated profile (once the handshake completed).
+    pub fn negotiated(&self) -> Option<CapabilitySet> {
+        self.chosen
+    }
+
+    // ---- timers -------------------------------------------------------
+
+    fn arm(&mut self, ctx: &mut Ctx, kind: u64, at: SimTime) {
+        self.gens[kind as usize] += 1;
+        let token = kind | (self.gens[kind as usize] << 2);
+        ctx.set_timer_at(at, token);
+    }
+
+    fn token_live(&self, token: u64) -> Option<u64> {
+        let kind = token & 3;
+        let gen = token >> 2;
+        (gen == self.gens[kind as usize]).then_some(kind)
+    }
+
+    // ---- handshake ----------------------------------------------------
+
+    fn send_syn(&mut self, ctx: &mut Ctx) {
+        let pkt = QtpPacket::Syn {
+            ts_nanos: ctx.now.as_nanos(),
+            offered: self.cfg.offered,
+        };
+        let size = pkt.wire_size();
+        ctx.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        self.arm(ctx, TK_SYN, ctx.now + Duration::from_secs(1));
+    }
+
+    fn on_synack(&mut self, ctx: &mut Ctx, ts_echo_nanos: u64, chosen: CapabilitySet) {
+        if self.state == State::Running {
+            return; // duplicate SYNACK
+        }
+        self.state = State::Running;
+        self.chosen = Some(chosen);
+        let rtt = ctx
+            .now
+            .saturating_since(SimTime::from_nanos(ts_echo_nanos))
+            .max(Duration::from_micros(100));
+        let mut cc = CcMachine::new(chosen.cc, self.cfg.s);
+        cc.seed_rtt(ctx.now, rtt);
+        self.cc = Some(cc);
+        self.policy = qtp_sack::ReliabilityPolicy::new(chosen.reliability);
+        if chosen.feedback == FeedbackMode::SenderLoss {
+            let mut est = SenderLossEstimator::new(self.cfg.s);
+            est.set_grouping(!self.cfg.ablate_ungrouped_losses);
+            self.estimator = Some(est);
+        }
+        // Kick off app generation (Cbr) and pacing.
+        if let AppModel::Cbr { .. } = self.cfg.app {
+            self.arm(ctx, TK_APP, ctx.now);
+        }
+        self.arm(ctx, TK_PACE, ctx.now);
+        let nofb = self.cc.as_ref().unwrap().nofeedback_deadline();
+        self.arm(ctx, TK_NOFB, nofb);
+    }
+
+    // ---- application --------------------------------------------------
+
+    /// Is a new (never-sent) packet available right now?
+    fn app_has_data(&self) -> bool {
+        match self.cfg.app {
+            AppModel::Greedy => true,
+            AppModel::Finite { packets } => self.sent_new < packets,
+            AppModel::Cbr { .. } => !self.backlog.is_empty(),
+        }
+    }
+
+    /// Submission time of the next new packet.
+    fn next_submit_ts(&mut self, now: SimTime) -> SimTime {
+        match self.cfg.app {
+            AppModel::Cbr { .. } => self.backlog.pop_front().unwrap_or(now),
+            _ => now,
+        }
+    }
+
+    fn on_app_tick(&mut self, ctx: &mut Ctx) {
+        let AppModel::Cbr { rate, adu_packets } = self.cfg.app else {
+            return;
+        };
+        for _ in 0..adu_packets {
+            self.backlog.push_back(ctx.now);
+        }
+        let interval =
+            Duration::from_secs_f64(adu_packets as f64 * self.cfg.s as f64 * 8.0 / rate.bps() as f64);
+        self.arm(ctx, TK_APP, ctx.now + interval);
+    }
+
+    /// Sender-side staleness drop (TTL reliability, Cbr model): stale ADUs
+    /// are discarded before ever being transmitted.
+    fn drop_stale_backlog(&mut self, now: SimTime) {
+        if let ReliabilityMode::PartialTtl(ttl) =
+            self.chosen.map(|c| c.reliability).unwrap_or(ReliabilityMode::None)
+        {
+            while let Some(&submit) = self.backlog.front() {
+                if now.saturating_since(submit) >= ttl {
+                    self.backlog.pop_front();
+                    self.probe.update(|d| d.tx_abandoned += 1);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    // ---- transmission -------------------------------------------------
+
+    fn data_wire_size(&self, header_len: usize) -> u32 {
+        self.cfg.s + header_len as u32 + IP_OVERHEAD
+    }
+
+    fn send_data(&mut self, ctx: &mut Ctx, seq: u64, adu_ts: SimTime, is_retx: bool) {
+        let rtt_hint_micros = self
+            .cc
+            .as_ref()
+            .and_then(|cc| cc.rtt())
+            .map(|r| r.as_micros() as u32)
+            .unwrap_or(0);
+        let pkt = QtpPacket::Data {
+            seq,
+            ts_nanos: ctx.now.as_nanos(),
+            adu_ts_nanos: adu_ts.as_nanos(),
+            rtt_hint_micros,
+            is_retx,
+        };
+        let header = pkt.encode();
+        let size = self.data_wire_size(header.len());
+        ctx.send_new(self.flow, self.receiver_node, size, header);
+        self.probe.update(|d| {
+            d.tx_data_pkts += 1;
+            if is_retx {
+                d.tx_retransmissions += 1;
+            }
+        });
+    }
+
+    /// Transmit one packet if anything is eligible: retransmissions first
+    /// (policy permitting), then new data.
+    fn send_one(&mut self, ctx: &mut Ctx) {
+        self.drop_stale_backlog(ctx.now);
+        // Retransmissions have priority under reliable modes.
+        while let Some(seq) = self.sb.next_lost() {
+            let retx_count = self.sb.retx_count(seq);
+            let decision = self.policy.on_loss(seq, ctx.now, retx_count);
+            if decision == qtp_sack::LossDecision::Retransmit {
+                let adu_ts = self.adu_ts.get(&seq).copied().unwrap_or(ctx.now);
+                self.sb.register_retransmit(seq, ctx.now);
+                self.send_data(ctx, seq, adu_ts, true);
+                return;
+            }
+            // Abandoned: drop from the retransmission queue and keep going.
+            self.sb.abandon(seq);
+            self.probe.update(|d| d.tx_abandoned += 1);
+        }
+        if self.app_has_data() {
+            let submit = self.next_submit_ts(ctx.now);
+            let seq = self.sb.register_send(ctx.now);
+            self.sent_new += 1;
+            let reliability = self.chosen.map(|c| c.reliability);
+            if matches!(reliability, Some(ReliabilityMode::PartialTtl(_))) {
+                self.policy.register_adu(SeqRange::new(seq, seq + 1), submit);
+            }
+            if reliability.map(|r| r.retransmits()).unwrap_or(false) {
+                self.adu_ts.insert(seq, submit);
+            }
+            self.send_data(ctx, seq, submit, false);
+        }
+    }
+
+    /// Emit a FWD if the policy abandoned data the receiver is waiting for.
+    fn maybe_send_forward(&mut self, ctx: &mut Ctx) {
+        let Some(fp) = self.policy.forward_point(self.sb.cum_ack()) else {
+            return;
+        };
+        let rtt = self
+            .cc
+            .as_ref()
+            .and_then(|cc| cc.rtt())
+            .unwrap_or(Duration::from_millis(100));
+        if ctx.now.saturating_since(self.last_fwd) < rtt {
+            return;
+        }
+        self.last_fwd = ctx.now;
+        let pkt = QtpPacket::Forward { new_cum: fp };
+        let size = pkt.wire_size();
+        ctx.send_new(self.flow, self.receiver_node, size, pkt.encode());
+    }
+
+    fn on_pace(&mut self, ctx: &mut Ctx) {
+        if self.state != State::Running {
+            return;
+        }
+        self.check_tail_loss(ctx.now);
+        self.send_one(ctx);
+        self.maybe_send_forward(ctx);
+        let interval = self.cc.as_ref().unwrap().send_interval();
+        // Clamp pathological intervals so the event loop stays healthy.
+        let interval = interval.clamp(Duration::from_micros(10), Duration::from_secs(2));
+        self.arm(ctx, TK_PACE, ctx.now + interval);
+    }
+
+    /// Tail-loss fallback: if the oldest outstanding packet has seen no
+    /// progress for several RTTs, presume everything unsacked lost so the
+    /// reliability machinery can act (SACK cannot report tail losses).
+    fn check_tail_loss(&mut self, now: SimTime) {
+        let retransmits = self
+            .chosen
+            .map(|c| c.reliability.retransmits())
+            .unwrap_or(false);
+        if !retransmits || self.sb.all_acked() {
+            return;
+        }
+        let rtt = self
+            .cc
+            .as_ref()
+            .and_then(|cc| cc.rtt())
+            .unwrap_or(Duration::from_millis(100));
+        let timeout = (rtt * 4).max(Duration::from_millis(500));
+        if let Some(oldest) = self.sb.oldest_outstanding_send_time() {
+            if now.saturating_since(oldest) > timeout {
+                let range = SeqRange::new(self.sb.cum_ack(), self.sb.next_seq());
+                let _ = self.sb.force_mark_lost(range);
+            }
+        }
+    }
+
+    // ---- feedback -----------------------------------------------------
+
+    fn on_feedback_pkt(
+        &mut self,
+        ctx: &mut Ctx,
+        ts_echo_nanos: u64,
+        t_delay_micros: u32,
+        x_recv: u64,
+        p_ppb: Option<u32>,
+        cum_ack: u64,
+        blocks: &[SeqRange],
+    ) {
+        if self.state != State::Running {
+            return;
+        }
+        let prev_cum = self.sb.cum_ack();
+        let digest = self.sb.on_feedback(cum_ack, blocks);
+        if self.sb.cum_ack() > prev_cum {
+            self.policy.prune(self.sb.cum_ack());
+            self.adu_ts = self.adu_ts.split_off(&self.sb.cum_ack());
+        }
+        self.last_x_recv = x_recv as f64;
+
+        // Reliability: route newly-declared losses through the policy.
+        if !digest.newly_lost.is_empty() {
+            let retransmits = self
+                .chosen
+                .map(|c| c.reliability.retransmits())
+                .unwrap_or(false);
+            if !retransmits {
+                // Nothing will be retransmitted: abandon immediately so the
+                // receiver can be moved past the holes.
+                for &(seq, _) in &digest.newly_lost {
+                    let _ = self.policy.on_loss(seq, ctx.now, 0);
+                    self.sb.abandon(seq);
+                }
+            }
+        }
+
+        // The composition seam: where does p come from?
+        let chosen = self.chosen.expect("running implies negotiated");
+        let p = match chosen.feedback {
+            FeedbackMode::ReceiverLoss => p_ppb.map(ppb_to_p).unwrap_or(0.0),
+            FeedbackMode::SenderLoss => {
+                let est = self
+                    .estimator
+                    .as_mut()
+                    .expect("SenderLoss mode implies estimator");
+                let rtt = self
+                    .cc
+                    .as_ref()
+                    .and_then(|cc| cc.rtt())
+                    .unwrap_or(Duration::from_millis(100));
+                est.on_losses(&digest.newly_lost, rtt, x_recv as f64);
+                est.loss_event_rate(self.sb.highest_seen())
+            }
+        };
+
+        let cc = self.cc.as_mut().unwrap();
+        cc.on_feedback(
+            ctx.now,
+            SimTime::from_nanos(ts_echo_nanos),
+            Duration::from_micros(t_delay_micros as u64),
+            x_recv as f64,
+            p,
+        );
+        let rate = cc.allowed_rate();
+        let nofb = cc.nofeedback_deadline();
+        let rtt_s = cc.rtt().map(|r| r.as_secs_f64()).unwrap_or(0.0);
+        self.arm(ctx, TK_NOFB, nofb);
+        let (cc_ops, est_ops, sb_ops) = (
+            self.cc.as_ref().unwrap().ops(),
+            self.estimator.as_ref().map(|e| e.total_ops()).unwrap_or(0),
+            self.sb.meter.total(),
+        );
+        self.probe.update(|d| {
+            d.rate_trace.push((ctx.now, rate));
+            d.p_trace.push((ctx.now, p));
+            d.rtt_estimate_s = rtt_s;
+            d.tx_ops = cc_ops + est_ops + sb_ops;
+        });
+        // Feedback may unblock the window (e.g. new losses to retransmit).
+        self.maybe_send_forward(ctx);
+    }
+
+    fn on_nofb(&mut self, ctx: &mut Ctx) {
+        let Some(cc) = self.cc.as_mut() else { return };
+        if ctx.now >= cc.nofeedback_deadline() {
+            cc.on_nofeedback_timer(ctx.now);
+        }
+        let next = self.cc.as_ref().unwrap().nofeedback_deadline();
+        self.arm(ctx, TK_NOFB, next);
+    }
+}
+
+impl Agent for QtpSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.send_syn(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        let Ok(decoded) = QtpPacket::decode(&pkt.header) else {
+            return;
+        };
+        match decoded {
+            QtpPacket::SynAck {
+                ts_echo_nanos,
+                chosen,
+            } => self.on_synack(ctx, ts_echo_nanos, chosen),
+            QtpPacket::Feedback {
+                ts_echo_nanos,
+                t_delay_micros,
+                x_recv,
+                p_ppb,
+                cum_ack,
+                blocks,
+            } => self.on_feedback_pkt(
+                ctx,
+                ts_echo_nanos,
+                t_delay_micros,
+                x_recv,
+                p_ppb,
+                cum_ack,
+                &blocks,
+            ),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        match self.token_live(token) {
+            Some(TK_SYN) => {
+                if self.state == State::AwaitSynAck {
+                    self.send_syn(ctx);
+                }
+            }
+            Some(TK_PACE) => self.on_pace(ctx),
+            Some(TK_NOFB) => self.on_nofb(ctx),
+            Some(TK_APP) => self.on_app_tick(ctx),
+            _ => {}
+        }
+    }
+}

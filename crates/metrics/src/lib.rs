@@ -1,0 +1,192 @@
+//! # qtp-metrics — deterministic processing-cost accounting
+//!
+//! The paper's QTPlight claim is about *endpoint processing load*: moving
+//! TFRC's loss-event-rate estimation from a resource-limited receiver to the
+//! sender "allows the receiver load to be dramatically decreased". Wall-clock
+//! profiling of a simulation would measure the simulator, not the protocol,
+//! and would not be reproducible. Instead, every protocol component that
+//! contributes per-packet work carries a [`CostMeter`] and ticks it on the
+//! exact code paths a real implementation would execute; data structures
+//! report their live memory footprint through [`StateSize`].
+//!
+//! This gives two deterministic, machine-independent load measures:
+//!
+//! * **operations per packet** (by class: comparisons, arithmetic, list
+//!   scans, structure updates, allocations), and
+//! * **bytes of protocol state held**.
+//!
+//! Experiment E5 compares these between a standard RFC 3448 receiver and a
+//! QTPlight receiver; the Criterion micro-benches cross-check that the op
+//! counts track real CPU time on the host.
+
+use std::fmt;
+
+/// Classes of per-packet work, mirroring what a profiler would attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Branches / comparisons (loss-event grouping tests, threshold checks).
+    Compare,
+    /// Floating-point or integer arithmetic (averages, equations, rates).
+    Arith,
+    /// Iteration steps over history or interval structures.
+    Scan,
+    /// In-place structure mutation (counters, interval bumps).
+    Update,
+    /// Allocations / element insertions that may allocate.
+    Alloc,
+}
+
+impl OpClass {
+    /// All classes, for iteration and report rows.
+    pub const ALL: [OpClass; 5] = [
+        OpClass::Compare,
+        OpClass::Arith,
+        OpClass::Scan,
+        OpClass::Update,
+        OpClass::Alloc,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            OpClass::Compare => 0,
+            OpClass::Arith => 1,
+            OpClass::Scan => 2,
+            OpClass::Update => 3,
+            OpClass::Alloc => 4,
+        }
+    }
+
+    /// Short label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpClass::Compare => "cmp",
+            OpClass::Arith => "arith",
+            OpClass::Scan => "scan",
+            OpClass::Update => "upd",
+            OpClass::Alloc => "alloc",
+        }
+    }
+}
+
+/// An operation counter bank. Cloneable and mergeable so endpoints can
+/// aggregate the meters of their components.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CostMeter {
+    counts: [u64; 5],
+}
+
+impl CostMeter {
+    /// A fresh meter with all counters at zero.
+    pub fn new() -> Self {
+        CostMeter::default()
+    }
+
+    /// Record `n` operations of `class`.
+    #[inline]
+    pub fn tick(&mut self, class: OpClass, n: u64) {
+        self.counts[class.index()] += n;
+    }
+
+    /// Counter for one class.
+    pub fn get(&self, class: OpClass) -> u64 {
+        self.counts[class.index()]
+    }
+
+    /// Total operations across all classes.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Add another meter's counts into this one.
+    pub fn merge(&mut self, other: &CostMeter) {
+        for i in 0..self.counts.len() {
+            self.counts[i] += other.counts[i];
+        }
+    }
+
+    /// Reset every counter to zero.
+    pub fn reset(&mut self) {
+        self.counts = [0; 5];
+    }
+}
+
+impl fmt::Display for CostMeter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for class in OpClass::ALL {
+            if !first {
+                write!(f, " ")?;
+            }
+            first = false;
+            write!(f, "{}={}", class.label(), self.get(class))?;
+        }
+        Ok(())
+    }
+}
+
+/// Live memory footprint of a protocol data structure, in bytes.
+///
+/// Implementations report what a real embedded implementation would hold in
+/// RAM: element counts times element sizes plus fixed state. (Allocator
+/// overhead is deliberately excluded — it is the same for both protocols
+/// under comparison.)
+pub trait StateSize {
+    /// Current number of bytes of state held.
+    fn state_bytes(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_and_get() {
+        let mut m = CostMeter::new();
+        m.tick(OpClass::Compare, 3);
+        m.tick(OpClass::Alloc, 1);
+        m.tick(OpClass::Compare, 2);
+        assert_eq!(m.get(OpClass::Compare), 5);
+        assert_eq!(m.get(OpClass::Alloc), 1);
+        assert_eq!(m.get(OpClass::Scan), 0);
+        assert_eq!(m.total(), 6);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = CostMeter::new();
+        a.tick(OpClass::Arith, 10);
+        let mut b = CostMeter::new();
+        b.tick(OpClass::Arith, 5);
+        b.tick(OpClass::Update, 7);
+        a.merge(&b);
+        assert_eq!(a.get(OpClass::Arith), 15);
+        assert_eq!(a.get(OpClass::Update), 7);
+        assert_eq!(b.total(), 12, "merge must not mutate the source");
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut m = CostMeter::new();
+        m.tick(OpClass::Scan, 9);
+        m.reset();
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn display_lists_all_classes() {
+        let mut m = CostMeter::new();
+        m.tick(OpClass::Compare, 1);
+        let s = format!("{m}");
+        assert!(s.contains("cmp=1"));
+        assert!(s.contains("alloc=0"));
+    }
+
+    #[test]
+    fn op_class_indices_unique() {
+        let mut seen = [false; 5];
+        for c in OpClass::ALL {
+            assert!(!seen[c.index()]);
+            seen[c.index()] = true;
+        }
+    }
+}

@@ -1,0 +1,427 @@
+//! A set of `u64` values stored as sorted, disjoint, half-open ranges.
+//!
+//! The workhorse of both SACK endpoints: the receiver's out-of-order set,
+//! the sender's sacked/lost sets. Insertions merge adjacent ranges, so the
+//! memory footprint is proportional to *fragmentation*, not to the number
+//! of sequence numbers — the property that makes SACK state cheap.
+
+use std::fmt;
+
+/// Half-open range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SeqRange {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl SeqRange {
+    /// Construct; panics if `end <= start` in debug builds.
+    pub fn new(start: u64, end: u64) -> Self {
+        debug_assert!(start < end, "empty or inverted range {start}..{end}");
+        SeqRange { start, end }
+    }
+
+    /// Number of sequence numbers covered.
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the range contain `seq`?
+    pub fn contains(&self, seq: u64) -> bool {
+        self.start <= seq && seq < self.end
+    }
+}
+
+impl fmt::Display for SeqRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Sorted, disjoint, coalesced set of ranges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RangeSet {
+    /// Invariant: sorted by `start`; `ranges[i].end < ranges[i+1].start`
+    /// (strictly — adjacent ranges are merged).
+    ranges: Vec<SeqRange>,
+}
+
+impl RangeSet {
+    pub fn new() -> Self {
+        RangeSet { ranges: Vec::new() }
+    }
+
+    /// Number of stored ranges (fragmentation measure).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total sequence numbers covered.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Is `seq` in the set?
+    pub fn contains(&self, seq: u64) -> bool {
+        match self.ranges.binary_search_by(|r| {
+            if seq < r.start {
+                std::cmp::Ordering::Greater
+            } else if seq >= r.end {
+                std::cmp::Ordering::Less
+            } else {
+                std::cmp::Ordering::Equal
+            }
+        }) {
+            Ok(_) => true,
+            Err(_) => false,
+        }
+    }
+
+    /// Insert a single value. Returns true if it was newly added.
+    pub fn insert(&mut self, seq: u64) -> bool {
+        self.insert_range(SeqRange::new(seq, seq + 1)) > 0
+    }
+
+    /// Insert a range; returns how many values were newly added.
+    pub fn insert_range(&mut self, r: SeqRange) -> u64 {
+        // Fast paths for the dominant streaming pattern: sequences arriving
+        // in order above the highest stored range (extend or append at the
+        // tail) are O(1) instead of two binary searches plus a splice.
+        match self.ranges.last_mut() {
+            None => {
+                self.ranges.push(r);
+                return r.len();
+            }
+            Some(last) if r.start == last.end => {
+                last.end = r.end.max(last.end);
+                return r.len();
+            }
+            Some(last) if r.start > last.end => {
+                self.ranges.push(r);
+                return r.len();
+            }
+            _ => {}
+        }
+        // Find the window of existing ranges overlapping or adjacent to r.
+        let start_idx = self
+            .ranges
+            .partition_point(|x| x.end < r.start);
+        let end_idx = self.ranges.partition_point(|x| x.start <= r.end);
+        if start_idx == end_idx {
+            // No overlap/adjacency: plain insert.
+            self.ranges.insert(start_idx, r);
+            return r.len();
+        }
+        let merged_start = self.ranges[start_idx].start.min(r.start);
+        let merged_end = self.ranges[end_idx - 1].end.max(r.end);
+        let existing: u64 = self.ranges[start_idx..end_idx]
+            .iter()
+            .map(|x| x.len())
+            .sum();
+        self.ranges
+            .splice(start_idx..end_idx, [SeqRange::new(merged_start, merged_end)]);
+        (merged_end - merged_start) - existing
+    }
+
+    /// Remove a single value. Returns true if it was present.
+    pub fn remove(&mut self, seq: u64) -> bool {
+        let Some(idx) = self.ranges.iter().position(|r| r.contains(seq)) else {
+            return false;
+        };
+        let r = self.ranges[idx];
+        match (seq == r.start, seq + 1 == r.end) {
+            (true, true) => {
+                self.ranges.remove(idx);
+            }
+            (true, false) => self.ranges[idx] = SeqRange::new(seq + 1, r.end),
+            (false, true) => self.ranges[idx] = SeqRange::new(r.start, seq),
+            (false, false) => {
+                self.ranges[idx] = SeqRange::new(r.start, seq);
+                self.ranges.insert(idx + 1, SeqRange::new(seq + 1, r.end));
+            }
+        }
+        true
+    }
+
+    /// Remove every value in `[r.start, r.end)`. Returns how many values
+    /// were actually removed.
+    pub fn remove_range(&mut self, r: SeqRange) -> u64 {
+        let mut removed = 0;
+        let mut out: Vec<SeqRange> = Vec::with_capacity(self.ranges.len() + 1);
+        for &x in &self.ranges {
+            if x.end <= r.start || x.start >= r.end {
+                out.push(x);
+                continue;
+            }
+            // Overlap: keep the parts outside [r.start, r.end).
+            let overlap = x.end.min(r.end) - x.start.max(r.start);
+            removed += overlap;
+            if x.start < r.start {
+                out.push(SeqRange::new(x.start, r.start));
+            }
+            if x.end > r.end {
+                out.push(SeqRange::new(r.end, x.end));
+            }
+        }
+        self.ranges = out;
+        removed
+    }
+
+    /// Drop every value `< cutoff` (e.g. when the cumulative ack advances).
+    pub fn remove_below(&mut self, cutoff: u64) {
+        self.ranges.retain_mut(|r| {
+            if r.end <= cutoff {
+                false
+            } else {
+                if r.start < cutoff {
+                    r.start = cutoff;
+                }
+                true
+            }
+        });
+    }
+
+    /// First (lowest) value, if any.
+    pub fn first(&self) -> Option<u64> {
+        self.ranges.first().map(|r| r.start)
+    }
+
+    /// One past the highest value, if any.
+    pub fn max_end(&self) -> Option<u64> {
+        self.ranges.last().map(|r| r.end)
+    }
+
+    /// Iterate stored ranges in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = SeqRange> + '_ {
+        self.ranges.iter().copied()
+    }
+
+    /// Number of stored values strictly greater than `seq`.
+    pub fn count_above(&self, seq: u64) -> u64 {
+        let mut n = 0;
+        for r in self.ranges.iter().rev() {
+            if r.end <= seq + 1 {
+                break;
+            }
+            let lo = r.start.max(seq + 1);
+            n += r.end - lo;
+        }
+        n
+    }
+
+    /// The gaps between stored ranges within `[lo, hi)` — i.e. values in
+    /// `[lo, hi)` that are *not* in the set, as maximal ranges.
+    pub fn holes_within(&self, lo: u64, hi: u64) -> Vec<SeqRange> {
+        let mut holes = Vec::new();
+        let mut cursor = lo;
+        for r in &self.ranges {
+            if r.end <= lo {
+                continue;
+            }
+            if r.start >= hi {
+                break;
+            }
+            if r.start > cursor {
+                holes.push(SeqRange::new(cursor, r.start.min(hi)));
+            }
+            cursor = cursor.max(r.end);
+            if cursor >= hi {
+                break;
+            }
+        }
+        if cursor < hi {
+            holes.push(SeqRange::new(cursor, hi));
+        }
+        holes
+    }
+
+    /// Debug invariant check (used by property tests).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for w in self.ranges.windows(2) {
+            if w[0].end >= w[1].start {
+                return Err(format!("ranges not disjoint/coalesced: {} then {}", w[0], w[1]));
+            }
+        }
+        for r in &self.ranges {
+            if r.start >= r.end {
+                return Err(format!("degenerate range {r}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Approximate live memory of the structure (for state accounting).
+    pub fn state_bytes(&self) -> usize {
+        self.ranges.len() * std::mem::size_of::<SeqRange>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ranges: &[(u64, u64)]) -> RangeSet {
+        let mut s = RangeSet::new();
+        for &(a, b) in ranges {
+            s.insert_range(SeqRange::new(a, b));
+        }
+        s.check_invariants().unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_single_values() {
+        let mut s = RangeSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5), "duplicate");
+        assert!(s.insert(7));
+        assert!(s.contains(5));
+        assert!(!s.contains(6));
+        assert!(s.contains(7));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.range_count(), 2);
+    }
+
+    #[test]
+    fn adjacent_inserts_coalesce() {
+        let mut s = RangeSet::new();
+        s.insert(1);
+        s.insert(2);
+        s.insert(3);
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 3);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn bridging_insert_merges_ranges() {
+        let mut s = set(&[(0, 2), (4, 6)]);
+        assert_eq!(s.range_count(), 2);
+        let added = s.insert_range(SeqRange::new(2, 4));
+        assert_eq!(added, 2);
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.len(), 6);
+    }
+
+    #[test]
+    fn overlapping_insert_counts_only_new() {
+        let mut s = set(&[(0, 5)]);
+        let added = s.insert_range(SeqRange::new(3, 8));
+        assert_eq!(added, 3);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.range_count(), 1);
+    }
+
+    #[test]
+    fn containment_binary_search() {
+        let s = set(&[(10, 20), (30, 40), (50, 60)]);
+        for seq in [10, 19, 30, 39, 50, 59] {
+            assert!(s.contains(seq), "{seq}");
+        }
+        for seq in [0, 9, 20, 29, 40, 49, 60, 100] {
+            assert!(!s.contains(seq), "{seq}");
+        }
+    }
+
+    #[test]
+    fn remove_splits_ranges() {
+        let mut s = set(&[(0, 5)]);
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(s.range_count(), 2);
+        assert_eq!(s.len(), 4);
+        assert!(!s.contains(2));
+        s.check_invariants().unwrap();
+        // Removing at the edges shrinks rather than splits.
+        assert!(s.remove(0));
+        assert!(s.remove(4));
+        assert_eq!(s.len(), 2);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn remove_below_trims_and_drops() {
+        let mut s = set(&[(0, 5), (10, 15), (20, 25)]);
+        s.remove_below(12);
+        assert_eq!(s.len(), 8); // 12..15 + 20..25
+        assert!(!s.contains(11));
+        assert!(s.contains(12));
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn count_above_counts_strictly_greater() {
+        let s = set(&[(0, 3), (10, 13)]);
+        assert_eq!(s.count_above(0), 5); // 1,2,10,11,12
+        assert_eq!(s.count_above(5), 3);
+        assert_eq!(s.count_above(12), 0);
+        assert_eq!(s.count_above(100), 0);
+    }
+
+    #[test]
+    fn holes_within_finds_gaps() {
+        let s = set(&[(2, 4), (6, 8)]);
+        let holes = s.holes_within(0, 10);
+        assert_eq!(
+            holes,
+            vec![
+                SeqRange::new(0, 2),
+                SeqRange::new(4, 6),
+                SeqRange::new(8, 10)
+            ]
+        );
+        // Window entirely inside a stored range has no holes.
+        assert!(s.holes_within(2, 4).is_empty());
+        // Window past everything is all hole.
+        assert_eq!(s.holes_within(20, 22), vec![SeqRange::new(20, 22)]);
+    }
+
+    #[test]
+    fn remove_range_carves_and_counts() {
+        let mut s = set(&[(0, 10), (20, 30)]);
+        let removed = s.remove_range(SeqRange::new(5, 25));
+        assert_eq!(removed, 10); // 5..10 and 20..25
+        assert_eq!(s.len(), 10);
+        assert!(s.contains(4) && !s.contains(5));
+        assert!(!s.contains(24) && s.contains(25));
+        s.check_invariants().unwrap();
+        // Removing a region with no overlap is a no-op.
+        assert_eq!(s.remove_range(SeqRange::new(100, 200)), 0);
+    }
+
+    #[test]
+    fn remove_range_middle_splits() {
+        let mut s = set(&[(0, 10)]);
+        assert_eq!(s.remove_range(SeqRange::new(3, 7)), 4);
+        assert_eq!(s.range_count(), 2);
+        assert_eq!(s.len(), 6);
+        s.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn first_and_max_end() {
+        let s = set(&[(5, 7), (9, 12)]);
+        assert_eq!(s.first(), Some(5));
+        assert_eq!(s.max_end(), Some(12));
+        assert_eq!(RangeSet::new().first(), None);
+    }
+
+    #[test]
+    fn seq_range_accessors() {
+        let r = SeqRange::new(3, 7);
+        assert_eq!(r.len(), 4);
+        assert!(r.contains(3) && r.contains(6));
+        assert!(!r.contains(7));
+        assert_eq!(format!("{r}"), "[3, 7)");
+    }
+}

@@ -1,0 +1,353 @@
+//! The receiver side of selective acknowledgment: reassembly and SACK
+//! block generation (RFC 2018 semantics).
+//!
+//! The receiver tracks a cumulative ack point (`cum_ack` = next expected
+//! sequence) plus the set of out-of-order sequences. From these it builds
+//! SACK blocks to report upstream, **most recently changed first** and
+//! bounded in number, exactly as RFC 2018 §4 prescribes (TCP fits 3–4
+//! blocks in its option space; QTP's wire format carries up to
+//! [`MAX_SACK_BLOCKS`]).
+//!
+//! This tiny structure is the *entire* per-packet state of a QTPlight
+//! receiver, which is the point of the paper's §3: compare its meter and
+//! [`ReceiverBuffer::state_bytes`] against the RFC 3448 receiver's.
+
+use qtp_metrics::{CostMeter, OpClass, StateSize};
+
+use crate::ranges::{RangeSet, SeqRange};
+
+/// Largest number of SACK blocks ever reported in one feedback packet.
+pub const MAX_SACK_BLOCKS: usize = 4;
+
+/// What happened when a data packet arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrival {
+    /// Sequence was already received (or below the cumulative ack).
+    Duplicate,
+    /// New sequence; `delivered` sequences became deliverable in order
+    /// (0 if the packet left a gap outstanding).
+    New { delivered: u64 },
+}
+
+/// Receiver-side reassembly state.
+#[derive(Debug, Clone)]
+pub struct ReceiverBuffer {
+    /// Next expected in-order sequence; everything below is delivered.
+    cum_ack: u64,
+    /// Received out-of-order sequences (all `>= cum_ack`).
+    ooo: RangeSet,
+    /// Recently changed received blocks, most recent first (for RFC 2018's
+    /// ordering rule). Entries may be stale; they are re-validated against
+    /// `ooo` when blocks are generated.
+    recent: Vec<SeqRange>,
+    /// Total sequences delivered in order to the application.
+    delivered_total: u64,
+    /// Sequences skipped by sender `FWD` instructions (expired ADUs under
+    /// partial reliability) — counted separately from deliveries.
+    skipped_total: u64,
+    /// Per-packet processing cost (the QTPlight receiver's entire load).
+    pub meter: CostMeter,
+}
+
+impl ReceiverBuffer {
+    pub fn new() -> Self {
+        ReceiverBuffer {
+            cum_ack: 0,
+            ooo: RangeSet::new(),
+            recent: Vec::new(),
+            delivered_total: 0,
+            skipped_total: 0,
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Next expected sequence (the cumulative ack to report).
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Sequences delivered in order so far.
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Sequences skipped under partial reliability.
+    pub fn skipped_total(&self) -> u64 {
+        self.skipped_total
+    }
+
+    /// Out-of-order sequences currently buffered.
+    pub fn buffered(&self) -> u64 {
+        self.ooo.len()
+    }
+
+    /// Process an arriving sequence number.
+    pub fn on_packet(&mut self, seq: u64) -> Arrival {
+        self.meter.tick(OpClass::Compare, 1);
+        if seq < self.cum_ack || self.ooo.contains(seq) {
+            return Arrival::Duplicate;
+        }
+        if seq == self.cum_ack {
+            // In-order: advance through any buffered run.
+            self.cum_ack += 1;
+            let mut delivered = 1;
+            if let Some(first) = self.ooo.first() {
+                self.meter.tick(OpClass::Compare, 1);
+                if first == self.cum_ack {
+                    // The buffered run starting here becomes deliverable.
+                    let run_end = self
+                        .ooo
+                        .iter()
+                        .next()
+                        .map(|r| r.end)
+                        .unwrap_or(self.cum_ack);
+                    delivered += run_end - self.cum_ack;
+                    self.cum_ack = run_end;
+                    self.ooo.remove_below(run_end);
+                    self.meter.tick(OpClass::Update, 2);
+                }
+            }
+            self.delivered_total += delivered;
+            self.meter.tick(OpClass::Update, 2);
+            // No `note_recent`: an in-order arrival creates no SACK block
+            // (anything it merged with was delivered and vanished), so the
+            // common case costs nothing beyond the counter updates.
+            return Arrival::New { delivered };
+        }
+        // Out of order: buffer it.
+        self.ooo.insert(seq);
+        self.meter.tick(OpClass::Alloc, 1);
+        self.note_recent(SeqRange::new(seq, seq + 1));
+        Arrival::New { delivered: 0 }
+    }
+
+    /// Sender instruction to skip everything below `new_cum` (partial
+    /// reliability FWD, like PR-SCTP's FORWARD-TSN). Buffered sequences in
+    /// the skipped region still count as delivered data.
+    pub fn on_forward(&mut self, new_cum: u64) {
+        self.meter.tick(OpClass::Compare, 1);
+        if new_cum <= self.cum_ack {
+            return;
+        }
+        // Buffered sequences inside the skipped window were real arrivals.
+        let buffered_inside: u64 = self
+            .ooo
+            .iter()
+            .take_while(|r| r.start < new_cum)
+            .map(|r| r.end.min(new_cum) - r.start)
+            .sum();
+        self.skipped_total += (new_cum - self.cum_ack) - buffered_inside;
+        self.delivered_total += buffered_inside;
+        self.cum_ack = new_cum;
+        self.ooo.remove_below(new_cum);
+        self.meter.tick(OpClass::Update, 3);
+        // The jump may make a buffered run contiguous with the new cum.
+        if let Some(first) = self.ooo.first() {
+            if first == self.cum_ack {
+                let run_end = self.ooo.iter().next().map(|r| r.end).unwrap();
+                self.delivered_total += run_end - self.cum_ack;
+                self.cum_ack = run_end;
+                self.ooo.remove_below(run_end);
+                self.meter.tick(OpClass::Update, 2);
+            }
+        }
+    }
+
+    /// Record that a block changed recently (for block ordering).
+    fn note_recent(&mut self, r: SeqRange) {
+        self.recent.retain(|x| x.start != r.start || x.end != r.end);
+        self.recent.insert(0, r);
+        self.recent.truncate(2 * MAX_SACK_BLOCKS);
+        self.meter.tick(OpClass::Update, 1);
+    }
+
+    /// Build up to `max` SACK blocks: the out-of-order ranges, most
+    /// recently changed first (RFC 2018 §4's "most recently reported
+    /// first" rule), deduplicated, each a maximal contiguous range.
+    pub fn sack_blocks(&mut self, max: usize) -> Vec<SeqRange> {
+        let mut blocks: Vec<SeqRange> = Vec::with_capacity(max);
+        // Current maximal ranges above the cumulative ack.
+        let live: Vec<SeqRange> = self.ooo.iter().collect();
+        self.meter.tick(OpClass::Scan, live.len() as u64);
+        // Most-recent hints first: map each hint to the live range
+        // containing it (hints may be stale after merges).
+        for hint in &self.recent {
+            if blocks.len() >= max {
+                break;
+            }
+            if let Some(r) = live.iter().find(|r| r.start <= hint.start && hint.start < r.end)
+            {
+                if !blocks.contains(r) {
+                    blocks.push(*r);
+                }
+            }
+        }
+        // Fill remaining slots with any uncovered live ranges (ascending).
+        for r in &live {
+            if blocks.len() >= max {
+                break;
+            }
+            if !blocks.contains(r) {
+                blocks.push(*r);
+            }
+        }
+        blocks
+    }
+}
+
+impl Default for ReceiverBuffer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateSize for ReceiverBuffer {
+    fn state_bytes(&self) -> usize {
+        self.ooo.state_bytes()
+            + self.recent.len() * std::mem::size_of::<SeqRange>()
+            + 3 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_delivery() {
+        let mut b = ReceiverBuffer::new();
+        for seq in 0..5 {
+            assert_eq!(b.on_packet(seq), Arrival::New { delivered: 1 });
+        }
+        assert_eq!(b.cum_ack(), 5);
+        assert_eq!(b.delivered_total(), 5);
+        assert_eq!(b.buffered(), 0);
+        assert!(b.sack_blocks(4).is_empty());
+    }
+
+    #[test]
+    fn gap_buffers_then_flushes() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        assert_eq!(b.on_packet(2), Arrival::New { delivered: 0 });
+        assert_eq!(b.on_packet(3), Arrival::New { delivered: 0 });
+        assert_eq!(b.buffered(), 2);
+        // The missing packet flushes the whole run.
+        assert_eq!(b.on_packet(1), Arrival::New { delivered: 3 });
+        assert_eq!(b.cum_ack(), 4);
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_detected_everywhere() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        b.on_packet(2);
+        assert_eq!(b.on_packet(0), Arrival::Duplicate, "below cum_ack");
+        assert_eq!(b.on_packet(2), Arrival::Duplicate, "buffered");
+    }
+
+    #[test]
+    fn sack_blocks_report_ooo_ranges() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        b.on_packet(2);
+        b.on_packet(3);
+        b.on_packet(6);
+        let blocks = b.sack_blocks(4);
+        assert_eq!(blocks.len(), 2);
+        assert!(blocks.contains(&SeqRange::new(2, 4)));
+        assert!(blocks.contains(&SeqRange::new(6, 7)));
+    }
+
+    #[test]
+    fn most_recent_block_first() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        b.on_packet(5); // older block
+        b.on_packet(10); // newer block
+        let blocks = b.sack_blocks(4);
+        assert_eq!(blocks[0], SeqRange::new(10, 11), "most recent first");
+        assert_eq!(blocks[1], SeqRange::new(5, 6));
+        // Touching the old block promotes it.
+        b.on_packet(6);
+        let blocks = b.sack_blocks(4);
+        assert_eq!(blocks[0], SeqRange::new(5, 7));
+    }
+
+    #[test]
+    fn block_count_is_bounded() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        for k in 1..20 {
+            b.on_packet(k * 2); // 19 isolated blocks
+        }
+        assert_eq!(b.sack_blocks(4).len(), 4);
+        assert_eq!(b.sack_blocks(MAX_SACK_BLOCKS).len(), MAX_SACK_BLOCKS);
+    }
+
+    #[test]
+    fn forward_skips_missing_data() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        b.on_packet(3); // 1, 2 missing
+        b.on_forward(3);
+        assert_eq!(b.cum_ack(), 4, "jump merges with the buffered 3");
+        assert_eq!(b.skipped_total(), 2);
+        assert_eq!(b.delivered_total(), 2, "0 and 3 were real arrivals");
+    }
+
+    #[test]
+    fn forward_backwards_is_ignored() {
+        let mut b = ReceiverBuffer::new();
+        for seq in 0..5 {
+            b.on_packet(seq);
+        }
+        b.on_forward(2);
+        assert_eq!(b.cum_ack(), 5);
+        assert_eq!(b.skipped_total(), 0);
+    }
+
+    #[test]
+    fn forward_counts_buffered_as_delivered() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(2);
+        b.on_packet(4);
+        b.on_forward(5); // skips 0,1,3; 2 and 4 arrived
+        assert_eq!(b.cum_ack(), 5);
+        assert_eq!(b.skipped_total(), 3);
+        assert_eq!(b.delivered_total(), 2);
+        assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn per_packet_cost_is_constant_scale() {
+        // The QTPlight receiver premise: cost per packet must not grow with
+        // stream length (no history structure).
+        let mut b = ReceiverBuffer::new();
+        for seq in 0..100 {
+            b.on_packet(seq);
+        }
+        let after_100 = b.meter.total();
+        for seq in 100..10_000 {
+            b.on_packet(seq);
+        }
+        let per_pkt_early = after_100 as f64 / 100.0;
+        let per_pkt_late = (b.meter.total() - after_100) as f64 / 9_900.0;
+        assert!(
+            (per_pkt_late / per_pkt_early) < 1.5,
+            "in-order cost must be flat: early={per_pkt_early}, late={per_pkt_late}"
+        );
+    }
+
+    #[test]
+    fn state_bytes_tracks_fragmentation() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        let tidy = b.state_bytes();
+        for k in 1..10 {
+            b.on_packet(k * 2);
+        }
+        assert!(b.state_bytes() > tidy);
+    }
+}

@@ -1,0 +1,409 @@
+//! The sender side of selective acknowledgment: the scoreboard.
+//!
+//! Tracks, for every transmitted-but-unacknowledged sequence, whether it
+//! has been selectively acknowledged, declared lost, or is still in flight.
+//! Loss declaration follows the SACK-based rule TCP uses (RFC 6675's
+//! `DupThresh`): an unacknowledged sequence is lost once **three or more**
+//! sequences above it have been SACKed.
+//!
+//! The scoreboard also retains per-sequence **send timestamps** — that is
+//! what lets a QTPlight sender group newly-declared losses into TFRC loss
+//! events by send time without any receiver help (paper §3), and it powers
+//! retransmission-time RTT bookkeeping.
+
+use qtp_metrics::{CostMeter, OpClass, StateSize};
+use qtp_simnet::time::SimTime;
+use std::collections::BTreeMap;
+
+use crate::ranges::{RangeSet, SeqRange};
+
+/// SACKed-sequences-above threshold for loss declaration (RFC 6675).
+pub const DUP_THRESH: u64 = 3;
+
+/// Outcome digest of one feedback packet applied to the scoreboard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SackDigest {
+    /// Sequences newly acknowledged cumulatively (below the new cum ack).
+    pub newly_cum_acked: u64,
+    /// Sequences newly covered by SACK blocks.
+    pub newly_sacked: u64,
+    /// Sequences newly declared lost by the DupThresh rule, with their
+    /// original send timestamps (ascending sequence order).
+    pub newly_lost: Vec<(u64, SimTime)>,
+}
+
+/// Sender-side SACK scoreboard.
+#[derive(Debug, Clone)]
+pub struct Scoreboard {
+    /// Next sequence never yet sent.
+    next_seq: u64,
+    /// Everything below is cumulatively acknowledged.
+    cum_ack: u64,
+    /// SACKed sequences in `[cum_ack, next_seq)`.
+    sacked: RangeSet,
+    /// Sequences declared lost and not yet retransmitted.
+    lost_pending: RangeSet,
+    /// Sequences ever declared lost (so they are not re-declared).
+    ever_lost: RangeSet,
+    /// Send timestamp of each in-flight sequence (pruned on cum ack).
+    /// Retransmissions overwrite the timestamp.
+    send_times: BTreeMap<u64, SimTime>,
+    /// Retransmission count per sequence (absent = 0). Pruned on cum ack.
+    retx_counts: BTreeMap<u64, u32>,
+    /// Cost accounting (sender side of the E5 ledger).
+    pub meter: CostMeter,
+}
+
+impl Scoreboard {
+    pub fn new() -> Self {
+        Scoreboard {
+            next_seq: 0,
+            cum_ack: 0,
+            sacked: RangeSet::new(),
+            lost_pending: RangeSet::new(),
+            ever_lost: RangeSet::new(),
+            send_times: BTreeMap::new(),
+            retx_counts: BTreeMap::new(),
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Allocate the next fresh sequence number and record its transmission.
+    pub fn register_send(&mut self, now: SimTime) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.send_times.insert(seq, now);
+        self.meter.tick(OpClass::Alloc, 1);
+        seq
+    }
+
+    /// Record a retransmission of `seq` (must be below `next_seq`).
+    pub fn register_retransmit(&mut self, seq: u64, now: SimTime) {
+        debug_assert!(seq < self.next_seq, "retransmit of unsent seq {seq}");
+        self.send_times.insert(seq, now);
+        *self.retx_counts.entry(seq).or_insert(0) += 1;
+        self.lost_pending.remove(seq);
+        self.meter.tick(OpClass::Update, 2);
+    }
+
+    /// Times `seq` has been retransmitted.
+    pub fn retx_count(&self, seq: u64) -> u32 {
+        self.retx_counts.get(&seq).copied().unwrap_or(0)
+    }
+
+    /// Next sequence that has never been sent.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Cumulative ack point.
+    pub fn cum_ack(&self) -> u64 {
+        self.cum_ack
+    }
+
+    /// Sequences sent but neither cum-acked nor SACKed nor pending-lost.
+    pub fn in_flight(&self) -> u64 {
+        (self.next_seq - self.cum_ack) - self.sacked.len() - self.lost_pending.len()
+    }
+
+    /// Is everything sent also acknowledged (cumulatively)?
+    pub fn all_acked(&self) -> bool {
+        self.cum_ack == self.next_seq
+    }
+
+    /// Lost sequences awaiting retransmission, ascending.
+    pub fn lost_pending(&self) -> impl Iterator<Item = SeqRange> + '_ {
+        self.lost_pending.iter()
+    }
+
+    /// Pop the lowest lost sequence for retransmission, if any.
+    pub fn next_lost(&self) -> Option<u64> {
+        self.lost_pending.first()
+    }
+
+    /// Remove a sequence from the lost set *without* retransmitting it
+    /// (partial reliability decided to abandon it).
+    pub fn abandon(&mut self, seq: u64) -> bool {
+        self.meter.tick(OpClass::Update, 1);
+        self.lost_pending.remove(seq)
+    }
+
+    /// Apply one feedback packet: new cumulative ack plus SACK blocks.
+    pub fn on_feedback(
+        &mut self,
+        cum_ack: u64,
+        blocks: &[SeqRange],
+    ) -> SackDigest {
+        let mut digest = SackDigest::default();
+        self.meter.tick(OpClass::Compare, 1 + blocks.len() as u64);
+
+        // 1. Advance the cumulative ack.
+        if cum_ack > self.cum_ack {
+            digest.newly_cum_acked = cum_ack - self.cum_ack;
+            self.cum_ack = cum_ack;
+            self.sacked.remove_below(cum_ack);
+            self.lost_pending.remove_below(cum_ack);
+            self.ever_lost.remove_below(cum_ack);
+            // Prune timestamp / retx maps.
+            self.send_times = self.send_times.split_off(&cum_ack);
+            self.retx_counts = self.retx_counts.split_off(&cum_ack);
+            self.meter.tick(OpClass::Update, 5);
+        }
+
+        // 2. Record SACK blocks.
+        for b in blocks {
+            if b.end <= self.cum_ack {
+                continue;
+            }
+            let clipped = SeqRange::new(b.start.max(self.cum_ack), b.end);
+            let added = self.sacked.insert_range(clipped);
+            digest.newly_sacked += added;
+            // A sacked sequence is no longer lost-pending.
+            self.meter.tick(OpClass::Update, 1);
+        }
+        // SACKed sequences cannot be pending retransmission.
+        for b in blocks {
+            if b.end <= self.cum_ack {
+                continue;
+            }
+            let clipped = SeqRange::new(b.start.max(self.cum_ack), b.end);
+            self.lost_pending.remove_range(clipped);
+            self.meter.tick(OpClass::Update, 1);
+        }
+
+        // 3. Loss declaration: holes with >= DUP_THRESH sacked above.
+        if let Some(highest_sacked_end) = self.sacked.max_end() {
+            let holes = self
+                .sacked
+                .holes_within(self.cum_ack, highest_sacked_end);
+            self.meter.tick(OpClass::Scan, holes.len() as u64);
+            for hole in holes {
+                for seq in hole.start..hole.end {
+                    self.meter.tick(OpClass::Compare, 1);
+                    if self.ever_lost.contains(seq) {
+                        continue;
+                    }
+                    if self.sacked.count_above(seq) >= DUP_THRESH {
+                        self.ever_lost.insert(seq);
+                        self.lost_pending.insert(seq);
+                        let ts = self
+                            .send_times
+                            .get(&seq)
+                            .copied()
+                            .unwrap_or(SimTime::ZERO);
+                        digest.newly_lost.push((seq, ts));
+                        self.meter.tick(OpClass::Alloc, 2);
+                    }
+                }
+            }
+        }
+        digest.newly_lost.sort_by_key(|(s, _)| *s);
+        digest
+    }
+
+    /// Declare a range lost without SACK evidence (endpoint timeout fallback
+    /// for tail losses). Sacked sequences and sequences already pending
+    /// retransmission are skipped — but sequences whose earlier
+    /// *retransmission* is presumed lost are re-marked (unlike the SACK
+    /// path, a timeout invalidates every in-flight copy). Returns the
+    /// sequences actually declared, with their latest send times.
+    pub fn force_mark_lost(&mut self, range: SeqRange) -> Vec<(u64, SimTime)> {
+        let mut declared = Vec::new();
+        for seq in range.start.max(self.cum_ack)..range.end.min(self.next_seq) {
+            self.meter.tick(OpClass::Compare, 1);
+            if self.sacked.contains(seq) || self.lost_pending.contains(seq) {
+                continue;
+            }
+            self.ever_lost.insert(seq);
+            self.lost_pending.insert(seq);
+            let ts = self.send_times.get(&seq).copied().unwrap_or(SimTime::ZERO);
+            declared.push((seq, ts));
+            self.meter.tick(OpClass::Alloc, 2);
+        }
+        declared
+    }
+
+    /// Highest sequence the receiver has demonstrably seen: the cumulative
+    /// ack or the top of the highest SACK block. The sender-side loss
+    /// estimator uses this as its "highest received" bound.
+    pub fn highest_seen(&self) -> u64 {
+        self.sacked.max_end().unwrap_or(0).max(self.cum_ack)
+    }
+
+    /// Oldest outstanding (unsacked, unacked, not pending-lost) sequence's
+    /// send time — drives tail-loss timeouts at the endpoint.
+    pub fn oldest_outstanding_send_time(&self) -> Option<SimTime> {
+        self.send_times
+            .iter()
+            .find(|(seq, _)| !self.sacked.contains(**seq) && !self.lost_pending.contains(**seq))
+            .map(|(_, ts)| *ts)
+    }
+}
+
+impl Default for Scoreboard {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StateSize for Scoreboard {
+    fn state_bytes(&self) -> usize {
+        self.sacked.state_bytes()
+            + self.lost_pending.state_bytes()
+            + self.ever_lost.state_bytes()
+            + self.send_times.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<SimTime>())
+            + self.retx_counts.len() * (std::mem::size_of::<u64>() + std::mem::size_of::<u32>())
+            + 2 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    /// Send n packets at 10 ms spacing.
+    fn sender_with(n: u64) -> Scoreboard {
+        let mut sb = Scoreboard::new();
+        for k in 0..n {
+            let seq = sb.register_send(ts(k * 10));
+            assert_eq!(seq, k);
+        }
+        sb
+    }
+
+    #[test]
+    fn cumulative_ack_advances() {
+        let mut sb = sender_with(10);
+        let d = sb.on_feedback(5, &[]);
+        assert_eq!(d.newly_cum_acked, 5);
+        assert_eq!(sb.cum_ack(), 5);
+        assert_eq!(sb.in_flight(), 5);
+        assert!(d.newly_lost.is_empty());
+        // Regression of the ack point is ignored.
+        let d2 = sb.on_feedback(3, &[]);
+        assert_eq!(d2.newly_cum_acked, 0);
+        assert_eq!(sb.cum_ack(), 5);
+    }
+
+    #[test]
+    fn sack_blocks_counted_once() {
+        let mut sb = sender_with(10);
+        let d1 = sb.on_feedback(2, &[SeqRange::new(4, 6)]);
+        assert_eq!(d1.newly_sacked, 2);
+        let d2 = sb.on_feedback(2, &[SeqRange::new(4, 7)]);
+        assert_eq!(d2.newly_sacked, 1, "only seq 6 is new");
+    }
+
+    #[test]
+    fn dupthresh_loss_declaration() {
+        let mut sb = sender_with(10);
+        // Hole at 2; sacks 3,4 -> only 2 above, not lost yet.
+        let d = sb.on_feedback(2, &[SeqRange::new(3, 5)]);
+        assert!(d.newly_lost.is_empty());
+        // Third sacked above declares it, carrying the original send time.
+        let d = sb.on_feedback(2, &[SeqRange::new(3, 6)]);
+        assert_eq!(d.newly_lost, vec![(2, ts(20))]);
+        assert_eq!(sb.next_lost(), Some(2));
+        // Never re-declared.
+        let d = sb.on_feedback(2, &[SeqRange::new(3, 8)]);
+        assert!(d.newly_lost.is_empty());
+    }
+
+    #[test]
+    fn multi_packet_hole_declared_in_order() {
+        let mut sb = sender_with(12);
+        let d = sb.on_feedback(2, &[SeqRange::new(6, 9)]);
+        let lost: Vec<u64> = d.newly_lost.iter().map(|(s, _)| *s).collect();
+        assert_eq!(lost, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn retransmit_clears_pending_and_counts() {
+        let mut sb = sender_with(10);
+        sb.on_feedback(2, &[SeqRange::new(3, 6)]);
+        assert_eq!(sb.next_lost(), Some(2));
+        sb.register_retransmit(2, ts(200));
+        assert_eq!(sb.next_lost(), None);
+        assert_eq!(sb.retx_count(2), 1);
+        sb.register_retransmit(2, ts(300));
+        assert_eq!(sb.retx_count(2), 2);
+    }
+
+    #[test]
+    fn cum_ack_after_retransmit_completes() {
+        let mut sb = sender_with(6);
+        sb.on_feedback(2, &[SeqRange::new(3, 6)]);
+        sb.register_retransmit(2, ts(100));
+        let d = sb.on_feedback(6, &[]);
+        assert_eq!(d.newly_cum_acked, 4);
+        assert!(sb.all_acked());
+        assert_eq!(sb.in_flight(), 0);
+    }
+
+    #[test]
+    fn abandon_skips_retransmission() {
+        let mut sb = sender_with(10);
+        sb.on_feedback(2, &[SeqRange::new(3, 6)]);
+        assert!(sb.abandon(2));
+        assert_eq!(sb.next_lost(), None);
+        assert!(!sb.abandon(2), "already gone");
+    }
+
+    #[test]
+    fn sacked_seq_cannot_stay_lost_pending() {
+        let mut sb = sender_with(10);
+        sb.on_feedback(0, &[SeqRange::new(3, 6)]);
+        // 0,1,2 declared lost (3 sacked above each).
+        let pending: Vec<u64> = sb.lost_pending().flat_map(|r| r.start..r.end).collect();
+        assert_eq!(pending, vec![0, 1, 2]);
+        // A late SACK for 1 (reordering, not loss) removes it from pending.
+        sb.on_feedback(0, &[SeqRange::new(1, 2)]);
+        let pending: Vec<u64> = sb.lost_pending().flat_map(|r| r.start..r.end).collect();
+        assert_eq!(pending, vec![0, 2]);
+    }
+
+    #[test]
+    fn force_mark_lost_respects_sacked_and_prior() {
+        let mut sb = sender_with(10);
+        sb.on_feedback(0, &[SeqRange::new(4, 5)]);
+        let declared = sb.force_mark_lost(SeqRange::new(0, 8));
+        let seqs: Vec<u64> = declared.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 5, 6, 7], "4 is sacked");
+        // Second call declares nothing new.
+        assert!(sb.force_mark_lost(SeqRange::new(0, 8)).is_empty());
+    }
+
+    #[test]
+    fn in_flight_accounting() {
+        let mut sb = sender_with(10);
+        assert_eq!(sb.in_flight(), 10);
+        sb.on_feedback(3, &[SeqRange::new(5, 7)]);
+        // 10 - 3 cum - 2 sacked - 1 lost(seq 3? no: holes 3..5,7..10; sacked
+        // above seq 3 = {5,6} only 2 -> not lost; seq 4: 2 above -> not lost)
+        assert_eq!(sb.in_flight(), 5);
+    }
+
+    #[test]
+    fn send_times_pruned_by_cum_ack() {
+        let mut sb = sender_with(100);
+        let before = sb.state_bytes();
+        sb.on_feedback(90, &[]);
+        assert!(sb.state_bytes() < before);
+    }
+
+    #[test]
+    fn oldest_outstanding_send_time_tracks_head() {
+        let mut sb = sender_with(5);
+        assert_eq!(sb.oldest_outstanding_send_time(), Some(ts(0)));
+        sb.on_feedback(2, &[]);
+        assert_eq!(sb.oldest_outstanding_send_time(), Some(ts(20)));
+        sb.on_feedback(2, &[SeqRange::new(2, 3)]);
+        assert_eq!(sb.oldest_outstanding_send_time(), Some(ts(30)));
+        sb.on_feedback(5, &[]);
+        assert_eq!(sb.oldest_outstanding_send_time(), None);
+    }
+}

@@ -1,0 +1,157 @@
+//! Simplex links: a queue, a serializer and a propagation pipe.
+//!
+//! A [`Link`] owns its egress queue, an optional per-flow marker bank (the
+//! DiffServ traffic conditioner sits at the entry of an edge link) and a
+//! loss model applied to packets in flight. Timing is orchestrated by the
+//! simulator; the link only holds state.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use crate::loss::LossModel;
+use crate::marker::Marker;
+use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::queue::{AqmQueue, QueueConfig};
+use crate::rng::DetRng;
+use crate::time::Rate;
+
+/// Static description of a simplex link.
+#[derive(Debug, Clone)]
+pub struct LinkConfig {
+    /// Serialization rate.
+    pub rate: Rate,
+    /// One-way propagation delay.
+    pub delay: Duration,
+    /// Egress queue discipline.
+    pub queue: QueueConfig,
+    /// In-flight loss process.
+    pub loss: LossModel,
+}
+
+impl LinkConfig {
+    /// A sensible default: rate + delay with a 100-packet drop-tail queue
+    /// and no transmission loss.
+    pub fn new(rate: Rate, delay: Duration) -> Self {
+        LinkConfig {
+            rate,
+            delay,
+            queue: QueueConfig::DropTailPkts(100),
+            loss: LossModel::None,
+        }
+    }
+
+    /// Replace the queue discipline.
+    pub fn with_queue(mut self, queue: QueueConfig) -> Self {
+        self.queue = queue;
+        self
+    }
+
+    /// Replace the loss model.
+    pub fn with_loss(mut self, loss: LossModel) -> Self {
+        self.loss = loss;
+        self
+    }
+}
+
+/// Runtime state of a simplex link.
+pub struct Link {
+    /// Own id (index into the simulator's link table).
+    pub id: LinkId,
+    /// Upstream node.
+    pub from: NodeId,
+    /// Downstream node.
+    pub to: NodeId,
+    /// Serialization rate.
+    pub rate: Rate,
+    /// Propagation delay.
+    pub delay: Duration,
+    /// Egress queue.
+    pub(crate) queue: AqmQueue,
+    /// Loss process for packets in flight.
+    pub(crate) loss: LossModel,
+    /// Per-flow traffic conditioners applied at enqueue.
+    pub(crate) markers: HashMap<FlowId, Marker>,
+    /// Whether a packet is currently being serialized.
+    pub(crate) transmitting: bool,
+    /// The packet on the wire (being serialized), if any.
+    pub(crate) in_flight: Option<Packet>,
+    /// Private randomness for AQM and loss decisions.
+    pub(crate) rng: DetRng,
+}
+
+impl Link {
+    pub(crate) fn new(id: LinkId, from: NodeId, to: NodeId, cfg: &LinkConfig, seed: u64) -> Self {
+        Link {
+            id,
+            from,
+            to,
+            rate: cfg.rate,
+            delay: cfg.delay,
+            queue: cfg.queue.build(),
+            loss: cfg.loss.clone(),
+            markers: HashMap::new(),
+            transmitting: false,
+            in_flight: None,
+            rng: DetRng::stream(seed, 0x11AC ^ id as u64),
+        }
+    }
+
+    /// Attach a traffic conditioner for one flow at this link's ingress.
+    pub fn set_marker(&mut self, flow: FlowId, marker: Marker) {
+        self.markers.insert(flow, marker);
+    }
+
+    /// Packets currently queued (excluding the one being serialized).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len_pkts()
+    }
+
+    /// Bytes currently queued.
+    pub fn queue_bytes(&self) -> usize {
+        self.queue.len_bytes()
+    }
+}
+
+impl std::fmt::Debug for Link {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Link")
+            .field("id", &self.id)
+            .field("from", &self.from)
+            .field("to", &self.to)
+            .field("rate", &self.rate)
+            .field("delay", &self.delay)
+            .field("queue_len", &self.queue.len_pkts())
+            .field("transmitting", &self.transmitting)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::marker::TokenBucketMarker;
+
+    #[test]
+    fn config_builders() {
+        let cfg = LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(5))
+            .with_queue(QueueConfig::DropTailPkts(7))
+            .with_loss(LossModel::bernoulli(0.1));
+        let link = Link::new(0, 1, 2, &cfg, 42);
+        assert_eq!(link.rate, Rate::from_mbps(10));
+        assert_eq!(link.delay, Duration::from_millis(5));
+        assert_eq!(link.queue_len(), 0);
+        assert!(!link.transmitting);
+    }
+
+    #[test]
+    fn marker_registration() {
+        let cfg = LinkConfig::new(Rate::from_mbps(1), Duration::ZERO);
+        let mut link = Link::new(0, 0, 1, &cfg, 1);
+        link.set_marker(
+            3,
+            Marker::TokenBucket(TokenBucketMarker::new(Rate::from_kbps(500), 3000)),
+        );
+        assert!(link.markers.contains_key(&3));
+        assert!(!link.markers.contains_key(&4));
+    }
+}

@@ -1,0 +1,191 @@
+//! Link loss models: congestion-independent packet erasure.
+//!
+//! These model transmission losses (radio fading, interference) as opposed
+//! to queue drops. They matter for two of the paper's claims: rate-based
+//! congestion control outperforming TCP on lossy wireless paths (§2
+//! motivation, evaluated in experiment E8), and exercising the SACK
+//! reliability machinery.
+
+use crate::rng::DetRng;
+
+/// A packet-erasure process applied to a link.
+#[derive(Debug, Clone)]
+pub enum LossModel {
+    /// No transmission losses.
+    None,
+    /// Independent (Bernoulli) loss with fixed probability.
+    Bernoulli { p: f64 },
+    /// Two-state Gilbert–Elliott bursty loss model.
+    ///
+    /// The channel alternates between a Good and a Bad state with the given
+    /// per-packet transition probabilities; in each state packets are lost
+    /// with the state's own loss probability. With `loss_bad` near 1 this
+    /// produces the clustered losses typical of wireless fading.
+    GilbertElliott {
+        /// P(Good -> Bad) evaluated per packet.
+        p_g2b: f64,
+        /// P(Bad -> Good) evaluated per packet.
+        p_b2g: f64,
+        /// Loss probability while Good (often 0).
+        loss_good: f64,
+        /// Loss probability while Bad (often close to 1).
+        loss_bad: f64,
+        /// Current state; start in Good.
+        #[doc(hidden)]
+        bad: bool,
+    },
+    /// Deterministically lose every `n`-th packet (1-indexed); for tests.
+    Periodic { n: u64, count: u64 },
+}
+
+impl LossModel {
+    /// Bernoulli model helper.
+    pub fn bernoulli(p: f64) -> Self {
+        LossModel::Bernoulli { p }
+    }
+
+    /// Gilbert–Elliott helper starting in the Good state.
+    pub fn gilbert_elliott(p_g2b: f64, p_b2g: f64, loss_good: f64, loss_bad: f64) -> Self {
+        LossModel::GilbertElliott {
+            p_g2b,
+            p_b2g,
+            loss_good,
+            loss_bad,
+            bad: false,
+        }
+    }
+
+    /// Lose every `n`-th packet.
+    pub fn periodic(n: u64) -> Self {
+        assert!(n >= 1);
+        LossModel::Periodic { n, count: 0 }
+    }
+
+    /// Long-run average loss probability of this model (analytic), used by
+    /// experiment harnesses to label sweeps.
+    pub fn steady_state_loss(&self) -> f64 {
+        match self {
+            LossModel::None => 0.0,
+            LossModel::Bernoulli { p } => *p,
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+                ..
+            } => {
+                // Stationary distribution of the two-state chain.
+                let denom = p_g2b + p_b2g;
+                if denom == 0.0 {
+                    return *loss_good;
+                }
+                let pi_bad = p_g2b / denom;
+                pi_bad * loss_bad + (1.0 - pi_bad) * loss_good
+            }
+            LossModel::Periodic { n, .. } => 1.0 / *n as f64,
+        }
+    }
+
+    /// Decide the fate of one packet transmission.
+    pub fn is_lost(&mut self, rng: &mut DetRng) -> bool {
+        match self {
+            LossModel::None => false,
+            LossModel::Bernoulli { p } => rng.chance(*p),
+            LossModel::GilbertElliott {
+                p_g2b,
+                p_b2g,
+                loss_good,
+                loss_bad,
+                bad,
+            } => {
+                let loss_p = if *bad { *loss_bad } else { *loss_good };
+                let lost = rng.chance(loss_p);
+                // State transition after the loss decision.
+                if *bad {
+                    if rng.chance(*p_b2g) {
+                        *bad = false;
+                    }
+                } else if rng.chance(*p_g2b) {
+                    *bad = true;
+                }
+                lost
+            }
+            LossModel::Periodic { n, count } => {
+                *count += 1;
+                *count % *n == 0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_loses() {
+        let mut m = LossModel::None;
+        let mut rng = DetRng::new(1);
+        assert!((0..1000).all(|_| !m.is_lost(&mut rng)));
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_p() {
+        let mut m = LossModel::bernoulli(0.05);
+        let mut rng = DetRng::new(2);
+        let n = 200_000;
+        let lost = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.005, "rate={rate}");
+        assert_eq!(m.steady_state_loss(), 0.05);
+    }
+
+    #[test]
+    fn gilbert_elliott_matches_stationary_loss() {
+        let mut m = LossModel::gilbert_elliott(0.01, 0.2, 0.0, 0.8);
+        let expect = m.steady_state_loss();
+        let mut rng = DetRng::new(3);
+        let n = 400_000;
+        let lost = (0..n).filter(|_| m.is_lost(&mut rng)).count();
+        let rate = lost as f64 / n as f64;
+        assert!(
+            (rate - expect).abs() < 0.01,
+            "rate={rate}, analytic={expect}"
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_losses_are_bursty() {
+        // Compare the conditional probability of a loss following a loss
+        // against the marginal loss rate: burstiness means it is much higher.
+        let mut m = LossModel::gilbert_elliott(0.005, 0.1, 0.0, 0.9);
+        let mut rng = DetRng::new(4);
+        let seq: Vec<bool> = (0..200_000).map(|_| m.is_lost(&mut rng)).collect();
+        let losses = seq.iter().filter(|&&l| l).count() as f64;
+        let marginal = losses / seq.len() as f64;
+        let pairs = seq.windows(2).filter(|w| w[0]).count() as f64;
+        let after_loss = seq.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        let conditional = after_loss / pairs;
+        assert!(
+            conditional > 3.0 * marginal,
+            "conditional={conditional}, marginal={marginal}"
+        );
+    }
+
+    #[test]
+    fn periodic_loses_every_nth() {
+        let mut m = LossModel::periodic(4);
+        let mut rng = DetRng::new(5);
+        let pattern: Vec<bool> = (0..8).map(|_| m.is_lost(&mut rng)).collect();
+        assert_eq!(
+            pattern,
+            vec![false, false, false, true, false, false, false, true]
+        );
+    }
+
+    #[test]
+    fn stationary_loss_degenerate_chain() {
+        let m = LossModel::gilbert_elliott(0.0, 0.0, 0.02, 0.9);
+        assert_eq!(m.steady_state_loss(), 0.02, "never leaves Good");
+    }
+}

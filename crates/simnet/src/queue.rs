@@ -1,0 +1,691 @@
+//! Link egress queues and active queue management.
+//!
+//! Three disciplines are provided:
+//!
+//! * [`DropTailQueue`] — FIFO with a byte or packet limit.
+//! * [`RedQueue`] — Random Early Detection in the classic ns-2 formulation
+//!   (EWMA average queue, count-corrected drop probability, optional
+//!   "gentle" ramp above `max_th`).
+//! * [`RioQueue`] — RED with In/Out (coupled "RIO-C"), the standard core
+//!   queue for DiffServ Assured Forwarding: green (in-profile) packets are
+//!   judged against the *in* average and thresholds, other packets against
+//!   the *total* average with more aggressive thresholds, so congestion
+//!   discards out-of-profile traffic first.
+//!
+//! Queues are deliberately passive: they decide accept/drop at enqueue time
+//! and hand packets back at dequeue time; the link owns serialization timing.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Color, Packet};
+use crate::rng::DetRng;
+use crate::time::SimTime;
+
+/// Why a queue refused a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropReason {
+    /// Hard limit reached (tail drop).
+    QueueFull,
+    /// RED/RIO probabilistic early drop.
+    EarlyDrop,
+    /// RED/RIO forced drop (average beyond hard threshold).
+    ForcedDrop,
+    /// Lost by the link's loss model (never produced by queues; shares the
+    /// enum so statistics can aggregate every loss cause).
+    LinkLoss,
+}
+
+/// Result of an enqueue attempt: the packet comes back on rejection so the
+/// caller can trace it.
+pub type EnqueueResult = Result<(), (Packet, DropReason)>;
+
+/// Configuration for any of the supported queue disciplines.
+#[derive(Debug, Clone)]
+pub enum QueueConfig {
+    /// FIFO limited to a number of packets.
+    DropTailPkts(usize),
+    /// FIFO limited to a number of bytes.
+    DropTailBytes(usize),
+    /// Single-average RED.
+    Red(RedParams),
+    /// Two-average RED with In/Out (DiffServ AF core queue).
+    Rio(RioParams),
+}
+
+impl QueueConfig {
+    /// Instantiate the discipline.
+    pub fn build(&self) -> AqmQueue {
+        match self {
+            QueueConfig::DropTailPkts(n) => AqmQueue::DropTail(DropTailQueue::with_pkt_limit(*n)),
+            QueueConfig::DropTailBytes(b) => {
+                AqmQueue::DropTail(DropTailQueue::with_byte_limit(*b))
+            }
+            QueueConfig::Red(p) => AqmQueue::Red(RedQueue::new(p.clone())),
+            QueueConfig::Rio(p) => AqmQueue::Rio(RioQueue::new(p.clone())),
+        }
+    }
+}
+
+/// A queue discipline instance. Enum dispatch keeps the hot path free of
+/// virtual calls and the set of disciplines is closed by design.
+#[derive(Debug)]
+pub enum AqmQueue {
+    DropTail(DropTailQueue),
+    Red(RedQueue),
+    Rio(RioQueue),
+}
+
+impl AqmQueue {
+    /// Offer a packet to the queue.
+    pub fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+        match self {
+            AqmQueue::DropTail(q) => q.enqueue(pkt),
+            AqmQueue::Red(q) => q.enqueue(now, pkt, rng),
+            AqmQueue::Rio(q) => q.enqueue(now, pkt, rng),
+        }
+    }
+
+    /// Remove the next packet to transmit.
+    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        match self {
+            AqmQueue::DropTail(q) => q.dequeue(),
+            AqmQueue::Red(q) => q.dequeue(now),
+            AqmQueue::Rio(q) => q.dequeue(now),
+        }
+    }
+
+    /// Packets currently queued.
+    pub fn len_pkts(&self) -> usize {
+        match self {
+            AqmQueue::DropTail(q) => q.fifo.len(),
+            AqmQueue::Red(q) => q.fifo.len(),
+            AqmQueue::Rio(q) => q.fifo.len(),
+        }
+    }
+
+    /// Bytes currently queued.
+    pub fn len_bytes(&self) -> usize {
+        match self {
+            AqmQueue::DropTail(q) => q.bytes,
+            AqmQueue::Red(q) => q.bytes,
+            AqmQueue::Rio(q) => q.bytes,
+        }
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len_pkts() == 0
+    }
+}
+
+/// Plain FIFO with a hard limit.
+#[derive(Debug)]
+pub struct DropTailQueue {
+    fifo: VecDeque<Packet>,
+    bytes: usize,
+    limit_pkts: usize,
+    limit_bytes: usize,
+}
+
+impl DropTailQueue {
+    /// FIFO bounded by packet count.
+    pub fn with_pkt_limit(limit: usize) -> Self {
+        DropTailQueue {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            limit_pkts: limit,
+            limit_bytes: usize::MAX,
+        }
+    }
+
+    /// FIFO bounded by byte count.
+    pub fn with_byte_limit(limit: usize) -> Self {
+        DropTailQueue {
+            fifo: VecDeque::new(),
+            bytes: 0,
+            limit_pkts: usize::MAX,
+            limit_bytes: limit,
+        }
+    }
+
+    fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
+        if self.fifo.len() + 1 > self.limit_pkts
+            || self.bytes + pkt.wire_size as usize > self.limit_bytes
+        {
+            return Err((pkt, DropReason::QueueFull));
+        }
+        self.bytes += pkt.wire_size as usize;
+        self.fifo.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.wire_size as usize;
+        Some(pkt)
+    }
+}
+
+/// RED parameters (thresholds in packets, as in ns-2's default mode).
+#[derive(Debug, Clone)]
+pub struct RedParams {
+    /// Average queue length below which no packet is dropped.
+    pub min_th: f64,
+    /// Average queue length above which every packet is dropped (or, with
+    /// `gentle`, the start of the ramp toward certain drop at `2*max_th`).
+    pub max_th: f64,
+    /// Maximum early-drop probability at `max_th`.
+    pub max_p: f64,
+    /// EWMA weight for the average queue size.
+    pub w_q: f64,
+    /// Hard limit in packets (tail drop beyond this).
+    pub limit_pkts: usize,
+    /// Gentle mode: linear ramp `max_p → 1` between `max_th` and `2*max_th`
+    /// instead of a cliff.
+    pub gentle: bool,
+    /// Mean packet transmission time, used to age the average across idle
+    /// periods (ns-2's `ptc` idle compensation).
+    pub mean_pkt_time_s: f64,
+}
+
+impl Default for RedParams {
+    fn default() -> Self {
+        RedParams {
+            min_th: 5.0,
+            max_th: 15.0,
+            max_p: 0.1,
+            w_q: 0.002,
+            limit_pkts: 60,
+            gentle: true,
+            mean_pkt_time_s: 0.001,
+        }
+    }
+}
+
+/// The EWMA/count state RED keeps per managed average.
+#[derive(Debug, Clone)]
+struct RedVar {
+    avg: f64,
+    /// Packets since the last early drop; drives the count correction that
+    /// spaces drops out evenly.
+    count: i64,
+}
+
+impl RedVar {
+    fn new() -> Self {
+        RedVar { avg: 0.0, count: -1 }
+    }
+
+    /// Update the average on packet arrival given the instantaneous queue
+    /// length `q` (in packets).
+    fn update_avg(&mut self, q: f64, w_q: f64, idle: Option<f64>, mean_pkt_time_s: f64) {
+        if let Some(idle_s) = idle {
+            // Queue was idle: decay the average as if `m` small packets had
+            // been transmitted through an empty queue.
+            let m = (idle_s / mean_pkt_time_s).max(0.0);
+            self.avg *= (1.0 - w_q).powf(m);
+        }
+        self.avg = (1.0 - w_q) * self.avg + w_q * q;
+    }
+
+    /// Decide whether to early/force-drop at the current average.
+    fn drop_decision(&mut self, p: &RedParams, rng: &mut DetRng) -> Option<DropReason> {
+        let hard_max = if p.gentle { 2.0 * p.max_th } else { p.max_th };
+        if self.avg < p.min_th {
+            self.count = -1;
+            return None;
+        }
+        if self.avg >= hard_max {
+            self.count = 0;
+            return Some(DropReason::ForcedDrop);
+        }
+        // Base probability p_b.
+        let p_b = if self.avg < p.max_th {
+            p.max_p * (self.avg - p.min_th) / (p.max_th - p.min_th)
+        } else {
+            // gentle region
+            p.max_p + (1.0 - p.max_p) * (self.avg - p.max_th) / p.max_th
+        };
+        self.count += 1;
+        // Count correction: p_a = p_b / (1 - count * p_b).
+        let denom = 1.0 - self.count as f64 * p_b;
+        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        if rng.chance(p_a) {
+            self.count = 0;
+            Some(DropReason::EarlyDrop)
+        } else {
+            None
+        }
+    }
+}
+
+/// Classic single-average RED.
+#[derive(Debug)]
+pub struct RedQueue {
+    params: RedParams,
+    var: RedVar,
+    fifo: VecDeque<Packet>,
+    bytes: usize,
+    /// Time the queue went idle, if currently empty.
+    idle_since: Option<SimTime>,
+}
+
+impl RedQueue {
+    pub fn new(params: RedParams) -> Self {
+        RedQueue {
+            params,
+            var: RedVar::new(),
+            fifo: VecDeque::new(),
+            bytes: 0,
+            idle_since: Some(SimTime::ZERO),
+        }
+    }
+
+    /// Current average queue estimate (exposed for tests and stats).
+    pub fn avg(&self) -> f64 {
+        self.var.avg
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+        let idle = self
+            .idle_since
+            .take()
+            .map(|t| now.saturating_since(t).as_secs_f64());
+        self.var.update_avg(
+            self.fifo.len() as f64,
+            self.params.w_q,
+            idle,
+            self.params.mean_pkt_time_s,
+        );
+        if let Some(reason) = self.var.drop_decision(&self.params, rng) {
+            return Err((pkt, reason));
+        }
+        if self.fifo.len() + 1 > self.params.limit_pkts {
+            return Err((pkt, DropReason::QueueFull));
+        }
+        self.bytes += pkt.wire_size as usize;
+        self.fifo.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.wire_size as usize;
+        if self.fifo.is_empty() {
+            self.idle_since = Some(now);
+        }
+        Some(pkt)
+    }
+}
+
+/// RIO-C parameters: separate RED parameter sets for in-profile (green)
+/// traffic and for the aggregate.
+#[derive(Debug, Clone)]
+pub struct RioParams {
+    /// Thresholds applied to *green* packets against the green-only average.
+    pub in_params: RedParams,
+    /// Thresholds applied to yellow/red packets against the *total* average.
+    /// Conventionally more aggressive (`min_th_out < min_th_in`).
+    pub out_params: RedParams,
+}
+
+impl Default for RioParams {
+    fn default() -> Self {
+        // Clark & Fang style: OUT thresholds below IN so out-of-profile
+        // traffic absorbs the early discards, with moderate max_p so TCP
+        // sees spaced single drops rather than RTO-inducing bursts (the
+        // parameterization the AF assurance studies use).
+        let in_params = RedParams {
+            min_th: 50.0,
+            max_th: 90.0,
+            max_p: 0.02,
+            w_q: 0.002,
+            limit_pkts: 120,
+            gentle: true,
+            mean_pkt_time_s: 0.001,
+        };
+        let out_params = RedParams {
+            min_th: 15.0,
+            max_th: 45.0,
+            max_p: 0.1,
+            w_q: 0.002,
+            limit_pkts: 120,
+            gentle: true,
+            mean_pkt_time_s: 0.001,
+        };
+        RioParams {
+            in_params,
+            out_params,
+        }
+    }
+}
+
+/// RED with In/Out, coupled variant (RIO-C).
+#[derive(Debug)]
+pub struct RioQueue {
+    params: RioParams,
+    in_var: RedVar,
+    total_var: RedVar,
+    fifo: VecDeque<Packet>,
+    bytes: usize,
+    in_pkts: usize,
+    idle_since: Option<SimTime>,
+}
+
+impl RioQueue {
+    pub fn new(params: RioParams) -> Self {
+        RioQueue {
+            params,
+            in_var: RedVar::new(),
+            total_var: RedVar::new(),
+            fifo: VecDeque::new(),
+            bytes: 0,
+            in_pkts: 0,
+            idle_since: Some(SimTime::ZERO),
+        }
+    }
+
+    /// Current (in, total) average queue estimates.
+    pub fn avgs(&self) -> (f64, f64) {
+        (self.in_var.avg, self.total_var.avg)
+    }
+
+    fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+        let idle = self
+            .idle_since
+            .take()
+            .map(|t| now.saturating_since(t).as_secs_f64());
+        let is_in = pkt.color == Color::Green;
+        // The total average always advances; the in average only when an
+        // in-profile packet arrives (Clark & Fang).
+        self.total_var.update_avg(
+            self.fifo.len() as f64,
+            self.params.out_params.w_q,
+            idle,
+            self.params.out_params.mean_pkt_time_s,
+        );
+        if is_in {
+            self.in_var.update_avg(
+                self.in_pkts as f64,
+                self.params.in_params.w_q,
+                idle,
+                self.params.in_params.mean_pkt_time_s,
+            );
+        }
+        let decision = if is_in {
+            self.in_var.drop_decision(&self.params.in_params, rng)
+        } else {
+            self.total_var.drop_decision(&self.params.out_params, rng)
+        };
+        if let Some(reason) = decision {
+            return Err((pkt, reason));
+        }
+        let limit = if is_in {
+            self.params.in_params.limit_pkts
+        } else {
+            self.params.out_params.limit_pkts
+        };
+        if self.fifo.len() + 1 > limit {
+            return Err((pkt, DropReason::QueueFull));
+        }
+        self.bytes += pkt.wire_size as usize;
+        if is_in {
+            self.in_pkts += 1;
+        }
+        self.fifo.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+        let pkt = self.fifo.pop_front()?;
+        self.bytes -= pkt.wire_size as usize;
+        if pkt.color == Color::Green {
+            self.in_pkts -= 1;
+        }
+        if self.fifo.is_empty() {
+            self.idle_since = Some(now);
+        }
+        Some(pkt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    fn pkt(uid: u64, size: u32, color: Color) -> Packet {
+        let mut p = Packet::new(uid, 0, 0, 1, size, SimTime::ZERO, Vec::new());
+        p.color = color;
+        p
+    }
+
+    #[test]
+    fn droptail_respects_pkt_limit() {
+        let mut q = QueueConfig::DropTailPkts(2).build();
+        let mut rng = DetRng::new(1);
+        assert!(q.enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng).is_ok());
+        assert!(q.enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng).is_ok());
+        let err = q
+            .enqueue(SimTime::ZERO, pkt(3, 100, Color::Green), &mut rng)
+            .unwrap_err();
+        assert_eq!(err.1, DropReason::QueueFull);
+        assert_eq!(err.0.uid, 3);
+        assert_eq!(q.len_pkts(), 2);
+    }
+
+    #[test]
+    fn droptail_respects_byte_limit() {
+        let mut q = QueueConfig::DropTailBytes(250).build();
+        let mut rng = DetRng::new(1);
+        assert!(q.enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng).is_ok());
+        assert!(q.enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng).is_ok());
+        assert!(q
+            .enqueue(SimTime::ZERO, pkt(3, 100, Color::Green), &mut rng)
+            .is_err());
+        assert_eq!(q.len_bytes(), 200);
+    }
+
+    #[test]
+    fn droptail_fifo_order() {
+        let mut q = QueueConfig::DropTailPkts(10).build();
+        let mut rng = DetRng::new(1);
+        for i in 0..5 {
+            q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng)
+                .unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn red_no_drops_below_min_threshold() {
+        let params = RedParams {
+            min_th: 100.0,
+            max_th: 200.0,
+            limit_pkts: 1000,
+            ..RedParams::default()
+        };
+        let mut q = RedQueue::new(params);
+        let mut rng = DetRng::new(7);
+        // Instantaneous queue stays far below min_th=100.
+        for i in 0..50 {
+            assert!(q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng).is_ok());
+        }
+    }
+
+    #[test]
+    fn red_forces_drops_at_saturated_average() {
+        // Tiny thresholds and a huge EWMA weight drive avg up immediately.
+        let params = RedParams {
+            min_th: 1.0,
+            max_th: 2.0,
+            max_p: 1.0,
+            w_q: 1.0,
+            limit_pkts: 1000,
+            gentle: false,
+            mean_pkt_time_s: 0.001,
+        };
+        let mut q = RedQueue::new(params);
+        let mut rng = DetRng::new(7);
+        let mut dropped = 0;
+        for i in 0..100 {
+            if q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng).is_err() {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 50, "dropped={dropped}");
+    }
+
+    #[test]
+    fn red_average_decays_when_idle() {
+        let params = RedParams {
+            w_q: 0.5,
+            mean_pkt_time_s: 0.001,
+            limit_pkts: 1000,
+            min_th: 1000.0, // never drop; we only observe the average
+            max_th: 2000.0,
+            ..RedParams::default()
+        };
+        let mut q = RedQueue::new(params);
+        let mut rng = DetRng::new(7);
+        for i in 0..20 {
+            q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng)
+                .unwrap();
+        }
+        let avg_busy = q.avg();
+        assert!(avg_busy > 1.0);
+        // Drain, then come back after one second of idleness.
+        while q.dequeue(SimTime::from_millis(1)).is_some() {}
+        q.enqueue(SimTime::from_secs(1), pkt(99, 100, Color::Green), &mut rng)
+            .unwrap();
+        assert!(
+            q.avg() < avg_busy * 0.01,
+            "idle decay should collapse the average: {} vs {}",
+            q.avg(),
+            avg_busy
+        );
+    }
+
+    #[test]
+    fn rio_discards_out_before_in() {
+        // Hold the queue near 25 packets: that is above the OUT thresholds
+        // (min 10, max 30) but below the IN minimum (40), so red packets are
+        // early-dropped while green packets sail through. Parameters pinned
+        // explicitly so the test is independent of the defaults.
+        let params = RioParams {
+            in_params: RedParams {
+                min_th: 40.0,
+                max_th: 70.0,
+                max_p: 0.02,
+                w_q: 0.002,
+                limit_pkts: 100,
+                gentle: true,
+                mean_pkt_time_s: 0.001,
+            },
+            out_params: RedParams {
+                min_th: 10.0,
+                max_th: 30.0,
+                max_p: 0.5,
+                w_q: 0.002,
+                limit_pkts: 100,
+                gentle: true,
+                mean_pkt_time_s: 0.001,
+            },
+        };
+        let mut q = RioQueue::new(params);
+        let mut rng = DetRng::new(11);
+        // Build a 25-packet backlog of green (below every IN threshold).
+        for i in 0..25u64 {
+            q.enqueue(SimTime::ZERO, pkt(i, 1000, Color::Green), &mut rng)
+                .unwrap();
+        }
+        let mut dropped = [0u32; 3];
+        let mut offered = [0u32; 3];
+        for i in 25..8000u64 {
+            let color = if i % 2 == 0 { Color::Green } else { Color::Red };
+            offered[color.index()] += 1;
+            let accepted = q
+                .enqueue(SimTime::ZERO, pkt(i, 1000, color), &mut rng)
+                .is_ok();
+            if !accepted {
+                dropped[color.index()] += 1;
+            } else {
+                // One-in-one-out keeps occupancy pinned at ~25.
+                q.dequeue(SimTime::ZERO);
+            }
+        }
+        let red_rate = dropped[2] as f64 / offered[2] as f64;
+        let green_rate = dropped[0] as f64 / offered[0] as f64;
+        assert!(red_rate > 0.05, "red should see early drops: {red_rate:.3}");
+        assert!(
+            green_rate < red_rate / 10.0,
+            "green drop rate {green_rate:.4} should be far below red {red_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn rio_in_average_only_counts_green() {
+        let mut q = RioQueue::new(RioParams {
+            in_params: RedParams {
+                w_q: 1.0,
+                min_th: 1000.0,
+                max_th: 2000.0,
+                limit_pkts: 10_000,
+                ..RedParams::default()
+            },
+            out_params: RedParams {
+                w_q: 1.0,
+                min_th: 1000.0,
+                max_th: 2000.0,
+                limit_pkts: 10_000,
+                ..RedParams::default()
+            },
+        });
+        let mut rng = DetRng::new(13);
+        for i in 0..10u64 {
+            q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Red), &mut rng)
+                .unwrap();
+        }
+        let (avg_in, avg_total) = q.avgs();
+        assert_eq!(avg_in, 0.0, "no green packet arrived yet");
+        assert!(avg_total > 0.0);
+    }
+
+    #[test]
+    fn red_count_spacing_reduces_burst_drops() {
+        // With the count correction, consecutive early drops should be rare:
+        // measure the longest run of consecutive drops in the early-drop band.
+        let params = RedParams {
+            min_th: 2.0,
+            max_th: 50.0,
+            max_p: 0.1,
+            w_q: 1.0, // avg == instantaneous queue
+            limit_pkts: 1000,
+            gentle: true,
+            mean_pkt_time_s: 0.001,
+        };
+        let mut q = RedQueue::new(params);
+        let mut rng = DetRng::new(5);
+        // Hold the queue around 26 packets -> p_b ~ 0.05.
+        for i in 0..26 {
+            let _ = q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng);
+        }
+        let mut longest_run = 0;
+        let mut run = 0;
+        for i in 26..5000u64 {
+            let res = q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng);
+            if res.is_err() {
+                run += 1;
+                longest_run = longest_run.max(run);
+            } else {
+                run = 0;
+                q.dequeue(SimTime::ZERO); // keep occupancy constant
+            }
+        }
+        assert!(longest_run <= 3, "longest_run={longest_run}");
+    }
+}

@@ -1,0 +1,843 @@
+//! The discrete-event engine: topology, routing, agents and the event loop.
+//!
+//! # Model
+//!
+//! A network is a set of **nodes** (hosts or routers) connected by simplex
+//! [`Link`]s. Hosts run an [`Agent`] — a sans-io state machine that reacts
+//! to packet arrivals and timers and emits send/timer commands through a
+//! [`Ctx`]. Routers forward using static shortest-path routes computed at
+//! build time.
+//!
+//! Determinism: events execute in `(time, insertion sequence)` order and all
+//! randomness flows from per-component [`DetRng`] streams derived from the
+//! master seed, so a simulation is a pure function of (topology, agents,
+//! seed) — the property test in `tests/determinism.rs` checks exactly this.
+//!
+//! # Timers
+//!
+//! Timers are fire-and-forget: `set_timer_in(d, token)` schedules a wakeup
+//! that cannot be cancelled. Agents that re-arm timers should carry a
+//! generation counter in their state and ignore stale tokens; the transports
+//! built on this simulator all follow that pattern.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::time::Duration;
+
+use crate::link::{Link, LinkConfig};
+use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::queue::DropReason;
+use crate::rng::DetRng;
+use crate::stats::Stats;
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceSink};
+
+/// What a node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Endpoint: runs an agent; receives packets addressed to it.
+    Host,
+    /// Interior: forwards packets toward their destination.
+    Router,
+}
+
+/// A node in the topology.
+#[derive(Debug)]
+pub struct Node {
+    /// Own id (index into the simulator's node table).
+    pub id: NodeId,
+    /// Host or router.
+    pub kind: NodeKind,
+    /// `next_hop[dst]` is the outgoing link toward `dst`, if reachable.
+    pub(crate) next_hop: Vec<Option<LinkId>>,
+}
+
+/// The execution context handed to agents. Commands are buffered and applied
+/// by the simulator after the callback returns.
+pub struct Ctx<'a> {
+    /// Current virtual time.
+    pub now: SimTime,
+    /// The node this agent runs on.
+    pub node: NodeId,
+    /// Measurement sink (agents report application-level delivery here).
+    pub stats: &'a mut Stats,
+    /// This node's private random stream.
+    pub rng: &'a mut DetRng,
+    uid_counter: &'a mut u64,
+    cmds: Vec<Cmd>,
+}
+
+enum Cmd {
+    Send(Packet),
+    Timer { at: SimTime, token: u64 },
+}
+
+impl<'a> Ctx<'a> {
+    /// Send a fully-formed packet (advanced use; normally use
+    /// [`Ctx::send_new`]).
+    pub fn send(&mut self, pkt: Packet) {
+        self.cmds.push(Cmd::Send(pkt));
+    }
+
+    /// Build and send a packet from this node.
+    ///
+    /// `wire_size` is the total on-wire size (transport header + payload);
+    /// `header` is the encoded transport header.
+    pub fn send_new(&mut self, flow: FlowId, dst: NodeId, wire_size: u32, header: Vec<u8>) {
+        *self.uid_counter += 1;
+        let pkt = Packet::new(
+            *self.uid_counter,
+            flow,
+            self.node,
+            dst,
+            wire_size,
+            self.now,
+            header,
+        );
+        self.cmds.push(Cmd::Send(pkt));
+    }
+
+    /// Schedule a wakeup at an absolute time.
+    pub fn set_timer_at(&mut self, at: SimTime, token: u64) {
+        self.cmds.push(Cmd::Timer { at, token });
+    }
+
+    /// Schedule a wakeup `d` from now.
+    pub fn set_timer_in(&mut self, d: Duration, token: u64) {
+        let at = self.now + d;
+        self.cmds.push(Cmd::Timer { at, token });
+    }
+}
+
+/// A protocol endpoint or traffic source attached to a host node.
+///
+/// All methods receive the [`Ctx`] for the node at the current instant.
+pub trait Agent {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+    /// Called when a packet addressed to this node arrives.
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+    /// Called when a timer set by this agent fires.
+    fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Arrival { node: NodeId, pkt: Packet },
+    TxComplete { link: LinkId },
+    Timer { node: NodeId, token: u64 },
+    Sample,
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Builds a topology, then turns it into a runnable [`Simulator`].
+pub struct NetworkBuilder {
+    nodes: Vec<NodeKind>,
+    links: Vec<(NodeId, NodeId, LinkConfig)>,
+}
+
+impl NetworkBuilder {
+    pub fn new() -> Self {
+        NetworkBuilder {
+            nodes: Vec::new(),
+            links: Vec::new(),
+        }
+    }
+
+    /// Add an endpoint node.
+    pub fn host(&mut self) -> NodeId {
+        self.nodes.push(NodeKind::Host);
+        self.nodes.len() - 1
+    }
+
+    /// Add a forwarding node.
+    pub fn router(&mut self) -> NodeId {
+        self.nodes.push(NodeKind::Router);
+        self.nodes.len() - 1
+    }
+
+    /// Add a simplex link from `a` to `b`. Returns its id.
+    pub fn simplex_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> LinkId {
+        assert!(a < self.nodes.len() && b < self.nodes.len(), "unknown node");
+        assert_ne!(a, b, "self-links are not allowed");
+        self.links.push((a, b, cfg));
+        self.links.len() - 1
+    }
+
+    /// Add a duplex link (two simplex links with the same configuration).
+    /// Returns `(a→b, b→a)` link ids.
+    pub fn duplex_link(&mut self, a: NodeId, b: NodeId, cfg: LinkConfig) -> (LinkId, LinkId) {
+        let ab = self.simplex_link(a, b, cfg.clone());
+        let ba = self.simplex_link(b, a, cfg);
+        (ab, ba)
+    }
+
+    /// Finalize: compute routes and produce a simulator.
+    ///
+    /// Routes are shortest-path by hop count (BFS per destination), with the
+    /// lowest-numbered link breaking ties, so routing is deterministic.
+    pub fn build(self, master_seed: u64) -> Simulator {
+        let n = self.nodes.len();
+        // adjacency: for each node, outgoing (link, to) in insertion order.
+        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n];
+        for (id, (a, b, _)) in self.links.iter().enumerate() {
+            adj[*a].push((id, *b));
+        }
+        let mut nodes: Vec<Node> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, kind)| Node {
+                id,
+                kind: *kind,
+                next_hop: vec![None; n],
+            })
+            .collect();
+        // BFS from each destination over reversed edges to fill next_hop.
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut frontier = std::collections::VecDeque::new();
+            frontier.push_back(dst);
+            while let Some(v) = frontier.pop_front() {
+                // For each link u -> v, u can reach dst through it.
+                for (id, (a, b, _)) in self.links.iter().enumerate() {
+                    if *b == v && dist[*a] == usize::MAX {
+                        dist[*a] = dist[v] + 1;
+                        nodes[*a].next_hop[dst] = Some(id);
+                        frontier.push_back(*a);
+                    } else if *b == v && dist[*a] == dist[v] + 1 {
+                        // Tie: keep the lowest link id for determinism.
+                        if let Some(cur) = nodes[*a].next_hop[dst] {
+                            if id < cur {
+                                nodes[*a].next_hop[dst] = Some(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut stats = Stats::new();
+        let links: Vec<Link> = self
+            .links
+            .iter()
+            .enumerate()
+            .map(|(id, (a, b, cfg))| {
+                stats.register_link();
+                Link::new(id, *a, *b, cfg, master_seed)
+            })
+            .collect();
+        let node_rngs = (0..n)
+            .map(|i| DetRng::stream(master_seed, 0x40DE ^ i as u64))
+            .collect();
+        let agents = (0..n).map(|_| None).collect();
+        Simulator {
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            nodes,
+            links,
+            agents,
+            node_rngs,
+            stats,
+            uid_counter: 0,
+            trace: None,
+            sample_interval: None,
+            started: false,
+        }
+    }
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The discrete-event simulator.
+pub struct Simulator {
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Event>>,
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    node_rngs: Vec<DetRng>,
+    stats: Stats,
+    uid_counter: u64,
+    trace: Option<TraceSink>,
+    sample_interval: Option<Duration>,
+    started: bool,
+}
+
+impl Simulator {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The measurement sink.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Mutable access to measurements (e.g. to reset between phases).
+    pub fn stats_mut(&mut self) -> &mut Stats {
+        &mut self.stats
+    }
+
+    /// Register a flow for statistics; returns the id packets must carry.
+    pub fn register_flow(&mut self, name: &str) -> FlowId {
+        self.stats.register_flow(name.to_string())
+    }
+
+    /// Attach the agent that runs on `node`. Replaces any previous agent.
+    pub fn attach_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) {
+        assert_eq!(
+            self.nodes[node].kind,
+            NodeKind::Host,
+            "agents attach to hosts"
+        );
+        self.agents[node] = Some(agent);
+    }
+
+    /// Install a per-flow traffic conditioner at a link's ingress.
+    pub fn set_marker(&mut self, link: LinkId, flow: FlowId, marker: crate::marker::Marker) {
+        self.links[link].set_marker(flow, marker);
+    }
+
+    /// Enable periodic statistics sampling (throughput series).
+    pub fn set_sample_interval(&mut self, interval: Duration) {
+        self.sample_interval = Some(interval);
+        self.stats.sample_interval = Some(interval);
+    }
+
+    /// Install a trace sink receiving every packet event.
+    pub fn set_trace(&mut self, sink: TraceSink) {
+        self.trace = Some(sink);
+    }
+
+    /// Direct read access to a link (queue occupancy etc.).
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id]
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Event {
+            at,
+            seq: self.seq,
+            kind,
+        }));
+    }
+
+    fn trace_emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = &mut self.trace {
+            sink(&ev);
+        }
+    }
+
+    /// Invoke one agent callback with a fresh `Ctx`, then apply its commands.
+    fn with_agent<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Agent, &mut Ctx),
+    {
+        let Some(mut agent) = self.agents[node].take() else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            stats: &mut self.stats,
+            rng: &mut self.node_rngs[node],
+            uid_counter: &mut self.uid_counter,
+            cmds: Vec::new(),
+        };
+        f(agent.as_mut(), &mut ctx);
+        let cmds = std::mem::take(&mut ctx.cmds);
+        self.agents[node] = Some(agent);
+        for cmd in cmds {
+            match cmd {
+                Cmd::Send(pkt) => self.inject(node, pkt),
+                Cmd::Timer { at, token } => self.push_event(at, EventKind::Timer { node, token }),
+            }
+        }
+    }
+
+    /// A source node hands a packet to the network.
+    fn inject(&mut self, node: NodeId, pkt: Packet) {
+        self.stats.on_send(&pkt);
+        self.trace_emit(TraceEvent::Send {
+            at: self.now,
+            node,
+            flow: pkt.flow,
+            uid: pkt.uid,
+            size: pkt.wire_size,
+        });
+        self.forward(node, pkt);
+    }
+
+    /// Route a packet from `node` one hop toward its destination.
+    fn forward(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst == node {
+            // Degenerate loopback: deliver immediately.
+            self.deliver(node, pkt);
+            return;
+        }
+        match self.nodes[node].next_hop[pkt.dst] {
+            Some(link) => self.transmit_on(link, pkt),
+            None => self.stats.on_no_route(pkt.flow),
+        }
+    }
+
+    /// Offer a packet to a link's conditioner + queue, and kick the
+    /// serializer if idle.
+    fn transmit_on(&mut self, link_id: LinkId, mut pkt: Packet) {
+        let now = self.now;
+        let link = &mut self.links[link_id];
+        if let Some(marker) = link.markers.get_mut(&pkt.flow) {
+            marker.mark(now, &mut pkt);
+        }
+        let color = pkt.color;
+        let flow = pkt.flow;
+        let uid = pkt.uid;
+        let wire_size = pkt.wire_size;
+        match link.queue.enqueue(now, pkt, &mut link.rng) {
+            Err((dropped, reason)) => {
+                self.stats.on_drop(link_id, &dropped, reason);
+                self.trace_emit(TraceEvent::Drop {
+                    at: now,
+                    link: link_id,
+                    flow,
+                    uid,
+                    color,
+                    reason,
+                });
+            }
+            Ok(()) => {
+                let qlen = self.links[link_id].queue.len_pkts();
+                self.stats.on_enqueue(link_id, color, wire_size);
+                self.trace_emit(TraceEvent::Enqueue {
+                    at: now,
+                    link: link_id,
+                    flow,
+                    uid,
+                    color,
+                    queue_len: qlen,
+                });
+                if !self.links[link_id].transmitting {
+                    self.start_tx(link_id);
+                }
+            }
+        }
+    }
+
+    /// Begin serializing the next queued packet, if any.
+    fn start_tx(&mut self, link_id: LinkId) {
+        let now = self.now;
+        let link = &mut self.links[link_id];
+        let Some(pkt) = link.queue.dequeue(now) else {
+            link.transmitting = false;
+            return;
+        };
+        let tx = link.rate.tx_time(pkt.wire_size);
+        link.transmitting = true;
+        link.in_flight = Some(pkt);
+        self.push_event(now + tx, EventKind::TxComplete { link: link_id });
+    }
+
+    /// Serialization finished: launch the packet into propagation (unless
+    /// the loss model eats it) and start the next transmission.
+    fn on_tx_complete(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id];
+        let pkt = link
+            .in_flight
+            .take()
+            .expect("TxComplete without in-flight packet");
+        let lost = link.loss.is_lost(&mut link.rng);
+        let delay = link.delay;
+        let to = link.to;
+        self.stats.on_transmit(link_id);
+        if lost {
+            let (flow, uid, color) = (pkt.flow, pkt.uid, pkt.color);
+            self.stats.on_drop(link_id, &pkt, DropReason::LinkLoss);
+            self.trace_emit(TraceEvent::Drop {
+                at: self.now,
+                link: link_id,
+                flow,
+                uid,
+                color,
+                reason: DropReason::LinkLoss,
+            });
+        } else {
+            let at = self.now + delay;
+            self.push_event(at, EventKind::Arrival { node: to, pkt });
+        }
+        self.start_tx(link_id);
+    }
+
+    /// A packet arrived at `node` after propagation.
+    fn on_arrival(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst == node {
+            self.deliver(node, pkt);
+        } else {
+            self.forward(node, pkt);
+        }
+    }
+
+    fn deliver(&mut self, node: NodeId, pkt: Packet) {
+        self.stats.on_arrive(self.now, &pkt);
+        self.trace_emit(TraceEvent::Deliver {
+            at: self.now,
+            node,
+            flow: pkt.flow,
+            uid: pkt.uid,
+        });
+        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, pkt));
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        if let Some(interval) = self.sample_interval {
+            self.push_event(SimTime::ZERO + interval, EventKind::Sample);
+        }
+        for node in 0..self.nodes.len() {
+            self.with_agent(node, |agent, ctx| agent.on_start(ctx));
+        }
+    }
+
+    /// Run until virtual time `t` (inclusive of events at `t`).
+    pub fn run_until(&mut self, t: SimTime) {
+        self.start_if_needed();
+        while let Some(Reverse(ev)) = self.events.peek() {
+            if ev.at > t {
+                break;
+            }
+            let Reverse(ev) = self.events.pop().unwrap();
+            debug_assert!(ev.at >= self.now, "event time went backwards");
+            self.now = ev.at;
+            match ev.kind {
+                EventKind::Arrival { node, pkt } => self.on_arrival(node, pkt),
+                EventKind::TxComplete { link } => self.on_tx_complete(link),
+                EventKind::Timer { node, token } => {
+                    self.with_agent(node, |agent, ctx| agent.on_timer(ctx, token))
+                }
+                EventKind::Sample => {
+                    self.stats.sample_tick();
+                    if let Some(interval) = self.sample_interval {
+                        let at = self.now + interval;
+                        self.push_event(at, EventKind::Sample);
+                    }
+                }
+            }
+        }
+        self.now = t;
+    }
+
+    /// Run for a span of virtual time from the current instant.
+    pub fn run_for(&mut self, d: Duration) {
+        let t = self.now + d;
+        self.run_until(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Rate;
+
+    /// Sends `n` packets of `size` bytes, `gap` apart, starting at t=0.
+    struct Blaster {
+        flow: FlowId,
+        dst: NodeId,
+        n: u32,
+        size: u32,
+        gap: Duration,
+        sent: u32,
+    }
+
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx) {
+            ctx.set_timer_in(Duration::ZERO, 0);
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx, _token: u64) {
+            if self.sent < self.n {
+                ctx.send_new(self.flow, self.dst, self.size, Vec::new());
+                self.sent += 1;
+                ctx.set_timer_in(self.gap, 0);
+            }
+        }
+    }
+
+    /// Records arrival times.
+    struct Recorder {
+        arrivals: std::rc::Rc<std::cell::RefCell<Vec<SimTime>>>,
+    }
+
+    impl Agent for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx, _pkt: Packet) {
+            self.arrivals.borrow_mut().push(ctx.now);
+        }
+    }
+
+    fn two_hosts(rate: Rate, delay: Duration) -> (Simulator, NodeId, NodeId) {
+        let mut b = NetworkBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        b.duplex_link(a, c, LinkConfig::new(rate, delay));
+        (b.build(1), a, c)
+    }
+
+    #[test]
+    fn single_packet_latency_is_tx_plus_prop() {
+        let (mut sim, a, c) = two_hosts(Rate::from_mbps(10), Duration::from_millis(5));
+        let flow = sim.register_flow("f");
+        let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 1,
+                size: 1250,
+                gap: Duration::from_millis(1),
+                sent: 0,
+            }),
+        );
+        sim.attach_agent(
+            c,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        // 1250 B at 10 Mbit/s = 1 ms tx, + 5 ms prop = 6 ms.
+        assert_eq!(arrivals.borrow().as_slice(), &[SimTime::from_millis(6)]);
+        assert_eq!(sim.stats().flow(flow).pkts_arrived, 1);
+    }
+
+    #[test]
+    fn serialization_spaces_back_to_back_packets() {
+        let (mut sim, a, c) = two_hosts(Rate::from_mbps(10), Duration::from_millis(5));
+        let flow = sim.register_flow("f");
+        let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 3,
+                size: 1250,
+                gap: Duration::ZERO, // all at t=0: queue at the link
+                sent: 0,
+            }),
+        );
+        sim.attach_agent(
+            c,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        assert_eq!(
+            arrivals.borrow().as_slice(),
+            &[
+                SimTime::from_millis(6),
+                SimTime::from_millis(7),
+                SimTime::from_millis(8)
+            ],
+            "packets serialize 1 ms apart"
+        );
+    }
+
+    #[test]
+    fn router_forwards_between_hosts() {
+        let mut b = NetworkBuilder::new();
+        let a = b.host();
+        let r = b.router();
+        let c = b.host();
+        b.duplex_link(a, r, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)));
+        b.duplex_link(r, c, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)));
+        let mut sim = b.build(7);
+        let flow = sim.register_flow("f");
+        let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 1,
+                size: 1250,
+                gap: Duration::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.attach_agent(
+            c,
+            Box::new(Recorder {
+                arrivals: arrivals.clone(),
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        // two hops: 2 * (1 ms tx + 1 ms prop) = 4 ms.
+        assert_eq!(arrivals.borrow().as_slice(), &[SimTime::from_millis(4)]);
+    }
+
+    #[test]
+    fn droptail_queue_overflows_under_burst() {
+        let mut b = NetworkBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        b.simplex_link(
+            a,
+            c,
+            LinkConfig::new(Rate::from_kbps(100), Duration::from_millis(1))
+                .with_queue(crate::queue::QueueConfig::DropTailPkts(5)),
+        );
+        let mut sim = b.build(3);
+        let flow = sim.register_flow("f");
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 50,
+                size: 1250,
+                gap: Duration::ZERO,
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(30));
+        let f = sim.stats().flow(flow);
+        // 1 in flight + 5 queued survive the burst of 50.
+        assert_eq!(f.pkts_arrived, 6);
+        assert_eq!(f.pkts_dropped, 44);
+    }
+
+    #[test]
+    fn link_loss_model_drops_packets() {
+        let mut b = NetworkBuilder::new();
+        let a = b.host();
+        let c = b.host();
+        b.simplex_link(
+            a,
+            c,
+            LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1))
+                .with_loss(crate::loss::LossModel::periodic(2)),
+        );
+        let mut sim = b.build(3);
+        let flow = sim.register_flow("f");
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 10,
+                size: 100,
+                gap: Duration::from_millis(10),
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(1));
+        let f = sim.stats().flow(flow);
+        assert_eq!(f.pkts_arrived, 5);
+        assert_eq!(f.pkts_dropped, 5);
+    }
+
+    #[test]
+    fn sampling_produces_series() {
+        let (mut sim, a, c) = two_hosts(Rate::from_mbps(10), Duration::from_millis(1));
+        let flow = sim.register_flow("f");
+        sim.set_sample_interval(Duration::from_millis(100));
+        sim.attach_agent(
+            a,
+            Box::new(Blaster {
+                flow,
+                dst: c,
+                n: 100,
+                size: 1250,
+                gap: Duration::from_millis(10),
+                sent: 0,
+            }),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        let series = &sim.stats().flow(flow).arrive_series;
+        assert_eq!(series.len(), 20);
+        // Flow sends 1250 B per 10 ms for 1 s -> 12_500 B per 100 ms window.
+        assert!(series[..9].iter().all(|&b| (12_000..=13_000).contains(&b)));
+        assert!(series[12..].iter().all(|&b| b == 0), "source stopped at 1 s");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        fn run(seed: u64) -> (u64, u64) {
+            let mut b = NetworkBuilder::new();
+            let a = b.host();
+            let c = b.host();
+            b.simplex_link(
+                a,
+                c,
+                LinkConfig::new(Rate::from_mbps(1), Duration::from_millis(1))
+                    .with_loss(crate::loss::LossModel::bernoulli(0.3)),
+            );
+            let mut sim = b.build(seed);
+            let flow = sim.register_flow("f");
+            sim.attach_agent(
+                a,
+                Box::new(Blaster {
+                    flow,
+                    dst: c,
+                    n: 1000,
+                    size: 500,
+                    gap: Duration::from_millis(1),
+                    sent: 0,
+                }),
+            );
+            sim.run_until(SimTime::from_secs(5));
+            let f = sim.stats().flow(flow);
+            (f.pkts_arrived, f.pkts_dropped)
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).0, run(43).0, "different seeds should differ here");
+    }
+
+    #[test]
+    #[should_panic(expected = "agents attach to hosts")]
+    fn cannot_attach_agent_to_router() {
+        let mut b = NetworkBuilder::new();
+        let _a = b.host();
+        let r = b.router();
+        let c = b.host();
+        b.duplex_link(_a, r, LinkConfig::new(Rate::from_mbps(1), Duration::ZERO));
+        b.duplex_link(r, c, LinkConfig::new(Rate::from_mbps(1), Duration::ZERO));
+        let mut sim = b.build(1);
+        struct Noop;
+        impl Agent for Noop {}
+        sim.attach_agent(r, Box::new(Noop));
+    }
+}

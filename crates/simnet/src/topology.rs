@@ -1,0 +1,227 @@
+//! Canned topologies used throughout the experiments.
+//!
+//! The workhorse is the **dumbbell**: `n` sender hosts and `n` receiver
+//! hosts attached by fast access links to two routers joined by one
+//! bottleneck link. All the paper's scenarios (AF class with RIO core,
+//! drop-tail fairness runs, wireless last hop) are dumbbell variants.
+
+use std::time::Duration;
+
+use crate::link::LinkConfig;
+use crate::packet::{LinkId, NodeId};
+use crate::queue::QueueConfig;
+use crate::sim::{NetworkBuilder, Simulator};
+use crate::time::Rate;
+
+/// Parameters of a dumbbell network.
+#[derive(Debug, Clone)]
+pub struct DumbbellConfig {
+    /// Number of sender/receiver host pairs.
+    pub pairs: usize,
+    /// Access link rate (both sides). Usually much faster than the core.
+    pub access_rate: Rate,
+    /// One-way access propagation delay per side. Per-pair overrides via
+    /// `access_delays`.
+    pub access_delay: Duration,
+    /// Optional per-pair access delay (sender side), to give flows
+    /// heterogeneous RTTs. Length must equal `pairs` if provided.
+    pub access_delays: Option<Vec<Duration>>,
+    /// Bottleneck rate.
+    pub bottleneck_rate: Rate,
+    /// Bottleneck one-way propagation delay.
+    pub bottleneck_delay: Duration,
+    /// Queue on the forward bottleneck (router1 → router2). This is where
+    /// RIO goes for the AF experiments.
+    pub bottleneck_queue: QueueConfig,
+    /// Queue on the reverse bottleneck (acks); generous drop-tail default.
+    pub reverse_queue: QueueConfig,
+}
+
+impl Default for DumbbellConfig {
+    fn default() -> Self {
+        DumbbellConfig {
+            pairs: 2,
+            access_rate: Rate::from_mbps(100),
+            access_delay: Duration::from_millis(1),
+            access_delays: None,
+            bottleneck_rate: Rate::from_mbps(10),
+            bottleneck_delay: Duration::from_millis(10),
+            bottleneck_queue: QueueConfig::DropTailPkts(50),
+            reverse_queue: QueueConfig::DropTailPkts(1000),
+        }
+    }
+}
+
+/// The node/link ids of a built dumbbell.
+#[derive(Debug, Clone)]
+pub struct Dumbbell {
+    /// Sender hosts, index `i` talks to `receivers[i]`.
+    pub senders: Vec<NodeId>,
+    /// Receiver hosts.
+    pub receivers: Vec<NodeId>,
+    /// Left router (senders' side).
+    pub left_router: NodeId,
+    /// Right router (receivers' side).
+    pub right_router: NodeId,
+    /// Forward bottleneck link id (left → right); marker target for
+    /// edge conditioning in the AF experiments.
+    pub bottleneck: LinkId,
+    /// Reverse bottleneck link id (right → left).
+    pub reverse_bottleneck: LinkId,
+    /// Sender-side access link ids (sender → left router), per pair. These
+    /// are the canonical place to attach per-flow markers (first hop).
+    pub sender_access: Vec<LinkId>,
+}
+
+impl Dumbbell {
+    /// Build the topology into a fresh simulator.
+    pub fn build(cfg: &DumbbellConfig, seed: u64) -> (Simulator, Dumbbell) {
+        if let Some(d) = &cfg.access_delays {
+            assert_eq!(d.len(), cfg.pairs, "access_delays length mismatch");
+        }
+        let mut b = NetworkBuilder::new();
+        let left_router = b.router();
+        let right_router = b.router();
+        let mut senders = Vec::with_capacity(cfg.pairs);
+        let mut receivers = Vec::with_capacity(cfg.pairs);
+        let mut sender_access = Vec::with_capacity(cfg.pairs);
+        for i in 0..cfg.pairs {
+            let s = b.host();
+            let r = b.host();
+            let s_delay = cfg
+                .access_delays
+                .as_ref()
+                .map(|d| d[i])
+                .unwrap_or(cfg.access_delay);
+            let (s2l, _l2s) =
+                b.duplex_link(s, left_router, LinkConfig::new(cfg.access_rate, s_delay));
+            b.duplex_link(
+                right_router,
+                r,
+                LinkConfig::new(cfg.access_rate, cfg.access_delay),
+            );
+            senders.push(s);
+            receivers.push(r);
+            sender_access.push(s2l);
+        }
+        let bottleneck = b.simplex_link(
+            left_router,
+            right_router,
+            LinkConfig::new(cfg.bottleneck_rate, cfg.bottleneck_delay)
+                .with_queue(cfg.bottleneck_queue.clone()),
+        );
+        let reverse_bottleneck = b.simplex_link(
+            right_router,
+            left_router,
+            LinkConfig::new(cfg.bottleneck_rate, cfg.bottleneck_delay)
+                .with_queue(cfg.reverse_queue.clone()),
+        );
+        let sim = b.build(seed);
+        (
+            sim,
+            Dumbbell {
+                senders,
+                receivers,
+                left_router,
+                right_router,
+                bottleneck,
+                reverse_bottleneck,
+                sender_access,
+            },
+        )
+    }
+
+    /// End-to-end base round-trip time for pair `i` (propagation + nothing
+    /// else): `2 * (access_i + bottleneck + access)`.
+    pub fn base_rtt(cfg: &DumbbellConfig, i: usize) -> Duration {
+        let s_delay = cfg
+            .access_delays
+            .as_ref()
+            .map(|d| d[i])
+            .unwrap_or(cfg.access_delay);
+        (s_delay + cfg.bottleneck_delay + cfg.access_delay) * 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agents::{CbrSource, Sink};
+    use crate::time::SimTime;
+
+    #[test]
+    fn dumbbell_connects_all_pairs() {
+        let cfg = DumbbellConfig {
+            pairs: 3,
+            ..DumbbellConfig::default()
+        };
+        let (mut sim, net) = Dumbbell::build(&cfg, 9);
+        let mut flows = Vec::new();
+        for i in 0..3 {
+            let f = sim.register_flow(&format!("f{i}"));
+            sim.attach_agent(
+                net.senders[i],
+                Box::new(CbrSource::new(f, net.receivers[i], 1000, Rate::from_kbps(500))),
+            );
+            sim.attach_agent(net.receivers[i], Box::new(Sink));
+            flows.push(f);
+        }
+        sim.run_until(SimTime::from_secs(5));
+        for f in flows {
+            assert!(sim.stats().flow(f).pkts_arrived > 100, "flow {f} starved");
+            assert_eq!(sim.stats().flow(f).pkts_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn bottleneck_caps_aggregate_throughput() {
+        let cfg = DumbbellConfig {
+            pairs: 2,
+            bottleneck_rate: Rate::from_mbps(1),
+            ..DumbbellConfig::default()
+        };
+        let (mut sim, net) = Dumbbell::build(&cfg, 11);
+        for i in 0..2 {
+            let f = sim.register_flow(&format!("f{i}"));
+            // Each offers 1 Mbit/s into a 1 Mbit/s bottleneck.
+            sim.attach_agent(
+                net.senders[i],
+                Box::new(CbrSource::new(f, net.receivers[i], 1000, Rate::from_mbps(1))),
+            );
+        }
+        sim.run_until(SimTime::from_secs(20));
+        let total: f64 = (0..2)
+            .map(|i| {
+                sim.stats()
+                    .flow(i as u32)
+                    .throughput_bps(Duration::from_secs(20))
+            })
+            .sum();
+        assert!(total < 1_100_000.0, "aggregate {total} exceeds bottleneck");
+        assert!(total > 900_000.0, "bottleneck underutilized: {total}");
+    }
+
+    #[test]
+    fn base_rtt_accounts_for_heterogeneous_access() {
+        let cfg = DumbbellConfig {
+            pairs: 2,
+            access_delay: Duration::from_millis(1),
+            access_delays: Some(vec![Duration::from_millis(1), Duration::from_millis(40)]),
+            bottleneck_delay: Duration::from_millis(10),
+            ..DumbbellConfig::default()
+        };
+        assert_eq!(Dumbbell::base_rtt(&cfg, 0), Duration::from_millis(24));
+        assert_eq!(Dumbbell::base_rtt(&cfg, 1), Duration::from_millis(102));
+    }
+
+    #[test]
+    #[should_panic(expected = "access_delays length mismatch")]
+    fn wrong_delay_vector_length_panics() {
+        let cfg = DumbbellConfig {
+            pairs: 2,
+            access_delays: Some(vec![Duration::from_millis(1)]),
+            ..DumbbellConfig::default()
+        };
+        let _ = Dumbbell::build(&cfg, 1);
+    }
+}

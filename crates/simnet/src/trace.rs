@@ -1,0 +1,99 @@
+//! Optional packet-level tracing.
+//!
+//! When a trace sink is installed on the simulator, every significant packet
+//! event is reported to it. Used by debugging sessions and by the
+//! determinism property test (same seed ⇒ identical trace).
+
+use crate::packet::{Color, FlowId, LinkId, NodeId};
+use crate::queue::DropReason;
+use crate::time::SimTime;
+
+/// One traced packet event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A source handed a packet to the network.
+    Send {
+        at: SimTime,
+        node: NodeId,
+        flow: FlowId,
+        uid: u64,
+        size: u32,
+    },
+    /// A packet was accepted into a link's queue.
+    Enqueue {
+        at: SimTime,
+        link: LinkId,
+        flow: FlowId,
+        uid: u64,
+        color: Color,
+        queue_len: usize,
+    },
+    /// A packet was dropped (queue or link loss).
+    Drop {
+        at: SimTime,
+        link: LinkId,
+        flow: FlowId,
+        uid: u64,
+        color: Color,
+        reason: DropReason,
+    },
+    /// A packet arrived at its destination node.
+    Deliver {
+        at: SimTime,
+        node: NodeId,
+        flow: FlowId,
+        uid: u64,
+    },
+}
+
+impl TraceEvent {
+    /// Time the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Enqueue { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Deliver { at, .. } => *at,
+        }
+    }
+
+    /// Packet uid the event refers to.
+    pub fn uid(&self) -> u64 {
+        match self {
+            TraceEvent::Send { uid, .. }
+            | TraceEvent::Enqueue { uid, .. }
+            | TraceEvent::Drop { uid, .. }
+            | TraceEvent::Deliver { uid, .. } => *uid,
+        }
+    }
+}
+
+/// Where trace events go.
+pub type TraceSink = Box<dyn FnMut(&TraceEvent)>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let e = TraceEvent::Send {
+            at: SimTime::from_millis(3),
+            node: 1,
+            flow: 2,
+            uid: 99,
+            size: 100,
+        };
+        assert_eq!(e.at(), SimTime::from_millis(3));
+        assert_eq!(e.uid(), 99);
+        let d = TraceEvent::Drop {
+            at: SimTime::ZERO,
+            link: 0,
+            flow: 0,
+            uid: 7,
+            color: Color::Red,
+            reason: DropReason::EarlyDrop,
+        };
+        assert_eq!(d.uid(), 7);
+    }
+}

@@ -1,0 +1,169 @@
+//! Retransmission timeout estimation (RFC 6298).
+//!
+//! Classic Jacobson/Karels: smoothed RTT and variance with 1/8 and 1/4
+//! gains, `RTO = SRTT + 4·RTTVAR`, exponential backoff on timeout, reset on
+//! a new RTT sample. Samples must come only from never-retransmitted
+//! segments (Karn's rule) — the sender enforces that.
+
+use std::time::Duration;
+
+/// Lower bound for the RTO (RFC 6298 §2.4's 1-second floor). A smaller
+/// floor causes spurious timeouts whenever a filling bottleneck queue grows
+/// the RTT faster than the smoothed estimate tracks it.
+pub const MIN_RTO: Duration = Duration::from_secs(1);
+
+/// Upper bound for the RTO (RFC 6298 allows >= 60 s).
+pub const MAX_RTO: Duration = Duration::from_secs(60);
+
+/// RFC 6298 estimator state.
+#[derive(Debug, Clone)]
+pub struct RtoEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    /// Current RTO including any backoff.
+    rto: Duration,
+    /// Number of consecutive timeouts (backoff exponent).
+    backoffs: u32,
+}
+
+impl RtoEstimator {
+    /// Initial RTO is 1 s (RFC 6298 §2.1 value, scaled-down floor aside).
+    pub fn new() -> Self {
+        RtoEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: Duration::from_secs(1),
+            backoffs: 0,
+        }
+    }
+
+    /// Current retransmission timeout.
+    pub fn rto(&self) -> Duration {
+        self.rto
+    }
+
+    /// Smoothed RTT, if any sample has been taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// Incorporate a clean RTT sample (never-retransmitted segment).
+    pub fn on_sample(&mut self, rtt: Duration) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                let delta = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R'|
+                self.rttvar = self.rttvar * 3 / 4 + delta / 4;
+                // SRTT = 7/8·SRTT + 1/8·R'
+                self.srtt = Some(srtt * 7 / 8 + rtt / 8);
+            }
+        }
+        self.backoffs = 0;
+        self.recompute();
+    }
+
+    /// A retransmission timer expired: double the RTO (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoffs = (self.backoffs + 1).min(16);
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let base = match self.srtt {
+            Some(srtt) => srtt + (self.rttvar * 4).max(Duration::from_millis(1)),
+            None => Duration::from_secs(1),
+        };
+        let backed_off = base * 2u32.saturating_pow(self.backoffs.min(16));
+        self.rto = backed_off.clamp(MIN_RTO, MAX_RTO);
+    }
+}
+
+impl Default for RtoEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        assert_eq!(RtoEstimator::new().rto(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut e = RtoEstimator::new();
+        e.on_sample(Duration::from_millis(400));
+        assert_eq!(e.srtt(), Some(Duration::from_millis(400)));
+        // RTO = 400 + 4*200 = 1200 ms (above the 1 s floor).
+        assert_eq!(e.rto(), Duration::from_millis(1200));
+    }
+
+    #[test]
+    fn constant_samples_shrink_variance_to_floor() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..100 {
+            e.on_sample(Duration::from_millis(100));
+        }
+        // Variance decays toward zero; the 1 s floor takes over.
+        assert_eq!(e.rto(), MIN_RTO);
+    }
+
+    #[test]
+    fn jitter_inflates_rto() {
+        let mut steady = RtoEstimator::new();
+        let mut jittery = RtoEstimator::new();
+        for k in 0..50 {
+            steady.on_sample(Duration::from_millis(500));
+            jittery.on_sample(Duration::from_millis(if k % 2 == 0 { 250 } else { 750 }));
+        }
+        assert!(jittery.rto() > steady.rto());
+    }
+
+    #[test]
+    fn timeouts_double_then_sample_resets() {
+        let mut e = RtoEstimator::new();
+        e.on_sample(Duration::from_millis(400));
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 2);
+        e.on_timeout();
+        assert_eq!(e.rto(), base * 4);
+        e.on_sample(Duration::from_millis(400));
+        assert!(e.rto() < base * 2, "backoff cleared by a fresh sample");
+    }
+
+    #[test]
+    fn rto_clamped_to_bounds() {
+        let mut e = RtoEstimator::new();
+        e.on_sample(Duration::from_micros(10));
+        assert_eq!(e.rto(), MIN_RTO);
+        for _ in 0..40 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), MAX_RTO);
+    }
+
+    #[test]
+    fn srtt_tracks_shift_in_rtt() {
+        let mut e = RtoEstimator::new();
+        for _ in 0..50 {
+            e.on_sample(Duration::from_millis(50));
+        }
+        for _ in 0..200 {
+            e.on_sample(Duration::from_millis(150));
+        }
+        let srtt = e.srtt().unwrap();
+        assert!(
+            (srtt.as_millis() as i64 - 150).abs() < 10,
+            "srtt={srtt:?} should have converged to 150 ms"
+        );
+    }
+}

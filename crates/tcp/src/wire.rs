@@ -1,0 +1,202 @@
+//! TCP segment headers for the simulator.
+//!
+//! Packet-granularity TCP (sequence numbers count segments, as in ns-2):
+//! the header carries what the protocol logic needs — kind, sequence /
+//! cumulative ack, a transmit timestamp for RTT sampling, and up to three
+//! SACK blocks. Encoding is explicit big-endian bytes: endpoints exchange
+//! real octets through the simulated network, not Rust objects.
+
+use qtp_sack::SeqRange;
+
+/// Segment type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TcpKind {
+    /// Data segment (carries one MSS of payload).
+    Data,
+    /// Pure acknowledgment.
+    Ack,
+}
+
+/// Decoded TCP segment header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TcpHeader {
+    pub kind: TcpKind,
+    /// Data: the segment's sequence number. Ack: unused (0).
+    pub seq: u64,
+    /// Ack: next expected sequence (cumulative). Data: unused (0).
+    pub ack: u64,
+    /// Data: sender transmit timestamp (ns). Ack: echoed timestamp of the
+    /// segment that triggered the ack (0 when echoing a retransmission).
+    pub ts_nanos: u64,
+    /// Ack: SACK blocks (most recent first), empty for non-SACK flows.
+    pub sack_blocks: Vec<SeqRange>,
+}
+
+/// Wire size in bytes of an encoded header with `n_blocks` SACK blocks:
+/// 1 (kind) + 8 (seq) + 8 (ack) + 8 (ts) + 1 (count) + 16 per block.
+pub fn header_wire_size(n_blocks: usize) -> u32 {
+    26 + 16 * n_blocks as u32
+}
+
+/// Conventional IP+TCP overhead added to every simulated segment beyond
+/// our explicit header (brings totals close to real 40-byte TCP/IP).
+pub const IP_OVERHEAD: u32 = 20;
+
+/// Maximum SACK blocks carried (RFC 2018 with timestamps leaves room for 3).
+pub const MAX_TCP_SACK_BLOCKS: usize = 3;
+
+/// Errors from decoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer shorter than the fixed header.
+    Truncated,
+    /// Unknown segment kind byte.
+    BadKind(u8),
+    /// Block count exceeds the allowed maximum or the buffer.
+    BadBlockCount(u8),
+    /// A SACK block was empty or inverted.
+    BadBlock,
+}
+
+impl TcpHeader {
+    /// A data segment header.
+    pub fn data(seq: u64, ts_nanos: u64) -> Self {
+        TcpHeader {
+            kind: TcpKind::Data,
+            seq,
+            ack: 0,
+            ts_nanos,
+            sack_blocks: Vec::new(),
+        }
+    }
+
+    /// An acknowledgment header.
+    pub fn ack(ack: u64, ts_echo_nanos: u64, sack_blocks: Vec<SeqRange>) -> Self {
+        debug_assert!(sack_blocks.len() <= MAX_TCP_SACK_BLOCKS);
+        TcpHeader {
+            kind: TcpKind::Ack,
+            seq: 0,
+            ack,
+            ts_nanos: ts_echo_nanos,
+            sack_blocks,
+        }
+    }
+
+    /// Encode to bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(header_wire_size(self.sack_blocks.len()) as usize);
+        out.push(match self.kind {
+            TcpKind::Data => 0,
+            TcpKind::Ack => 1,
+        });
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.extend_from_slice(&self.ts_nanos.to_be_bytes());
+        out.push(self.sack_blocks.len() as u8);
+        for b in &self.sack_blocks {
+            out.extend_from_slice(&b.start.to_be_bytes());
+            out.extend_from_slice(&b.end.to_be_bytes());
+        }
+        out
+    }
+
+    /// Decode from bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, WireError> {
+        if buf.len() < 26 {
+            return Err(WireError::Truncated);
+        }
+        let kind = match buf[0] {
+            0 => TcpKind::Data,
+            1 => TcpKind::Ack,
+            k => return Err(WireError::BadKind(k)),
+        };
+        let seq = u64::from_be_bytes(buf[1..9].try_into().unwrap());
+        let ack = u64::from_be_bytes(buf[9..17].try_into().unwrap());
+        let ts_nanos = u64::from_be_bytes(buf[17..25].try_into().unwrap());
+        let n = buf[25];
+        if n as usize > MAX_TCP_SACK_BLOCKS || buf.len() < 26 + 16 * n as usize {
+            return Err(WireError::BadBlockCount(n));
+        }
+        let mut sack_blocks = Vec::with_capacity(n as usize);
+        for i in 0..n as usize {
+            let off = 26 + 16 * i;
+            let start = u64::from_be_bytes(buf[off..off + 8].try_into().unwrap());
+            let end = u64::from_be_bytes(buf[off + 8..off + 16].try_into().unwrap());
+            if end <= start {
+                return Err(WireError::BadBlock);
+            }
+            sack_blocks.push(SeqRange::new(start, end));
+        }
+        Ok(TcpHeader {
+            kind,
+            seq,
+            ack,
+            ts_nanos,
+            sack_blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_roundtrip() {
+        let h = TcpHeader::data(12345, 999_000_111);
+        let decoded = TcpHeader::decode(&h.encode()).unwrap();
+        assert_eq!(h, decoded);
+    }
+
+    #[test]
+    fn ack_with_blocks_roundtrip() {
+        let h = TcpHeader::ack(
+            42,
+            7,
+            vec![SeqRange::new(50, 60), SeqRange::new(70, 71)],
+        );
+        let bytes = h.encode();
+        assert_eq!(bytes.len() as u32, header_wire_size(2));
+        assert_eq!(TcpHeader::decode(&bytes).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let h = TcpHeader::data(1, 2);
+        let bytes = h.encode();
+        assert_eq!(TcpHeader::decode(&bytes[..10]), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let mut bytes = TcpHeader::data(1, 2).encode();
+        bytes[0] = 9;
+        assert_eq!(TcpHeader::decode(&bytes), Err(WireError::BadKind(9)));
+    }
+
+    #[test]
+    fn bad_block_count_rejected() {
+        let mut bytes = TcpHeader::ack(1, 2, vec![]).encode();
+        bytes[25] = 4; // claims 4 blocks, max is 3
+        assert_eq!(TcpHeader::decode(&bytes), Err(WireError::BadBlockCount(4)));
+        let mut bytes2 = TcpHeader::ack(1, 2, vec![]).encode();
+        bytes2[25] = 1; // claims 1 block but no bytes follow
+        assert_eq!(TcpHeader::decode(&bytes2), Err(WireError::BadBlockCount(1)));
+    }
+
+    #[test]
+    fn inverted_block_rejected() {
+        let h = TcpHeader::ack(1, 2, vec![SeqRange::new(5, 6)]);
+        let mut bytes = h.encode();
+        // Swap start/end of the block.
+        bytes[26..34].copy_from_slice(&6u64.to_be_bytes());
+        bytes[34..42].copy_from_slice(&5u64.to_be_bytes());
+        assert_eq!(TcpHeader::decode(&bytes), Err(WireError::BadBlock));
+    }
+
+    #[test]
+    fn wire_size_formula() {
+        assert_eq!(header_wire_size(0), 26);
+        assert_eq!(header_wire_size(3), 26 + 48);
+    }
+}

@@ -1,0 +1,160 @@
+//! The TCP throughput equation (RFC 3448 §3.1).
+//!
+//! TFRC's control law: the allowed sending rate is the long-term throughput
+//! a conformant TCP would achieve under the same loss event rate `p`,
+//! round-trip time `R` and segment size `s`:
+//!
+//! ```text
+//!                               s
+//! X = ----------------------------------------------------------
+//!     R*sqrt(2*b*p/3) + t_RTO * (3*sqrt(3*b*p/8)) * p * (1+32*p^2)
+//! ```
+//!
+//! with `t_RTO = 4R` and `b = 1` (no delayed-ack accounting), the values
+//! RFC 3448 recommends. The first denominator term models fast-retransmit
+//! behaviour, the second the timeout regime that dominates at high loss.
+//!
+//! [`inverse`] solves the equation for `p` given a rate — RFC 3448 §6.3.1
+//! needs this to synthesize the first loss interval from the receive rate
+//! observed when the very first loss event occurs.
+
+use std::time::Duration;
+
+/// Parameters held constant by RFC 3448's recommended setting.
+const B: f64 = 1.0;
+
+/// Throughput in **bytes per second** for segment size `s` (bytes),
+/// round-trip time `r`, and loss event rate `p` in `(0, 1]`.
+///
+/// Returns `f64::INFINITY` when `p == 0` (the equation only applies once a
+/// loss event has occurred; callers handle the loss-free regime separately).
+/// Panics in debug builds if `p` is outside `[0, 1]` or `r` is zero.
+pub fn throughput(s: u32, r: Duration, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "loss event rate out of range: {p}");
+    debug_assert!(!r.is_zero(), "RTT must be positive");
+    if p <= 0.0 {
+        return f64::INFINITY;
+    }
+    let s = s as f64;
+    let r = r.as_secs_f64();
+    let t_rto = 4.0 * r;
+    let term_fast = r * (2.0 * B * p / 3.0).sqrt();
+    let term_timeout = t_rto * (3.0 * (3.0 * B * p / 8.0).sqrt()) * p * (1.0 + 32.0 * p * p);
+    s / (term_fast + term_timeout)
+}
+
+/// Solve `throughput(s, r, p) == x_bytes_per_sec` for `p` by bisection.
+///
+/// Returns a loss event rate in `[1e-9, 1]`. Rates higher than the loss-free
+/// maximum map to the smallest representable `p`; rates lower than the
+/// `p = 1` throughput map to `p = 1`.
+pub fn inverse(s: u32, r: Duration, x_bytes_per_sec: f64) -> f64 {
+    const P_MIN: f64 = 1e-9;
+    const P_MAX: f64 = 1.0;
+    if x_bytes_per_sec >= throughput(s, r, P_MIN) {
+        return P_MIN;
+    }
+    if x_bytes_per_sec <= throughput(s, r, P_MAX) {
+        return P_MAX;
+    }
+    let (mut lo, mut hi) = (P_MIN, P_MAX); // throughput decreasing in p
+    for _ in 0..100 {
+        let mid = (lo + hi) / 2.0;
+        if throughput(s, r, mid) > x_bytes_per_sec {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    (lo + hi) / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u32 = 1000;
+    const RTT: Duration = Duration::from_millis(100);
+
+    #[test]
+    fn zero_loss_is_unbounded() {
+        assert_eq!(throughput(S, RTT, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_value_at_one_percent_loss() {
+        // Hand-computed: p=0.01, R=0.1s, s=1000B.
+        // term_fast = 0.1*sqrt(2*0.01/3) = 0.1*0.0816497 = 0.00816497
+        // term_to   = 0.4*3*sqrt(3*0.01/8)*0.01*(1+32*0.0001)
+        //           = 0.4*3*0.0612372*0.01*1.0032 = 0.000737196
+        // X = 1000/(0.00816497+0.000737196) = 112_346 B/s (approx)
+        let x = throughput(S, RTT, 0.01);
+        assert!((x - 112_346.0).abs() / 112_346.0 < 0.001, "x={x}");
+    }
+
+    #[test]
+    fn known_value_at_ten_percent_loss() {
+        // At p=0.1 the timeout term dominates.
+        // term_fast = 0.1*sqrt(0.2/3)=0.1*0.2581989=0.02581989
+        // term_to = 0.4*3*sqrt(0.0375)*0.1*(1+0.32)
+        //         = 0.4*3*0.19364917*0.1*1.32 = 0.030674
+        // X = 1000/0.056494 = 17_700 B/s approx
+        let x = throughput(S, RTT, 0.1);
+        assert!((x - 17_700.0).abs() / 17_700.0 < 0.01, "x={x}");
+    }
+
+    #[test]
+    fn monotonically_decreasing_in_p() {
+        let mut last = f64::INFINITY;
+        for i in 1..=1000 {
+            let p = i as f64 / 1000.0;
+            let x = throughput(S, RTT, p);
+            assert!(x < last, "not decreasing at p={p}");
+            last = x;
+        }
+    }
+
+    #[test]
+    fn decreasing_in_rtt() {
+        let x1 = throughput(S, Duration::from_millis(10), 0.01);
+        let x2 = throughput(S, Duration::from_millis(100), 0.01);
+        let x3 = throughput(S, Duration::from_millis(500), 0.01);
+        assert!(x1 > x2 && x2 > x3);
+        // With the timeout term ∝ R as well, throughput is ~1/R.
+        assert!((x1 / x2 - 10.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn proportional_to_segment_size() {
+        let x1 = throughput(500, RTT, 0.02);
+        let x2 = throughput(1000, RTT, 0.02);
+        assert!((x2 / x1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_roundtrips() {
+        for &p in &[0.001, 0.01, 0.05, 0.1, 0.3] {
+            let x = throughput(S, RTT, p);
+            let p_back = inverse(S, RTT, x);
+            assert!(
+                (p_back - p).abs() / p < 1e-6,
+                "p={p}, p_back={p_back}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_clamps_extremes() {
+        assert_eq!(inverse(S, RTT, f64::INFINITY), 1e-9);
+        let floor = throughput(S, RTT, 1.0);
+        assert_eq!(inverse(S, RTT, floor / 2.0), 1.0);
+    }
+
+    #[test]
+    fn equation_matches_tcp_sanity_scale() {
+        // At p=0.02, R=100ms, s=1460: classic "TCP-friendly" throughput is
+        // around 1 Mbit/s (PFTK model). Check the order of magnitude.
+        let x = throughput(1460, RTT, 0.02) * 8.0; // bits/s
+        assert!((500_000.0..2_000_000.0).contains(&x), "x={x}");
+    }
+}

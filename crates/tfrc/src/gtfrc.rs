@@ -1,0 +1,157 @@
+//! gTFRC — *guaranteed* TFRC for DiffServ Assured Forwarding networks.
+//!
+//! The specialisation proposed by the authors' IETF draft
+//! (`draft-lochin-ietf-tsvwg-gtfrc-02`) and composed into QTPAF: when the
+//! application has negotiated a minimum bandwidth `g` with the network's AF
+//! service, the sending rate becomes
+//!
+//! ```text
+//! X = max(g, X_tfrc)
+//! ```
+//!
+//! Rationale: inside the AF class the first `g` of the flow's traffic is
+//! marked in-profile (green) by the edge conditioner and is protected by
+//! the RIO core queue, so it is *not* subject to congestion on the assured
+//! part — losses observed by TFRC mostly hit the out-of-profile excess.
+//! Plain TFRC (like TCP) misreads those out-of-profile losses as a signal
+//! to slow below the reservation; the `max` prevents exactly that, while
+//! above `g` the flow stays TCP-friendly because the excess is governed by
+//! the unmodified TFRC equation.
+
+use qtp_simnet::time::{Rate, SimTime};
+use std::time::Duration;
+
+use crate::sender::{SenderConfig, TfrcSender};
+
+/// A TFRC sender with a minimum guaranteed rate.
+#[derive(Debug, Clone)]
+pub struct GtfrcSender {
+    inner: TfrcSender,
+    /// The bandwidth negotiated with the AF service, bytes/second.
+    target_bytes_per_sec: f64,
+}
+
+impl GtfrcSender {
+    /// `target` is the rate negotiated with the network service (`g`).
+    pub fn new(cfg: SenderConfig, target: Rate) -> Self {
+        GtfrcSender {
+            inner: TfrcSender::new(cfg),
+            target_bytes_per_sec: target.bytes_per_sec(),
+        }
+    }
+
+    /// The negotiated guarantee in bytes/second.
+    pub fn target(&self) -> f64 {
+        self.target_bytes_per_sec
+    }
+
+    /// Change the guarantee at runtime (renegotiation).
+    pub fn set_target(&mut self, target: Rate) {
+        self.target_bytes_per_sec = target.bytes_per_sec();
+    }
+
+    /// The underlying TFRC machine (for inspection).
+    pub fn tfrc(&self) -> &TfrcSender {
+        &self.inner
+    }
+
+    /// See [`TfrcSender::seed_rtt`].
+    pub fn seed_rtt(&mut self, now: SimTime, rtt: Duration) {
+        self.inner.seed_rtt(now, rtt);
+    }
+
+    /// See [`TfrcSender::on_feedback`].
+    pub fn on_feedback(
+        &mut self,
+        now: SimTime,
+        ts_echo: SimTime,
+        t_delay: Duration,
+        x_recv: f64,
+        p: f64,
+    ) {
+        self.inner.on_feedback(now, ts_echo, t_delay, x_recv, p);
+    }
+
+    /// See [`TfrcSender::on_nofeedback_timer`].
+    pub fn on_nofeedback_timer(&mut self, now: SimTime) {
+        self.inner.on_nofeedback_timer(now);
+    }
+
+    /// See [`TfrcSender::nofeedback_deadline`].
+    pub fn nofeedback_deadline(&self) -> SimTime {
+        self.inner.nofeedback_deadline()
+    }
+
+    /// The gTFRC control law: `max(g, X_tfrc)` in bytes/second.
+    pub fn allowed_rate(&self) -> f64 {
+        self.inner.allowed_rate().max(self.target_bytes_per_sec)
+    }
+
+    /// Inter-packet gap at the guaranteed-or-better rate.
+    pub fn send_interval(&self) -> Duration {
+        Duration::from_secs_f64(self.inner.segment_size() as f64 / self.allowed_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u32 = 1000;
+    const RTT: Duration = Duration::from_millis(100);
+
+    fn gtfrc(target_kbps: u64) -> GtfrcSender {
+        let mut g = GtfrcSender::new(SenderConfig::new(S), Rate::from_kbps(target_kbps));
+        g.seed_rtt(SimTime::ZERO, RTT);
+        g
+    }
+
+    fn fb(g: &mut GtfrcSender, now: SimTime, x_recv: f64, p: f64) {
+        g.on_feedback(now, now - RTT, Duration::ZERO, x_recv, p);
+    }
+
+    #[test]
+    fn rate_never_below_target() {
+        // 800 kbit/s = 100_000 B/s target.
+        let mut g = gtfrc(800);
+        // Brutal loss: plain TFRC would collapse far below target.
+        fb(&mut g, SimTime::from_millis(100), 10_000.0, 0.2);
+        assert!(g.tfrc().allowed_rate() < 100_000.0, "TFRC collapsed as expected");
+        assert!((g.allowed_rate() - 100_000.0).abs() < 1e-9, "gTFRC holds g");
+    }
+
+    #[test]
+    fn behaves_like_tfrc_above_target() {
+        // Tiny target: with low loss, the equation dominates.
+        let mut g = gtfrc(8); // 1000 B/s
+        fb(&mut g, SimTime::from_millis(100), 1e9, 0.001);
+        let plain = g.tfrc().allowed_rate();
+        assert!(plain > 1000.0);
+        assert_eq!(g.allowed_rate(), plain);
+    }
+
+    #[test]
+    fn send_interval_uses_guaranteed_rate() {
+        let mut g = gtfrc(800); // 100 kB/s
+        fb(&mut g, SimTime::from_millis(100), 10_000.0, 0.3);
+        // 1000 B at 100 kB/s = 10 ms.
+        assert_eq!(g.send_interval(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn set_target_renegotiates() {
+        let mut g = gtfrc(800);
+        fb(&mut g, SimTime::from_millis(100), 10_000.0, 0.3);
+        g.set_target(Rate::from_kbps(1600));
+        assert!((g.allowed_rate() - 200_000.0).abs() < 1e-9);
+        assert!((g.target() - 200_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nofeedback_timer_does_not_break_guarantee() {
+        let mut g = gtfrc(800);
+        fb(&mut g, SimTime::from_millis(100), 10_000.0, 0.3);
+        g.on_nofeedback_timer(g.nofeedback_deadline());
+        assert!(g.allowed_rate() >= 100_000.0);
+    }
+}

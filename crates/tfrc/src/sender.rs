@@ -1,0 +1,415 @@
+//! The RFC 3448 TFRC **sender** state machine.
+//!
+//! The sender paces packets at an allowed rate `X` updated on each feedback
+//! packet (§4.3): while no loss has been reported it doubles the rate once
+//! per RTT (slow-start analogue); once `p > 0` it follows the throughput
+//! equation, clamped to at most twice the reported receive rate. A
+//! *nofeedback timer* (§4.4) halves the rate when feedback stops arriving.
+//!
+//! The sender is deliberately agnostic about **where** `p` comes from: the
+//! standard TFRC instance passes the receiver-computed value from the
+//! feedback packet, while the paper's QTPlight instance computes `p` itself
+//! from SACK feedback and passes that. This one-parameter seam is exactly
+//! the "composition and specialisation" the paper describes.
+
+use std::time::Duration;
+
+use qtp_metrics::{CostMeter, OpClass};
+use qtp_simnet::time::SimTime;
+
+use crate::equation;
+
+/// Maximum backoff interval: X never falls below `s / T_MBI` (§4.3).
+pub const T_MBI: Duration = Duration::from_secs(64);
+
+/// EWMA weight for the RTT estimate (§4.3 recommends q = 0.9).
+pub const RTT_EWMA_Q: f64 = 0.9;
+
+/// Configuration knobs for the sender.
+#[derive(Debug, Clone)]
+pub struct SenderConfig {
+    /// Segment size in bytes.
+    pub s: u32,
+    /// Enable §4.5 rate oscillation reduction (adjusts the instantaneous
+    /// rate by `sqrt(R_sample / R_sqmean)`). Off by default, as in RFC 3448.
+    pub oscillation_reduction: bool,
+}
+
+impl SenderConfig {
+    pub fn new(s: u32) -> Self {
+        SenderConfig {
+            s,
+            oscillation_reduction: false,
+        }
+    }
+}
+
+/// RFC 3448 sender.
+#[derive(Debug, Clone)]
+pub struct TfrcSender {
+    cfg: SenderConfig,
+    /// Allowed transmit rate, bytes/second.
+    x: f64,
+    /// Smoothed RTT; `None` until the first sample (or handshake seed).
+    r: Option<Duration>,
+    /// Square-root-EWMA of RTT samples for oscillation reduction.
+    r_sqmean: f64,
+    /// Most recent reported receive rate (bytes/s).
+    x_recv: f64,
+    /// Most recent loss event rate in force.
+    p: f64,
+    /// Time the rate was last doubled during slow start.
+    tld: Option<SimTime>,
+    /// Absolute deadline of the nofeedback timer.
+    nofeedback_deadline: SimTime,
+    /// Whether any feedback has ever arrived.
+    got_feedback: bool,
+    /// Sender-side cost accounting (for the E5 sender-vs-receiver ledger).
+    pub meter: CostMeter,
+}
+
+impl TfrcSender {
+    /// A new sender. Until an RTT is known it may send exactly one packet
+    /// ([`TfrcSender::allowed_rate`] returns one packet per second as the
+    /// bootstrap rate, per §4.2's "one packet per second" cold start).
+    pub fn new(cfg: SenderConfig) -> Self {
+        let s = cfg.s as f64;
+        TfrcSender {
+            cfg,
+            x: s, // 1 packet/second until an RTT is known (§4.2)
+            r: None,
+            r_sqmean: 0.0,
+            x_recv: 0.0,
+            p: 0.0,
+            tld: None,
+            nofeedback_deadline: SimTime::from_secs(2), // §4.2: 2 s initial
+            got_feedback: false,
+            meter: CostMeter::new(),
+        }
+    }
+
+    /// Seed the RTT from the connection handshake (§4.2): the initial rate
+    /// becomes one initial window per RTT, `W_init = min(4s, max(2s, 4380))`
+    /// (RFC 3390's initial window).
+    pub fn seed_rtt(&mut self, now: SimTime, rtt: Duration) {
+        debug_assert!(!rtt.is_zero());
+        self.r = Some(rtt);
+        self.r_sqmean = rtt.as_secs_f64().sqrt();
+        let s = self.cfg.s as f64;
+        let w_init = (4.0 * s).min((2.0 * s).max(4380.0));
+        self.x = w_init / rtt.as_secs_f64();
+        self.tld = Some(now);
+        self.nofeedback_deadline = now + self.nofeedback_interval();
+        self.meter.tick(OpClass::Update, 3);
+    }
+
+    /// Current allowed sending rate, bytes/second.
+    pub fn allowed_rate(&self) -> f64 {
+        self.x
+    }
+
+    /// Inter-packet gap at the current allowed rate.
+    pub fn send_interval(&self) -> Duration {
+        Duration::from_secs_f64(self.cfg.s as f64 / self.x)
+    }
+
+    /// Smoothed RTT estimate, if any.
+    pub fn rtt(&self) -> Option<Duration> {
+        self.r
+    }
+
+    /// Loss event rate currently in force.
+    pub fn loss_rate(&self) -> f64 {
+        self.p
+    }
+
+    /// Segment size.
+    pub fn segment_size(&self) -> u32 {
+        self.cfg.s
+    }
+
+    /// Absolute deadline of the nofeedback timer; the endpoint must call
+    /// [`TfrcSender::on_nofeedback_timer`] when `now` reaches it.
+    pub fn nofeedback_deadline(&self) -> SimTime {
+        self.nofeedback_deadline
+    }
+
+    /// The nofeedback interval: `max(4R, 2s/X)` once an RTT is known (§4.3
+    /// step 2 applied to the timer reset).
+    fn nofeedback_interval(&self) -> Duration {
+        match self.r {
+            Some(r) => {
+                let by_rtt = 4.0 * r.as_secs_f64();
+                let by_rate = 2.0 * self.cfg.s as f64 / self.x;
+                Duration::from_secs_f64(by_rtt.max(by_rate))
+            }
+            None => Duration::from_secs(2),
+        }
+    }
+
+    /// Process one feedback report (§4.3).
+    ///
+    /// * `now` — local time.
+    /// * `ts_echo`, `t_delay` — RTT reconstruction fields from the report.
+    /// * `x_recv` — receive rate reported, bytes/second.
+    /// * `p` — loss event rate **chosen by the caller**: receiver-computed
+    ///   for standard TFRC, sender-computed for QTPlight.
+    pub fn on_feedback(
+        &mut self,
+        now: SimTime,
+        ts_echo: SimTime,
+        t_delay: Duration,
+        x_recv: f64,
+        p: f64,
+    ) {
+        self.got_feedback = true;
+        self.x_recv = x_recv;
+        self.p = p;
+        self.meter.tick(OpClass::Update, 3);
+
+        // 1. RTT sample and EWMA.
+        let raw = now.saturating_since(ts_echo);
+        let sample = raw.checked_sub(t_delay).unwrap_or(Duration::ZERO);
+        let sample = if sample.is_zero() {
+            Duration::from_micros(1)
+        } else {
+            sample
+        };
+        let r = match self.r {
+            None => sample,
+            Some(prev) => Duration::from_secs_f64(
+                RTT_EWMA_Q * prev.as_secs_f64() + (1.0 - RTT_EWMA_Q) * sample.as_secs_f64(),
+            ),
+        };
+        self.r = Some(r);
+        self.meter.tick(OpClass::Arith, 4);
+
+        // Oscillation reduction bookkeeping (§4.5).
+        if self.cfg.oscillation_reduction {
+            let sqrt_sample = sample.as_secs_f64().sqrt();
+            self.r_sqmean = if self.r_sqmean == 0.0 {
+                sqrt_sample
+            } else {
+                0.9 * self.r_sqmean + 0.1 * sqrt_sample
+            };
+            self.meter.tick(OpClass::Arith, 3);
+        }
+
+        // 2/3. Rate update.
+        let s = self.cfg.s as f64;
+        let r_secs = r.as_secs_f64();
+        let floor = s / T_MBI.as_secs_f64();
+        if p > 0.0 {
+            let x_calc = equation::throughput(self.cfg.s, r, p);
+            self.x = x_calc.min(2.0 * x_recv).max(floor);
+            self.tld = None; // slow start is over for good
+            self.meter.tick(OpClass::Arith, 10);
+        } else {
+            // Loss-free: double at most once per RTT (initial slow start).
+            let can_double = match self.tld {
+                Some(tld) => now.saturating_since(tld) >= r,
+                None => true,
+            };
+            if can_double {
+                self.x = (2.0 * self.x).min(2.0 * x_recv.max(s / r_secs)).max(s / r_secs);
+                self.tld = Some(now);
+            }
+            self.meter.tick(OpClass::Arith, 4);
+        }
+
+        // Oscillation reduction: scale the instantaneous rate.
+        if self.cfg.oscillation_reduction && self.r_sqmean > 0.0 {
+            let adj = sample.as_secs_f64().sqrt() / self.r_sqmean;
+            // §4.5 limits the down-scaling; apply a mild clamp.
+            self.x *= adj.clamp(0.5, 2.0).recip().min(1.0).max(0.5);
+            self.meter.tick(OpClass::Arith, 3);
+        }
+
+        // 4. Restart the nofeedback timer.
+        self.nofeedback_deadline = now + self.nofeedback_interval();
+    }
+
+    /// The nofeedback timer expired (§4.4): halve the effective rate.
+    pub fn on_nofeedback_timer(&mut self, now: SimTime) {
+        let s = self.cfg.s as f64;
+        let floor = s / T_MBI.as_secs_f64();
+        if !self.got_feedback {
+            // Never heard from the receiver: halve the cold-start rate.
+            self.x = (self.x / 2.0).max(floor);
+        } else if self.p > 0.0 {
+            // Receive rate limit drives the equation-mode clamp.
+            self.x_recv /= 2.0;
+            let x_calc = equation::throughput(self.cfg.s, self.r.unwrap(), self.p);
+            self.x = x_calc.min(2.0 * self.x_recv).max(floor);
+        } else {
+            self.x = (self.x / 2.0).max(floor);
+        }
+        self.meter.tick(OpClass::Arith, 4);
+        self.nofeedback_deadline = now + self.nofeedback_interval();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u32 = 1000;
+    const RTT: Duration = Duration::from_millis(100);
+
+    fn seeded_sender() -> TfrcSender {
+        let mut tx = TfrcSender::new(SenderConfig::new(S));
+        tx.seed_rtt(SimTime::ZERO, RTT);
+        tx
+    }
+
+    /// Feedback `ts_echo` chosen so the RTT sample equals `RTT`.
+    fn fb(tx: &mut TfrcSender, now: SimTime, x_recv: f64, p: f64) {
+        let ts_echo = now - RTT;
+        tx.on_feedback(now, ts_echo, Duration::ZERO, x_recv, p);
+    }
+
+    #[test]
+    fn cold_start_is_one_packet_per_second() {
+        let tx = TfrcSender::new(SenderConfig::new(S));
+        assert_eq!(tx.allowed_rate(), S as f64);
+        assert_eq!(tx.send_interval(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn seed_rtt_sets_initial_window_rate() {
+        let tx = seeded_sender();
+        // W_init = min(4*1000, max(2*1000, 4380)) = 4000 bytes per RTT.
+        assert!((tx.allowed_rate() - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn slow_start_doubles_once_per_rtt() {
+        let mut tx = seeded_sender();
+        let x0 = tx.allowed_rate();
+        // Plenty of receive rate headroom.
+        fb(&mut tx, SimTime::from_millis(100), 1e9, 0.0);
+        let x1 = tx.allowed_rate();
+        assert!((x1 / x0 - 2.0).abs() < 1e-9, "x0={x0}, x1={x1}");
+        // A second feedback within the same RTT must NOT double again.
+        fb(&mut tx, SimTime::from_millis(150), 1e9, 0.0);
+        assert_eq!(tx.allowed_rate(), x1);
+        // After a full RTT it may.
+        fb(&mut tx, SimTime::from_millis(200), 1e9, 0.0);
+        assert!((tx.allowed_rate() / x1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slow_start_limited_by_twice_receive_rate() {
+        let mut tx = seeded_sender();
+        // Receiver reports only 30 kB/s: rate may not exceed 60 kB/s.
+        fb(&mut tx, SimTime::from_millis(100), 30_000.0, 0.0);
+        fb(&mut tx, SimTime::from_millis(200), 30_000.0, 0.0);
+        fb(&mut tx, SimTime::from_millis(300), 30_000.0, 0.0);
+        assert!(tx.allowed_rate() <= 60_000.0 + 1e-9);
+    }
+
+    #[test]
+    fn equation_mode_tracks_loss_rate() {
+        let mut tx = seeded_sender();
+        fb(&mut tx, SimTime::from_millis(100), 1e9, 0.01);
+        let expect = equation::throughput(S, RTT, 0.01);
+        assert!((tx.allowed_rate() - expect).abs() / expect < 1e-6);
+        // Higher loss -> lower rate.
+        fb(&mut tx, SimTime::from_millis(200), 1e9, 0.05);
+        assert!(tx.allowed_rate() < expect);
+    }
+
+    #[test]
+    fn equation_mode_clamped_by_receive_rate() {
+        let mut tx = seeded_sender();
+        // Equation would allow ~112 kB/s at p=0.01 but receiver only sees
+        // 20 kB/s.
+        fb(&mut tx, SimTime::from_millis(100), 20_000.0, 0.01);
+        assert!((tx.allowed_rate() - 40_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rate_never_below_floor() {
+        let mut tx = seeded_sender();
+        fb(&mut tx, SimTime::from_millis(100), 1.0, 0.9);
+        let floor = S as f64 / T_MBI.as_secs_f64();
+        assert!(tx.allowed_rate() >= floor);
+    }
+
+    #[test]
+    fn rtt_ewma_converges() {
+        let mut tx = seeded_sender();
+        // Constant 100 ms samples keep the estimate at 100 ms.
+        for k in 1..20u64 {
+            fb(&mut tx, SimTime::from_millis(100 * k), 1e9, 0.01);
+        }
+        let r = tx.rtt().unwrap();
+        assert!((r.as_secs_f64() - 0.1).abs() < 1e-6, "r={r:?}");
+        // A jump to 200 ms moves the estimate slowly (q=0.9).
+        let now = SimTime::from_millis(2000);
+        tx.on_feedback(now, now - Duration::from_millis(200), Duration::ZERO, 1e9, 0.01);
+        let r2 = tx.rtt().unwrap();
+        assert!(r2 > r && r2 < Duration::from_millis(120), "r2={r2:?}");
+    }
+
+    #[test]
+    fn t_delay_subtracted_from_rtt_sample() {
+        let mut tx = TfrcSender::new(SenderConfig::new(S));
+        let now = SimTime::from_secs(1);
+        // Echo 300 ms old but receiver held it 200 ms: true RTT 100 ms.
+        tx.on_feedback(
+            now,
+            now - Duration::from_millis(300),
+            Duration::from_millis(200),
+            1e6,
+            0.0,
+        );
+        assert_eq!(tx.rtt(), Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn nofeedback_halves_rate() {
+        let mut tx = seeded_sender();
+        fb(&mut tx, SimTime::from_millis(100), 1e9, 0.0);
+        let x = tx.allowed_rate();
+        let deadline = tx.nofeedback_deadline();
+        tx.on_nofeedback_timer(deadline);
+        assert!((tx.allowed_rate() - x / 2.0).abs() < 1e-9);
+        // Deadline moved forward.
+        assert!(tx.nofeedback_deadline() > deadline);
+    }
+
+    #[test]
+    fn nofeedback_in_equation_mode_halves_xrecv_clamp() {
+        let mut tx = seeded_sender();
+        fb(&mut tx, SimTime::from_millis(100), 20_000.0, 0.01);
+        assert!((tx.allowed_rate() - 40_000.0).abs() < 1e-6);
+        tx.on_nofeedback_timer(tx.nofeedback_deadline());
+        // x_recv 20k -> 10k, clamp 2*x_recv = 20k.
+        assert!((tx.allowed_rate() - 20_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn send_interval_is_s_over_x() {
+        let tx = seeded_sender();
+        let gap = tx.send_interval();
+        let expect = S as f64 / tx.allowed_rate();
+        assert!((gap.as_secs_f64() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feedback_reconstructs_rtt_through_t_delay_zero_clamp() {
+        let mut tx = TfrcSender::new(SenderConfig::new(S));
+        let now = SimTime::from_secs(1);
+        // Pathological report where t_delay exceeds the echo age: the sample
+        // clamps to a microsecond rather than panicking.
+        tx.on_feedback(
+            now,
+            now - Duration::from_millis(10),
+            Duration::from_millis(50),
+            1e6,
+            0.0,
+        );
+        assert!(tx.rtt().unwrap() <= Duration::from_millis(1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: open a QTP connection over a simulated lossy path and watch
+//! the negotiated transport work.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use qtp::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    // Build a simple path: server --(10 Mbit/s, 40 ms RTT, 1% loss)-- client.
+    let mut b = NetworkBuilder::new();
+    let server = b.host();
+    let client = b.host();
+    b.duplex_link(
+        server,
+        client,
+        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20))
+            .with_loss(LossModel::bernoulli(0.01)),
+    );
+    let mut sim = b.build(42);
+
+    // Attach a QTPlight connection (the mobile-receiver profile) and run.
+    let h = attach_qtp(
+        &mut sim,
+        server,
+        client,
+        "stream",
+        qtp_light_sender(),
+        QtpReceiverConfig::default(),
+    );
+    sim.set_sample_interval(Duration::from_secs(1));
+    sim.run_until(SimTime::from_secs(20));
+
+    let f = sim.stats().flow(h.data_flow);
+    println!("QTPlight over a 10 Mbit/s, 40 ms RTT path with 1% loss");
+    println!("------------------------------------------------------");
+    println!(
+        "goodput:        {:.2} Mbit/s",
+        f.goodput_bps(Duration::from_secs(20)) / 1e6
+    );
+    println!("packets:        {} arrived, {} lost in the network", f.pkts_arrived, f.pkts_dropped);
+    println!(
+        "receiver load:  {:.1} ops/packet, peak state {} bytes",
+        h.rx.read(|d| d.rx_ops_per_packet()),
+        h.rx.read(|d| d.rx_state_bytes_peak)
+    );
+    println!(
+        "sender rtt est: {:.1} ms",
+        h.tx.read(|d| d.rtt_estimate_s) * 1e3
+    );
+    println!("\nthroughput per second (Mbit/s):");
+    for (i, bps) in f
+        .arrive_series_bps(Duration::from_secs(1))
+        .iter()
+        .enumerate()
+    {
+        println!("  t={:>2}s  {:>6.2}  {}", i + 1, bps / 1e6, "#".repeat((bps / 4e5) as usize));
+    }
+}

@@ -1,0 +1,72 @@
+//! # qtp — a versatile transport protocol
+//!
+//! Full reproduction of *"Towards a Versatile Transport Protocol"*
+//! (Jourjon, Lochin, Sénac — CoNEXT 2006): a reconfigurable transport
+//! built by composing **TFRC** congestion control (RFC 3448) with
+//! **SACK** selective acknowledgments (RFC 2018), yielding — among other
+//! compositions — the paper's two named instances:
+//!
+//! * **QTPAF** — gTFRC (guaranteed TFRC, `X = max(g, X_tfrc)`) plus full
+//!   SACK reliability, for DiffServ Assured-Forwarding networks;
+//! * **QTPlight** — TFRC whose loss-event-rate estimation runs at the
+//!   *sender* from SACK feedback, freeing resource-limited receivers.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`simnet`] | deterministic discrete-event network simulator (links, RED/RIO, DiffServ markers, Gilbert–Elliott loss, dumbbells, statistics) |
+//! | [`tfrc`] | RFC 3448 sender/receiver, throughput equation, loss-interval history, gTFRC |
+//! | [`sack`] | range sets, reassembly + SACK block generation, scoreboard, reliability policies |
+//! | [`tcp`] | TCP NewReno / SACK baseline agents |
+//! | [`core`] | the composed QTP endpoints, wire formats, capability negotiation, named instances |
+//! | [`metrics`] | deterministic processing-cost accounting |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use qtp::prelude::*;
+//!
+//! // A 10 Mbit/s, 40 ms RTT path with 1% random loss.
+//! let mut b = NetworkBuilder::new();
+//! let server = b.host();
+//! let mobile = b.host();
+//! b.duplex_link(server, mobile,
+//!     LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20))
+//!         .with_loss(LossModel::bernoulli(0.01)));
+//! let mut sim = b.build(42);
+//!
+//! // A QTPlight connection: sender-side loss estimation, light receiver.
+//! let h = attach_qtp(&mut sim, server, mobile, "stream",
+//!     qtp_light_sender(), QtpReceiverConfig::default());
+//! sim.run_until(SimTime::from_secs(10));
+//!
+//! let stats = sim.stats().flow(h.data_flow);
+//! assert!(stats.bytes_app_delivered > 0);
+//! // The receiver did almost no work per packet:
+//! assert!(h.rx.read(|d| d.rx_ops_per_packet()) < 20.0);
+//! ```
+//!
+//! See `DESIGN.md` for the architecture and the experiment index, and run
+//! `cargo run -p qtp-bench --release --bin expt -- all` to regenerate
+//! every evaluation result.
+
+pub use qtp_core as core;
+pub use qtp_metrics as metrics;
+pub use qtp_sack as sack;
+pub use qtp_simnet as simnet;
+pub use qtp_tcp as tcp;
+pub use qtp_tfrc as tfrc;
+
+/// Everything a simulation driver typically needs.
+pub mod prelude {
+    pub use qtp_core::{
+        attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,
+        qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe,
+        QtpHandles, QtpReceiverConfig, QtpSenderConfig, ServerPolicy,
+    };
+    pub use qtp_sack::ReliabilityMode;
+    pub use qtp_simnet::prelude::*;
+    pub use qtp_tcp::{TcpConfig, TcpFlavor, TcpReceiver, TcpSender};
+}

@@ -1,0 +1,239 @@
+//! Cross-crate integration tests: the paper's headline claims asserted
+//! end-to-end through the facade crate.
+
+use qtp::prelude::*;
+use qtp::simnet::marker::{Marker, TokenBucketMarker};
+use std::time::Duration;
+
+/// AF dumbbell with a RIO core, one conditioned pair + one out-of-profile
+/// TCP aggressor pair.
+fn af_scenario(seed: u64) -> (qtp::simnet::sim::Simulator, Dumbbell) {
+    let cfg = DumbbellConfig {
+        pairs: 2,
+        bottleneck_rate: Rate::from_mbps(10),
+        bottleneck_delay: Duration::from_millis(10),
+        bottleneck_queue: QueueConfig::Rio(RioParams::default()),
+        ..DumbbellConfig::default()
+    };
+    Dumbbell::build(&cfg, seed)
+}
+
+fn attach_bg_tcp(sim: &mut qtp::simnet::sim::Simulator, net: &Dumbbell, pair: usize) {
+    let bg = sim.register_flow("bg");
+    let bga = sim.register_flow("bg-ack");
+    sim.attach_agent(
+        net.senders[pair],
+        Box::new(TcpSender::new(
+            bg,
+            net.receivers[pair],
+            TcpConfig::new(TcpFlavor::NewReno),
+        )),
+    );
+    sim.attach_agent(
+        net.receivers[pair],
+        Box::new(TcpReceiver::new(bg, bga, net.senders[pair], false, 1000)),
+    );
+    sim.set_marker(
+        net.sender_access[pair],
+        bg,
+        Marker::TokenBucket(TokenBucketMarker::new(Rate::ZERO, 0)),
+    );
+}
+
+/// The paper's §4 claim as a single assertion: with a 4 Mbit/s reservation
+/// on a 10 Mbit/s AF bottleneck against an aggressor, QTPAF achieves its
+/// target and TCP does not.
+#[test]
+fn qtpaf_achieves_negotiated_qos_where_tcp_fails() {
+    const SECS: u64 = 40;
+    let g = Rate::from_mbps(4);
+
+    // QTPAF run.
+    let (mut sim, net) = af_scenario(1);
+    let h = attach_qtp(
+        &mut sim,
+        net.senders[0],
+        net.receivers[0],
+        "qtpaf",
+        qtp_af_sender(g),
+        QtpReceiverConfig::default(),
+    );
+    sim.set_marker(
+        net.sender_access[0],
+        h.data_flow,
+        Marker::TokenBucket(TokenBucketMarker::new(g, 20_000)),
+    );
+    attach_bg_tcp(&mut sim, &net, 1);
+    sim.run_until(SimTime::from_secs(SECS));
+    let qtpaf_rate = sim
+        .stats()
+        .flow(h.data_flow)
+        .throughput_bps(Duration::from_secs(SECS));
+
+    // TCP-with-reservation run.
+    let (mut sim, net) = af_scenario(1);
+    let data = sim.register_flow("tcp");
+    let ack = sim.register_flow("tcp-ack");
+    sim.attach_agent(
+        net.senders[0],
+        Box::new(TcpSender::new(
+            data,
+            net.receivers[0],
+            TcpConfig::new(TcpFlavor::NewReno),
+        )),
+    );
+    sim.attach_agent(
+        net.receivers[0],
+        Box::new(TcpReceiver::new(data, ack, net.senders[0], false, 1000)),
+    );
+    sim.set_marker(
+        net.sender_access[0],
+        data,
+        Marker::TokenBucket(TokenBucketMarker::new(g, 20_000)),
+    );
+    attach_bg_tcp(&mut sim, &net, 1);
+    sim.run_until(SimTime::from_secs(SECS));
+    let tcp_rate = sim
+        .stats()
+        .flow(data)
+        .throughput_bps(Duration::from_secs(SECS));
+
+    assert!(
+        qtpaf_rate >= 0.95 * g.bps() as f64,
+        "QTPAF must hold its reservation: got {:.2} of 4 Mbit/s",
+        qtpaf_rate / 1e6
+    );
+    assert!(
+        tcp_rate < 0.9 * g.bps() as f64,
+        "TCP should fail the reservation in this scenario: got {:.2} Mbit/s",
+        tcp_rate / 1e6
+    );
+}
+
+/// QTPAF keeps full reliability while holding the rate on a lossy path.
+#[test]
+fn qtpaf_is_reliable_end_to_end() {
+    let mut b = NetworkBuilder::new();
+    let s = b.host();
+    let r = b.host();
+    b.simplex_link(
+        s,
+        r,
+        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10))
+            .with_loss(LossModel::gilbert_elliott(0.01, 0.3, 0.0, 0.6))
+            .with_queue(QueueConfig::DropTailPkts(300)),
+    );
+    b.simplex_link(r, s, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)));
+    let mut sim = b.build(3);
+    let mut cfg = qtp_af_sender(Rate::from_mbps(1));
+    cfg.app = AppModel::Finite { packets: 2000 };
+    let h = attach_qtp(&mut sim, s, r, "rel", cfg, QtpReceiverConfig::default());
+    sim.run_until(SimTime::from_secs(120));
+    assert_eq!(
+        sim.stats().flow(h.data_flow).bytes_app_delivered,
+        2000 * 1000,
+        "bursty wireless loss must not cost a single application byte"
+    );
+}
+
+/// Negotiation downgrades work end-to-end through the facade.
+#[test]
+fn negotiation_downgrade_full_stack() {
+    let mut b = NetworkBuilder::new();
+    let s = b.host();
+    let r = b.host();
+    b.duplex_link(
+        s,
+        r,
+        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)),
+    );
+    let mut sim = b.build(4);
+    let rcfg = QtpReceiverConfig {
+        policy: ServerPolicy {
+            allow_reliability: false,
+            ..ServerPolicy::default()
+        },
+        ..QtpReceiverConfig::default()
+    };
+    // Offer QTPAF (Full reliability); server refuses reliability.
+    let h = attach_qtp(&mut sim, s, r, "dg", qtp_af_sender(Rate::from_mbps(2)), rcfg);
+    sim.run_until(SimTime::from_secs(10));
+    // Data still flows and nothing is ever retransmitted.
+    assert!(sim.stats().flow(h.data_flow).pkts_arrived > 100);
+    assert_eq!(h.tx.read(|d| d.tx_retransmissions), 0);
+}
+
+/// Two QTP flows sharing a bottleneck split it roughly fairly.
+#[test]
+fn two_tfrc_flows_share_fairly() {
+    const SECS: u64 = 60;
+    let cfg = DumbbellConfig {
+        pairs: 2,
+        bottleneck_rate: Rate::from_mbps(10),
+        bottleneck_delay: Duration::from_millis(10),
+        bottleneck_queue: QueueConfig::DropTailPkts(50),
+        ..DumbbellConfig::default()
+    };
+    let (mut sim, net) = Dumbbell::build(&cfg, 5);
+    let h1 = attach_qtp(
+        &mut sim,
+        net.senders[0],
+        net.receivers[0],
+        "a",
+        qtp_standard_sender(),
+        QtpReceiverConfig::default(),
+    );
+    let h2 = attach_qtp(
+        &mut sim,
+        net.senders[1],
+        net.receivers[1],
+        "b",
+        qtp_light_sender(),
+        QtpReceiverConfig::default(),
+    );
+    sim.run_until(SimTime::from_secs(SECS));
+    let r1 = sim
+        .stats()
+        .flow(h1.data_flow)
+        .throughput_bps(Duration::from_secs(SECS));
+    let r2 = sim
+        .stats()
+        .flow(h2.data_flow)
+        .throughput_bps(Duration::from_secs(SECS));
+    let fairness = jain_index(&[r1, r2]);
+    assert!(
+        fairness > 0.85,
+        "standard and light flows should share fairly: {:.2} vs {:.2} Mbit/s (J={fairness:.3})",
+        r1 / 1e6,
+        r2 / 1e6
+    );
+    // And together they should not overdrive the link.
+    assert!(r1 + r2 < 10.5e6);
+}
+
+/// The facade's prelude exposes a working surface (doc example shape).
+#[test]
+fn facade_quickstart_shape() {
+    let mut b = NetworkBuilder::new();
+    let server = b.host();
+    let mobile = b.host();
+    b.duplex_link(
+        server,
+        mobile,
+        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20))
+            .with_loss(LossModel::bernoulli(0.01)),
+    );
+    let mut sim = b.build(42);
+    let h = attach_qtp(
+        &mut sim,
+        server,
+        mobile,
+        "stream",
+        qtp_light_sender(),
+        QtpReceiverConfig::default(),
+    );
+    sim.run_until(SimTime::from_secs(10));
+    let stats = sim.stats().flow(h.data_flow);
+    assert!(stats.bytes_app_delivered > 0);
+    assert!(h.rx.read(|d| d.rx_ops_per_packet()) < 20.0);
+}
