@@ -14,7 +14,12 @@ fn bench_sim_loop(c: &mut Criterion) {
             let f = sim.register_flow("cbr");
             sim.attach_agent(
                 net.senders[0],
-                Box::new(CbrSource::new(f, net.receivers[0], 1000, Rate::from_mbps(8))),
+                Box::new(CbrSource::new(
+                    f,
+                    net.receivers[0],
+                    1000,
+                    Rate::from_mbps(8),
+                )),
             );
             sim.attach_agent(net.receivers[0], Box::new(Sink));
             sim.run_until(SimTime::from_secs(1));
@@ -31,7 +36,11 @@ fn bench_queues(c: &mut Criterion) {
         b.iter(|| {
             uid += 1;
             let mut p = Packet::new(uid, 0, 0, 1, 1000, SimTime::ZERO, Vec::new());
-            p.color = if uid % 2 == 0 { Color::Green } else { Color::Red };
+            p.color = if uid % 2 == 0 {
+                Color::Green
+            } else {
+                Color::Red
+            };
             let _ = q.enqueue(SimTime::from_micros(uid), p, &mut rng);
             q.dequeue(SimTime::from_micros(uid))
         })

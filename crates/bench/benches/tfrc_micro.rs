@@ -10,10 +10,22 @@ use std::time::Duration;
 
 fn bench_equation(c: &mut Criterion) {
     c.bench_function("tfrc/equation_throughput", |b| {
-        b.iter(|| throughput(black_box(1000), black_box(Duration::from_millis(100)), black_box(0.02)))
+        b.iter(|| {
+            throughput(
+                black_box(1000),
+                black_box(Duration::from_millis(100)),
+                black_box(0.02),
+            )
+        })
     });
     c.bench_function("tfrc/equation_inverse", |b| {
-        b.iter(|| inverse(black_box(1000), black_box(Duration::from_millis(100)), black_box(50_000.0)))
+        b.iter(|| {
+            inverse(
+                black_box(1000),
+                black_box(Duration::from_millis(100)),
+                black_box(50_000.0),
+            )
+        })
     });
 }
 

@@ -44,7 +44,9 @@ fn bench_tcp_wire(c: &mut Criterion) {
         vec![SeqRange::new(42_002, 42_010), SeqRange::new(42_020, 42_022)],
     );
     let bytes = ack.encode();
-    c.bench_function("wire/tcp_encode_ack_sack", |b| b.iter(|| black_box(&ack).encode()));
+    c.bench_function("wire/tcp_encode_ack_sack", |b| {
+        b.iter(|| black_box(&ack).encode())
+    });
     c.bench_function("wire/tcp_decode_ack_sack", |b| {
         b.iter(|| TcpHeader::decode(black_box(&bytes)).unwrap())
     });

@@ -38,7 +38,7 @@ fn main() {
     }
     if json {
         println!("```json");
-        println!("{}", serde_json::to_string_pretty(&tables).unwrap());
+        println!("{}", qtp_bench::table::tables_to_json(&tables));
         println!("```");
     }
 }

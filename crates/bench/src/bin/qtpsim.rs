@@ -47,10 +47,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args::default();
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut val = || {
-            it.next()
-                .ok_or_else(|| format!("missing value for {flag}"))
-        };
+        let mut val = || it.next().ok_or_else(|| format!("missing value for {flag}"));
         match flag.as_str() {
             "--protocol" => args.protocol = val()?,
             "--rate-mbps" => args.rate_mbps = val()?.parse().map_err(|e| format!("{e}"))?,
@@ -118,7 +115,12 @@ fn main() {
 
     println!(
         "qtpsim: {} over {:.1} Mbit/s, RTT {} ms, loss model {:?} ({} s, seed {})\n",
-        args.protocol, args.rate_mbps, args.rtt_ms, loss.steady_state_loss(), args.secs, args.seed
+        args.protocol,
+        args.rate_mbps,
+        args.rtt_ms,
+        loss.steady_state_loss(),
+        args.secs,
+        args.seed
     );
 
     let secs = Duration::from_secs(args.secs);
@@ -134,7 +136,13 @@ fn main() {
             sim.attach_agent(s, Box::new(TcpSender::new(data, r, TcpConfig::new(flavor))));
             sim.attach_agent(
                 r,
-                Box::new(TcpReceiver::new(data, ack, s, flavor == TcpFlavor::Sack, 1000)),
+                Box::new(TcpReceiver::new(
+                    data,
+                    ack,
+                    s,
+                    flavor == TcpFlavor::Sack,
+                    1000,
+                )),
             );
             sim.run_until(SimTime::from_secs(args.secs));
             let f = sim.stats().flow(data);
@@ -182,8 +190,16 @@ fn main() {
         }
     }
     println!("\nper-second arrival rate (Mbit/s):");
-    let series = sim.stats().flow(0).arrive_series_bps(Duration::from_secs(1));
+    let series = sim
+        .stats()
+        .flow(0)
+        .arrive_series_bps(Duration::from_secs(1));
     for (i, bps) in series.iter().enumerate() {
-        println!("  t={:>3}s {:>8.2}  {}", i + 1, bps / 1e6, "#".repeat((bps / 4e5) as usize));
+        println!(
+            "  t={:>3}s {:>8.2}  {}",
+            i + 1,
+            bps / 1e6,
+            "#".repeat((bps / 4e5) as usize)
+        );
     }
 }

@@ -126,7 +126,9 @@ pub fn throughput(sim: &Simulator, flow: FlowId, secs: u64) -> f64 {
 
 /// Application goodput of a flow over `secs` seconds, bit/s.
 pub fn goodput(sim: &Simulator, flow: FlowId, secs: u64) -> f64 {
-    sim.stats().flow(flow).goodput_bps(Duration::from_secs(secs))
+    sim.stats()
+        .flow(flow)
+        .goodput_bps(Duration::from_secs(secs))
 }
 
 /// A two-host lossy path (no routers): forward direction takes the loss
@@ -179,7 +181,12 @@ mod tests {
         set_out_of_profile(&mut sim, &net, 0, f);
         sim.attach_agent(
             net.senders[0],
-            Box::new(CbrSource::new(f, net.receivers[0], 1000, Rate::from_mbps(1))),
+            Box::new(CbrSource::new(
+                f,
+                net.receivers[0],
+                1000,
+                Rate::from_mbps(1),
+            )),
         );
         sim.run_until(SimTime::from_secs(2));
         // All enqueued packets at the bottleneck were red.

@@ -1,9 +1,7 @@
 //! Experiments E1–E5: the DiffServ/AF bandwidth-assurance studies (paper
 //! §4) and the QTPlight equivalence/cost studies (paper §3).
 
-use qtp_core::{
-    qtp_af_sender, qtp_light_sender, qtp_standard_sender, QtpReceiverConfig,
-};
+use qtp_core::{qtp_af_sender, qtp_light_sender, qtp_standard_sender, QtpReceiverConfig};
 use qtp_simnet::prelude::*;
 use qtp_tcp::TcpFlavor;
 use std::time::Duration;

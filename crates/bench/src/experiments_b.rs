@@ -2,8 +2,8 @@
 //! the reliability-composition matrix.
 
 use qtp_core::{
-    attach_qtp, qtp_light_sender, qtp_standard_sender, AppModel, CapabilitySet,
-    QtpReceiverConfig, QtpSenderConfig,
+    attach_qtp, qtp_light_sender, qtp_standard_sender, AppModel, CapabilitySet, QtpReceiverConfig,
+    QtpSenderConfig,
 };
 use qtp_sack::ReliabilityMode;
 use qtp_simnet::marker::{Marker, TokenBucketMarker};
@@ -27,7 +27,12 @@ pub fn e6() -> Table {
     );
     const SECS: u64 = 60;
     let run = |light: bool, k: f64| -> f64 {
-        let (mut sim, s, r) = lossy_path(50, Duration::from_millis(30), LossModel::bernoulli(0.02), 61);
+        let (mut sim, s, r) = lossy_path(
+            50,
+            Duration::from_millis(30),
+            LossModel::bernoulli(0.02),
+            61,
+        );
         let cfg = if light {
             qtp_light_sender()
         } else {
@@ -92,13 +97,24 @@ pub fn e7() -> Table {
     sim.run_until(SimTime::from_secs(SECS));
     // Skip the first 10 s (startup transients): 50 windows.
     let series = |f: FlowId| -> Vec<f64> {
-        sim.stats().flow(f).arrive_series_bps(Duration::from_millis(200))[50..].to_vec()
+        sim.stats()
+            .flow(f)
+            .arrive_series_bps(Duration::from_millis(200))[50..]
+            .to_vec()
     };
     let (ts, fs) = (series(tcp), series(tfrc));
     let (m_tcp, m_tfrc) = (mean(&ts), mean(&fs));
     let (c_tcp, c_tfrc) = (cov(&ts), cov(&fs));
-    t.row(vec!["TCP NewReno".into(), mbps(m_tcp), format!("{c_tcp:.3}")]);
-    t.row(vec!["TFRC (QTP)".into(), mbps(m_tfrc), format!("{c_tfrc:.3}")]);
+    t.row(vec![
+        "TCP NewReno".into(),
+        mbps(m_tcp),
+        format!("{c_tcp:.3}"),
+    ]);
+    t.row(vec![
+        "TFRC (QTP)".into(),
+        mbps(m_tfrc),
+        format!("{c_tfrc:.3}"),
+    ]);
     let jain = jain_index(&[m_tcp, m_tfrc]);
     t.verdict = format!(
         "CoV: TFRC {c_tfrc:.3} vs TCP {c_tcp:.3} ({}x smoother); Jain fairness between the two flows {jain:.3} — smooth and still TCP-friendly.",
@@ -138,9 +154,16 @@ pub fn e8() -> Table {
             let sack = flavor == TcpFlavor::Sack;
             sim.attach_agent(
                 s,
-                Box::new(qtp_tcp::TcpSender::new(data, r, qtp_tcp::TcpConfig::new(flavor))),
+                Box::new(qtp_tcp::TcpSender::new(
+                    data,
+                    r,
+                    qtp_tcp::TcpConfig::new(flavor),
+                )),
             );
-            sim.attach_agent(r, Box::new(qtp_tcp::TcpReceiver::new(data, ack, s, sack, 1000)));
+            sim.attach_agent(
+                r,
+                Box::new(qtp_tcp::TcpReceiver::new(data, ack, s, sack, 1000)),
+            );
             sim.run_until(SimTime::from_secs(SECS));
             goodput(&sim, data, SECS)
         };
@@ -197,7 +220,10 @@ pub fn e9() -> Table {
     let reliabilities: [(&str, ReliabilityMode); 4] = [
         ("None", ReliabilityMode::None),
         ("Full", ReliabilityMode::Full),
-        ("PartialTtl(150ms)", ReliabilityMode::PartialTtl(Duration::from_millis(150))),
+        (
+            "PartialTtl(150ms)",
+            ReliabilityMode::PartialTtl(Duration::from_millis(150)),
+        ),
         ("PartialRetx(1)", ReliabilityMode::PartialRetx(1)),
     ];
     let feedbacks = [
@@ -330,7 +356,10 @@ pub fn e10() -> Table {
                 qtp_tcp::TcpConfig::new(TcpFlavor::NewReno),
             )),
         );
-        sim.attach_agent(r1, Box::new(qtp_tcp::TcpReceiver::new(bg, bga, s1, false, 1000)));
+        sim.attach_agent(
+            r1,
+            Box::new(qtp_tcp::TcpReceiver::new(bg, bga, s1, false, 1000)),
+        );
         sim.run_until(SimTime::from_secs(SECS));
 
         let st = sim.stats().flow(h.data_flow);

@@ -162,7 +162,11 @@ pub fn e12() -> Table {
             format!("{loss_rate:.4}"),
             retx.to_string(),
             green_drops.to_string(),
-            if holds { "holds g".into() } else { "breaks".into() },
+            if holds {
+                "holds g".into()
+            } else {
+                "breaks".into()
+            },
         ]);
     }
     let _ = best_ablated;

@@ -1,10 +1,9 @@
 //! Minimal result-table type the experiment harness prints (markdown) and
 //! serializes (JSON) so `EXPERIMENTS.md` can be regenerated mechanically.
-
-use serde::Serialize;
+//! JSON emission is hand-rolled so the harness stays dependency-free.
 
 /// One experiment output table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Experiment id, e.g. "E2".
     pub id: String,
@@ -56,6 +55,53 @@ impl Table {
         out.push('\n');
         out
     }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let headers: Vec<String> = self.headers.iter().map(|h| json_str(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let cells: Vec<String> = r.iter().map(|c| json_str(c)).collect();
+                format!("[{}]", cells.join(", "))
+            })
+            .collect();
+        format!(
+            "{{\"id\": {}, \"title\": {}, \"claim\": {}, \"headers\": [{}], \"rows\": [{}], \"verdict\": {}}}",
+            json_str(&self.id),
+            json_str(&self.title),
+            json_str(&self.claim),
+            headers.join(", "),
+            rows.join(", "),
+            json_str(&self.verdict),
+        )
+    }
+}
+
+/// Render a list of tables as a JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let items: Vec<String> = tables.iter().map(Table::to_json).collect();
+    format!("[{}]", items.join(",\n "))
+}
+
+/// JSON string literal with the escapes markdown table text can contain.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Format bits/second in Mbit/s with two decimals.

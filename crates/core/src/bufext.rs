@@ -1,0 +1,85 @@
+//! Minimal big-endian buffer read/write helpers for the wire codecs.
+//!
+//! API-compatible with the tiny subset of the `bytes` crate the codecs use
+//! (`put_*` on `Vec<u8>`, advancing `get_*`/`remaining` on `&[u8]`), so the
+//! runtime crates stay zero-dependency.
+
+pub(crate) trait BufMut {
+    fn put_u8(&mut self, v: u8);
+    fn put_u32(&mut self, v: u32);
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+
+    fn put_u32(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+
+    fn put_u64(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Advancing big-endian reads over a byte slice. Callers must check
+/// `remaining()` before reading; reads past the end panic, mirroring the
+/// `bytes` crate contract.
+pub(crate) trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let v = self[0];
+        *self = &self[1..];
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut out = Vec::new();
+        out.put_u8(7);
+        out.put_u32(0xDEAD_BEEF);
+        out.put_u64(u64::MAX - 1);
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.remaining(), 13);
+        assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(buf.get_u64(), u64::MAX - 1);
+        assert_eq!(buf.remaining(), 0);
+    }
+
+    #[test]
+    fn big_endian_layout() {
+        let mut out = Vec::new();
+        out.put_u32(1);
+        assert_eq!(out, [0, 0, 0, 1]);
+    }
+}

@@ -150,8 +150,7 @@ impl ServerPolicy {
     /// Degradation is always toward the *simpler* mechanism, never a
     /// rejection: the connection proceeds with the best granted service.
     pub fn negotiate(&self, offered: CapabilitySet) -> CapabilitySet {
-        let feedback = if offered.feedback == FeedbackMode::SenderLoss && !self.allow_sender_loss
-        {
+        let feedback = if offered.feedback == FeedbackMode::SenderLoss && !self.allow_sender_loss {
             FeedbackMode::ReceiverLoss
         } else {
             offered.feedback
@@ -230,12 +229,19 @@ mod tests {
             ..ServerPolicy::default()
         };
         let chosen = policy.negotiate(CapabilitySet::qtp_af(Rate::from_mbps(5)));
-        assert_eq!(chosen.cc, CcKind::Gtfrc { target: Rate::from_mbps(1) });
+        assert_eq!(
+            chosen.cc,
+            CcKind::Gtfrc {
+                target: Rate::from_mbps(1)
+            }
+        );
         // Under the cap: unchanged.
         let chosen = policy.negotiate(CapabilitySet::qtp_af(Rate::from_kbps(500)));
         assert_eq!(
             chosen.cc,
-            CcKind::Gtfrc { target: Rate::from_kbps(500) }
+            CcKind::Gtfrc {
+                target: Rate::from_kbps(500)
+            }
         );
     }
 

@@ -16,7 +16,10 @@ pub enum CcMachine {
     Tfrc(TfrcSender),
     Gtfrc(GtfrcSender),
     /// Open-loop fixed rate (ablation tool; ignores feedback).
-    Fixed { rate: Rate, s: u32 },
+    Fixed {
+        rate: Rate,
+        s: u32,
+    },
 }
 
 impl CcMachine {

@@ -64,17 +64,16 @@ impl SenderLossEstimator {
     ///   synthesis per RFC 3448 §6.3.1).
     ///
     /// Returns `true` if at least one *new* loss event started.
-    pub fn on_losses(
-        &mut self,
-        losses: &[(u64, SimTime)],
-        rtt: Duration,
-        x_recv: f64,
-    ) -> bool {
+    pub fn on_losses(&mut self, losses: &[(u64, SimTime)], rtt: Duration, x_recv: f64) -> bool {
         let mut new_event = false;
         for &(seq, send_ts) in losses {
             match self.event_start_ts {
                 None => {
-                    let p_synth = equation::inverse(self.s, rtt.max(Duration::from_micros(1)), x_recv.max(self.s as f64));
+                    let p_synth = equation::inverse(
+                        self.s,
+                        rtt.max(Duration::from_micros(1)),
+                        x_recv.max(self.s as f64),
+                    );
                     let first_interval = (1.0 / p_synth).max(1.0);
                     self.history.record_first_loss(seq, first_interval);
                     self.event_start_ts = Some(send_ts);

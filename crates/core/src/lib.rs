@@ -24,6 +24,7 @@
 //! for the byte-level formats, and [`estimator`] for the sender-side loss
 //! estimation that makes QTPlight possible.
 
+mod bufext;
 pub mod caps;
 pub mod cc;
 pub mod estimator;

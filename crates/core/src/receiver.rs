@@ -16,10 +16,10 @@
 //! by the factor and the receive rate inflated by it. In SenderLoss mode
 //! there is no loss report to falsify — which is the defence.
 
+use qtp_metrics::StateSize;
 use qtp_sack::{ReceiverBuffer, ReliabilityMode, MAX_SACK_BLOCKS};
 use qtp_simnet::prelude::*;
 use qtp_simnet::sim::{Agent, Ctx};
-use qtp_metrics::StateSize;
 use qtp_tfrc::TfrcReceiver;
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -132,7 +132,9 @@ impl QtpReceiver {
     }
 
     fn on_syn(&mut self, ctx: &mut Ctx, ts_nanos: u64, offered: CapabilitySet) {
-        let chosen = self.chosen.unwrap_or_else(|| self.cfg.policy.negotiate(offered));
+        let chosen = self
+            .chosen
+            .unwrap_or_else(|| self.cfg.policy.negotiate(offered));
         if self.chosen.is_none() {
             self.chosen = Some(chosen);
             if chosen.feedback == FeedbackMode::ReceiverLoss {
@@ -240,8 +242,7 @@ impl QtpReceiver {
         }
 
         // Immediate feedback on new loss evidence.
-        let immediate = loss_event_fb
-            || (chosen.feedback == FeedbackMode::SenderLoss && new_gap);
+        let immediate = loss_event_fb || (chosen.feedback == FeedbackMode::SenderLoss && new_gap);
         if immediate {
             self.send_feedback(ctx);
         }
@@ -302,10 +303,7 @@ impl QtpReceiver {
                 let p_honest = fb.map(|f| f.p).unwrap_or(0.0);
                 let p_reported = p_honest / selfish;
                 self.own_ops += 2;
-                (
-                    Some(p_to_ppb(p_reported)),
-                    x_recv_honest * selfish,
-                )
+                (Some(p_to_ppb(p_reported)), x_recv_honest * selfish)
             }
             FeedbackMode::SenderLoss => {
                 self.own_ops += 2;
@@ -315,13 +313,12 @@ impl QtpReceiver {
 
         // SACK blocks only when someone consumes them (reliability at the
         // sender, or sender-side loss estimation).
-        let blocks = if self.reliability().retransmits()
-            || chosen.feedback == FeedbackMode::SenderLoss
-        {
-            self.buf.sack_blocks(MAX_SACK_BLOCKS)
-        } else {
-            Vec::new()
-        };
+        let blocks =
+            if self.reliability().retransmits() || chosen.feedback == FeedbackMode::SenderLoss {
+                self.buf.sack_blocks(MAX_SACK_BLOCKS)
+            } else {
+                Vec::new()
+            };
 
         let pkt = QtpPacket::Feedback {
             ts_echo_nanos: last_ts.as_nanos(),

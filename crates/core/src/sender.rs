@@ -215,16 +215,19 @@ impl QtpSender {
         for _ in 0..adu_packets {
             self.backlog.push_back(ctx.now);
         }
-        let interval =
-            Duration::from_secs_f64(adu_packets as f64 * self.cfg.s as f64 * 8.0 / rate.bps() as f64);
+        let interval = Duration::from_secs_f64(
+            adu_packets as f64 * self.cfg.s as f64 * 8.0 / rate.bps() as f64,
+        );
         self.arm(ctx, TK_APP, ctx.now + interval);
     }
 
     /// Sender-side staleness drop (TTL reliability, Cbr model): stale ADUs
     /// are discarded before ever being transmitted.
     fn drop_stale_backlog(&mut self, now: SimTime) {
-        if let ReliabilityMode::PartialTtl(ttl) =
-            self.chosen.map(|c| c.reliability).unwrap_or(ReliabilityMode::None)
+        if let ReliabilityMode::PartialTtl(ttl) = self
+            .chosen
+            .map(|c| c.reliability)
+            .unwrap_or(ReliabilityMode::None)
         {
             while let Some(&submit) = self.backlog.front() {
                 if now.saturating_since(submit) >= ttl {
@@ -292,7 +295,8 @@ impl QtpSender {
             self.sent_new += 1;
             let reliability = self.chosen.map(|c| c.reliability);
             if matches!(reliability, Some(ReliabilityMode::PartialTtl(_))) {
-                self.policy.register_adu(SeqRange::new(seq, seq + 1), submit);
+                self.policy
+                    .register_adu(SeqRange::new(seq, seq + 1), submit);
             }
             if reliability.map(|r| r.retransmits()).unwrap_or(false) {
                 self.adu_ts.insert(seq, submit);
@@ -360,16 +364,15 @@ impl QtpSender {
 
     // ---- feedback -----------------------------------------------------
 
-    fn on_feedback_pkt(
-        &mut self,
-        ctx: &mut Ctx,
-        ts_echo_nanos: u64,
-        t_delay_micros: u32,
-        x_recv: u64,
-        p_ppb: Option<u32>,
-        cum_ack: u64,
-        blocks: &[SeqRange],
-    ) {
+    fn on_feedback_pkt(&mut self, ctx: &mut Ctx, fb: FeedbackFields<'_>) {
+        let FeedbackFields {
+            ts_echo_nanos,
+            t_delay_micros,
+            x_recv,
+            p_ppb,
+            cum_ack,
+            blocks,
+        } = fb;
         if self.state != State::Running {
             return;
         }
@@ -453,6 +456,17 @@ impl QtpSender {
     }
 }
 
+/// Borrowed fields of a decoded `QtpPacket::Feedback`, grouped so the
+/// handler takes one argument per protocol message rather than eight.
+struct FeedbackFields<'a> {
+    ts_echo_nanos: u64,
+    t_delay_micros: u32,
+    x_recv: u64,
+    p_ppb: Option<u32>,
+    cum_ack: u64,
+    blocks: &'a [SeqRange],
+}
+
 impl Agent for QtpSender {
     fn on_start(&mut self, ctx: &mut Ctx) {
         self.send_syn(ctx);
@@ -476,12 +490,14 @@ impl Agent for QtpSender {
                 blocks,
             } => self.on_feedback_pkt(
                 ctx,
-                ts_echo_nanos,
-                t_delay_micros,
-                x_recv,
-                p_ppb,
-                cum_ack,
-                &blocks,
+                FeedbackFields {
+                    ts_echo_nanos,
+                    t_delay_micros,
+                    x_recv,
+                    p_ppb,
+                    cum_ack,
+                    blocks: &blocks,
+                },
             ),
             _ => {}
         }
@@ -489,11 +505,8 @@ impl Agent for QtpSender {
 
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
         match self.token_live(token) {
-            Some(TK_SYN) => {
-                if self.state == State::AwaitSynAck {
-                    self.send_syn(ctx);
-                }
-            }
+            Some(TK_SYN) if self.state == State::AwaitSynAck => self.send_syn(ctx),
+            Some(TK_SYN) => {}
             Some(TK_PACE) => self.on_pace(ctx),
             Some(TK_NOFB) => self.on_nofb(ctx),
             Some(TK_APP) => self.on_app_tick(ctx),

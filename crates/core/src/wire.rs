@@ -14,7 +14,7 @@
 //! Loss event rates are carried as parts-per-billion in a `u32`; receive
 //! rates as `u64` bytes/second; timestamps as `u64` nanoseconds.
 
-use bytes::{Buf, BufMut};
+use crate::bufext::{Buf, BufMut};
 use qtp_sack::{ReliabilityMode, SeqRange};
 use qtp_simnet::time::Rate;
 use std::time::Duration;
@@ -120,8 +120,7 @@ fn get_caps(buf: &mut &[u8]) -> Result<CapabilitySet, WireError> {
         3 => ReliabilityMode::PartialRetx(rel_param as u32),
         _ => return Err(WireError::BadCapability),
     };
-    let feedback =
-        FeedbackMode::from_wire(buf.get_u8()).ok_or(WireError::BadCapability)?;
+    let feedback = FeedbackMode::from_wire(buf.get_u8()).ok_or(WireError::BadCapability)?;
     let cc_code = buf.get_u8();
     let cc_param = buf.get_u64();
     let cc = match cc_code {

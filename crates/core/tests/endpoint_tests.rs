@@ -1,7 +1,6 @@
 //! End-to-end tests of the composed QTP endpoints over simulated networks.
 
 use qtp_core::*;
-use qtp_sack::ReliabilityMode;
 use qtp_simnet::prelude::*;
 use qtp_simnet::sim::Simulator;
 use std::time::Duration;
@@ -20,14 +19,18 @@ fn two_hosts(
     b.simplex_link(
         s,
         r,
-        LinkConfig::new(rate, delay).with_loss(loss).with_queue(queue),
+        LinkConfig::new(rate, delay)
+            .with_loss(loss)
+            .with_queue(queue),
     );
     b.simplex_link(r, s, LinkConfig::new(rate, delay));
     (b.build(seed), s, r)
 }
 
 fn goodput_bps(sim: &Simulator, flow: FlowId, secs: u64) -> f64 {
-    sim.stats().flow(flow).goodput_bps(Duration::from_secs(secs))
+    sim.stats()
+        .flow(flow)
+        .goodput_bps(Duration::from_secs(secs))
 }
 
 #[test]

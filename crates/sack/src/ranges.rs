@@ -73,18 +73,17 @@ impl RangeSet {
 
     /// Is `seq` in the set?
     pub fn contains(&self, seq: u64) -> bool {
-        match self.ranges.binary_search_by(|r| {
-            if seq < r.start {
-                std::cmp::Ordering::Greater
-            } else if seq >= r.end {
-                std::cmp::Ordering::Less
-            } else {
-                std::cmp::Ordering::Equal
-            }
-        }) {
-            Ok(_) => true,
-            Err(_) => false,
-        }
+        self.ranges
+            .binary_search_by(|r| {
+                if seq < r.start {
+                    std::cmp::Ordering::Greater
+                } else if seq >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
     }
 
     /// Insert a single value. Returns true if it was newly added.
@@ -113,9 +112,7 @@ impl RangeSet {
             _ => {}
         }
         // Find the window of existing ranges overlapping or adjacent to r.
-        let start_idx = self
-            .ranges
-            .partition_point(|x| x.end < r.start);
+        let start_idx = self.ranges.partition_point(|x| x.end < r.start);
         let end_idx = self.ranges.partition_point(|x| x.start <= r.end);
         if start_idx == end_idx {
             // No overlap/adjacency: plain insert.
@@ -128,8 +125,10 @@ impl RangeSet {
             .iter()
             .map(|x| x.len())
             .sum();
-        self.ranges
-            .splice(start_idx..end_idx, [SeqRange::new(merged_start, merged_end)]);
+        self.ranges.splice(
+            start_idx..end_idx,
+            [SeqRange::new(merged_start, merged_end)],
+        );
         (merged_end - merged_start) - existing
     }
 
@@ -249,7 +248,10 @@ impl RangeSet {
     pub fn check_invariants(&self) -> Result<(), String> {
         for w in self.ranges.windows(2) {
             if w[0].end >= w[1].start {
-                return Err(format!("ranges not disjoint/coalesced: {} then {}", w[0], w[1]));
+                return Err(format!(
+                    "ranges not disjoint/coalesced: {} then {}",
+                    w[0], w[1]
+                ));
             }
         }
         for r in &self.ranges {

@@ -175,7 +175,9 @@ impl ReceiverBuffer {
             if blocks.len() >= max {
                 break;
             }
-            if let Some(r) = live.iter().find(|r| r.start <= hint.start && hint.start < r.end)
+            if let Some(r) = live
+                .iter()
+                .find(|r| r.start <= hint.start && hint.start < r.end)
             {
                 if !blocks.contains(r) {
                     blocks.push(*r);

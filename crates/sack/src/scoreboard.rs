@@ -129,11 +129,7 @@ impl Scoreboard {
     }
 
     /// Apply one feedback packet: new cumulative ack plus SACK blocks.
-    pub fn on_feedback(
-        &mut self,
-        cum_ack: u64,
-        blocks: &[SeqRange],
-    ) -> SackDigest {
+    pub fn on_feedback(&mut self, cum_ack: u64, blocks: &[SeqRange]) -> SackDigest {
         let mut digest = SackDigest::default();
         self.meter.tick(OpClass::Compare, 1 + blocks.len() as u64);
 
@@ -173,9 +169,7 @@ impl Scoreboard {
 
         // 3. Loss declaration: holes with >= DUP_THRESH sacked above.
         if let Some(highest_sacked_end) = self.sacked.max_end() {
-            let holes = self
-                .sacked
-                .holes_within(self.cum_ack, highest_sacked_end);
+            let holes = self.sacked.holes_within(self.cum_ack, highest_sacked_end);
             self.meter.tick(OpClass::Scan, holes.len() as u64);
             for hole in holes {
                 for seq in hole.start..hole.end {
@@ -186,11 +180,7 @@ impl Scoreboard {
                     if self.sacked.count_above(seq) >= DUP_THRESH {
                         self.ever_lost.insert(seq);
                         self.lost_pending.insert(seq);
-                        let ts = self
-                            .send_times
-                            .get(&seq)
-                            .copied()
-                            .unwrap_or(SimTime::ZERO);
+                        let ts = self.send_times.get(&seq).copied().unwrap_or(SimTime::ZERO);
                         digest.newly_lost.push((seq, ts));
                         self.meter.tick(OpClass::Alloc, 2);
                     }

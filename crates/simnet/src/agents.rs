@@ -202,10 +202,16 @@ mod tests {
     fn cbr_hits_configured_rate() {
         let (mut sim, a, c) = harness();
         let flow = sim.register_flow("cbr");
-        sim.attach_agent(a, Box::new(CbrSource::new(flow, c, 1250, Rate::from_mbps(2))));
+        sim.attach_agent(
+            a,
+            Box::new(CbrSource::new(flow, c, 1250, Rate::from_mbps(2))),
+        );
         sim.attach_agent(c, Box::new(Sink));
         sim.run_until(SimTime::from_secs(10));
-        let bps = sim.stats().flow(flow).throughput_bps(Duration::from_secs(10));
+        let bps = sim
+            .stats()
+            .flow(flow)
+            .throughput_bps(Duration::from_secs(10));
         assert!((bps - 2_000_000.0).abs() < 20_000.0, "bps={bps}");
         // Sink delivered everything.
         assert_eq!(

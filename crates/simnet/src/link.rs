@@ -5,7 +5,7 @@
 //! loss model applied to packets in flight. Timing is orchestrated by the
 //! simulator; the link only holds state.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::loss::LossModel;
@@ -70,7 +70,7 @@ pub struct Link {
     /// Loss process for packets in flight.
     pub(crate) loss: LossModel,
     /// Per-flow traffic conditioners applied at enqueue.
-    pub(crate) markers: HashMap<FlowId, Marker>,
+    pub(crate) markers: BTreeMap<FlowId, Marker>,
     /// Whether a packet is currently being serialized.
     pub(crate) transmitting: bool,
     /// The packet on the wire (being serialized), if any.
@@ -89,7 +89,7 @@ impl Link {
             delay: cfg.delay,
             queue: cfg.queue.build(),
             loss: cfg.loss.clone(),
-            markers: HashMap::new(),
+            markers: BTreeMap::new(),
             transmitting: false,
             in_flight: None,
             rng: DetRng::stream(seed, 0x11AC ^ id as u64),

@@ -57,9 +57,7 @@ impl QueueConfig {
     pub fn build(&self) -> AqmQueue {
         match self {
             QueueConfig::DropTailPkts(n) => AqmQueue::DropTail(DropTailQueue::with_pkt_limit(*n)),
-            QueueConfig::DropTailBytes(b) => {
-                AqmQueue::DropTail(DropTailQueue::with_byte_limit(*b))
-            }
+            QueueConfig::DropTailBytes(b) => AqmQueue::DropTail(DropTailQueue::with_byte_limit(*b)),
             QueueConfig::Red(p) => AqmQueue::Red(RedQueue::new(p.clone())),
             QueueConfig::Rio(p) => AqmQueue::Rio(RioQueue::new(p.clone())),
         }
@@ -213,7 +211,10 @@ struct RedVar {
 
 impl RedVar {
     fn new() -> Self {
-        RedVar { avg: 0.0, count: -1 }
+        RedVar {
+            avg: 0.0,
+            count: -1,
+        }
     }
 
     /// Update the average on packet arrival given the instantaneous queue
@@ -249,7 +250,11 @@ impl RedVar {
         self.count += 1;
         // Count correction: p_a = p_b / (1 - count * p_b).
         let denom = 1.0 - self.count as f64 * p_b;
-        let p_a = if denom <= 0.0 { 1.0 } else { (p_b / denom).min(1.0) };
+        let p_a = if denom <= 0.0 {
+            1.0
+        } else {
+            (p_b / denom).min(1.0)
+        };
         if rng.chance(p_a) {
             self.count = 0;
             Some(DropReason::EarlyDrop)
@@ -464,8 +469,12 @@ mod tests {
     fn droptail_respects_pkt_limit() {
         let mut q = QueueConfig::DropTailPkts(2).build();
         let mut rng = DetRng::new(1);
-        assert!(q.enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng).is_ok());
-        assert!(q.enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng).is_ok());
+        assert!(q
+            .enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng)
+            .is_ok());
+        assert!(q
+            .enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng)
+            .is_ok());
         let err = q
             .enqueue(SimTime::ZERO, pkt(3, 100, Color::Green), &mut rng)
             .unwrap_err();
@@ -478,8 +487,12 @@ mod tests {
     fn droptail_respects_byte_limit() {
         let mut q = QueueConfig::DropTailBytes(250).build();
         let mut rng = DetRng::new(1);
-        assert!(q.enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng).is_ok());
-        assert!(q.enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng).is_ok());
+        assert!(q
+            .enqueue(SimTime::ZERO, pkt(1, 100, Color::Green), &mut rng)
+            .is_ok());
+        assert!(q
+            .enqueue(SimTime::ZERO, pkt(2, 100, Color::Green), &mut rng)
+            .is_ok());
         assert!(q
             .enqueue(SimTime::ZERO, pkt(3, 100, Color::Green), &mut rng)
             .is_err());
@@ -513,7 +526,9 @@ mod tests {
         let mut rng = DetRng::new(7);
         // Instantaneous queue stays far below min_th=100.
         for i in 0..50 {
-            assert!(q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng).is_ok());
+            assert!(q
+                .enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng)
+                .is_ok());
         }
     }
 
@@ -533,7 +548,9 @@ mod tests {
         let mut rng = DetRng::new(7);
         let mut dropped = 0;
         for i in 0..100 {
-            if q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng).is_err() {
+            if q.enqueue(SimTime::ZERO, pkt(i, 100, Color::Green), &mut rng)
+                .is_err()
+            {
                 dropped += 1;
             }
         }

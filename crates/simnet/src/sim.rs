@@ -681,8 +681,16 @@ mod tests {
         let a = b.host();
         let r = b.router();
         let c = b.host();
-        b.duplex_link(a, r, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)));
-        b.duplex_link(r, c, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)));
+        b.duplex_link(
+            a,
+            r,
+            LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)),
+        );
+        b.duplex_link(
+            r,
+            c,
+            LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(1)),
+        );
         let mut sim = b.build(7);
         let flow = sim.register_flow("f");
         let arrivals = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
@@ -790,7 +798,10 @@ mod tests {
         assert_eq!(series.len(), 20);
         // Flow sends 1250 B per 10 ms for 1 s -> 12_500 B per 100 ms window.
         assert!(series[..9].iter().all(|&b| (12_000..=13_000).contains(&b)));
-        assert!(series[12..].iter().all(|&b| b == 0), "source stopped at 1 s");
+        assert!(
+            series[12..].iter().all(|&b| b == 0),
+            "source stopped at 1 s"
+        );
     }
 
     #[test]

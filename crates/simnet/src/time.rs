@@ -193,7 +193,7 @@ impl Rate {
             return Duration::from_secs(u64::MAX / 2_000_000_000);
         }
         let bits = bytes as u128 * 8;
-        let nanos = (bits * 1_000_000_000 + self.0 as u128 - 1) / self.0 as u128;
+        let nanos = (bits * 1_000_000_000).div_ceil(self.0 as u128);
         Duration::from_nanos(nanos as u64)
     }
 }

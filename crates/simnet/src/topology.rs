@@ -161,7 +161,12 @@ mod tests {
             let f = sim.register_flow(&format!("f{i}"));
             sim.attach_agent(
                 net.senders[i],
-                Box::new(CbrSource::new(f, net.receivers[i], 1000, Rate::from_kbps(500))),
+                Box::new(CbrSource::new(
+                    f,
+                    net.receivers[i],
+                    1000,
+                    Rate::from_kbps(500),
+                )),
             );
             sim.attach_agent(net.receivers[i], Box::new(Sink));
             flows.push(f);
@@ -186,7 +191,12 @@ mod tests {
             // Each offers 1 Mbit/s into a 1 Mbit/s bottleneck.
             sim.attach_agent(
                 net.senders[i],
-                Box::new(CbrSource::new(f, net.receivers[i], 1000, Rate::from_mbps(1))),
+                Box::new(CbrSource::new(
+                    f,
+                    net.receivers[i],
+                    1000,
+                    Rate::from_mbps(1),
+                )),
             );
         }
         sim.run_until(SimTime::from_secs(20));

@@ -135,14 +135,24 @@ impl TcpSender {
     fn send_new_segment(&mut self, ctx: &mut Ctx) {
         let seq = self.sb.register_send(ctx.now);
         let h = TcpHeader::data(seq, ctx.now.as_nanos());
-        ctx.send_new(self.flow, self.receiver_node, self.data_wire_size(), h.encode());
+        ctx.send_new(
+            self.flow,
+            self.receiver_node,
+            self.data_wire_size(),
+            h.encode(),
+        );
     }
 
     fn send_retransmission(&mut self, ctx: &mut Ctx, seq: u64) {
         self.sb.register_retransmit(seq, ctx.now);
         self.retransmissions += 1;
         let h = TcpHeader::data(seq, ctx.now.as_nanos());
-        ctx.send_new(self.flow, self.receiver_node, self.data_wire_size(), h.encode());
+        ctx.send_new(
+            self.flow,
+            self.receiver_node,
+            self.data_wire_size(),
+            h.encode(),
+        );
     }
 
     /// Transmit whatever the window currently allows.
@@ -348,7 +358,9 @@ mod tests {
         b.simplex_link(
             s,
             r,
-            LinkConfig::new(rate, delay).with_loss(loss).with_queue(queue),
+            LinkConfig::new(rate, delay)
+                .with_loss(loss)
+                .with_queue(queue),
         );
         b.simplex_link(r, s, LinkConfig::new(rate, delay));
         let mut sim = b.build(77);
@@ -510,4 +522,3 @@ mod tests {
         assert!(bps > 500_000.0, "throughput collapsed: {bps}");
     }
 }
-

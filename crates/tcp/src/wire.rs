@@ -150,11 +150,7 @@ mod tests {
 
     #[test]
     fn ack_with_blocks_roundtrip() {
-        let h = TcpHeader::ack(
-            42,
-            7,
-            vec![SeqRange::new(50, 60), SeqRange::new(70, 71)],
-        );
+        let h = TcpHeader::ack(42, 7, vec![SeqRange::new(50, 60), SeqRange::new(70, 71)]);
         let bytes = h.encode();
         assert_eq!(bytes.len() as u32, header_wire_size(2));
         assert_eq!(TcpHeader::decode(&bytes).unwrap(), h);

@@ -290,9 +290,27 @@ mod tests {
         // Third packet above the hole declares it.
         let lost = d.on_packet(6, ts(600));
         assert_eq!(lost.len(), 3);
-        assert_eq!(lost[0], LostPacket { seq: 1, est_ts: ts(100) });
-        assert_eq!(lost[1], LostPacket { seq: 2, est_ts: ts(200) });
-        assert_eq!(lost[2], LostPacket { seq: 3, est_ts: ts(300) });
+        assert_eq!(
+            lost[0],
+            LostPacket {
+                seq: 1,
+                est_ts: ts(100)
+            }
+        );
+        assert_eq!(
+            lost[1],
+            LostPacket {
+                seq: 2,
+                est_ts: ts(200)
+            }
+        );
+        assert_eq!(
+            lost[2],
+            LostPacket {
+                seq: 3,
+                est_ts: ts(300)
+            }
+        );
     }
 
     #[test]

@@ -30,7 +30,10 @@ const B: f64 = 1.0;
 /// loss event has occurred; callers handle the loss-free regime separately).
 /// Panics in debug builds if `p` is outside `[0, 1]` or `r` is zero.
 pub fn throughput(s: u32, r: Duration, p: f64) -> f64 {
-    debug_assert!((0.0..=1.0).contains(&p), "loss event rate out of range: {p}");
+    debug_assert!(
+        (0.0..=1.0).contains(&p),
+        "loss event rate out of range: {p}"
+    );
     debug_assert!(!r.is_zero(), "RTT must be positive");
     if p <= 0.0 {
         return f64::INFINITY;
@@ -136,10 +139,7 @@ mod tests {
         for &p in &[0.001, 0.01, 0.05, 0.1, 0.3] {
             let x = throughput(S, RTT, p);
             let p_back = inverse(S, RTT, x);
-            assert!(
-                (p_back - p).abs() / p < 1e-6,
-                "p={p}, p_back={p_back}"
-            );
+            assert!((p_back - p).abs() / p < 1e-6, "p={p}, p_back={p_back}");
         }
     }
 

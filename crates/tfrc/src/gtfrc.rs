@@ -116,7 +116,10 @@ mod tests {
         let mut g = gtfrc(800);
         // Brutal loss: plain TFRC would collapse far below target.
         fb(&mut g, SimTime::from_millis(100), 10_000.0, 0.2);
-        assert!(g.tfrc().allowed_rate() < 100_000.0, "TFRC collapsed as expected");
+        assert!(
+            g.tfrc().allowed_rate() < 100_000.0,
+            "TFRC collapsed as expected"
+        );
         assert!((g.allowed_rate() - 100_000.0).abs() < 1e-9, "gTFRC holds g");
     }
 

@@ -108,18 +108,15 @@ impl LossIntervalHistory {
         }
         self.meter
             .tick(OpClass::Scan, self.intervals.len().min(N_INTERVALS) as u64);
-        self.meter
-            .tick(OpClass::Arith, 2 * self.intervals.len().min(N_INTERVALS) as u64);
+        self.meter.tick(
+            OpClass::Arith,
+            2 * self.intervals.len().min(N_INTERVALS) as u64,
+        );
 
         // I_tot1: open interval becomes index 0, shifting the rest.
         let mut tot1 = open_len * WEIGHTS[0];
         let mut w1 = WEIGHTS[0];
-        for (i, &len) in self
-            .intervals
-            .iter()
-            .take(N_INTERVALS - 1)
-            .enumerate()
-        {
+        for (i, &len) in self.intervals.iter().take(N_INTERVALS - 1).enumerate() {
             tot1 += len * WEIGHTS[i + 1];
             w1 += WEIGHTS[i + 1];
         }
@@ -161,8 +158,7 @@ impl StateSize for LossIntervalHistory {
     fn state_bytes(&self) -> usize {
         // Interval ring + open-interval bookkeeping; what an embedded
         // implementation must keep in RAM per connection.
-        self.intervals.len() * std::mem::size_of::<f64>()
-            + std::mem::size_of::<Option<u64>>()
+        self.intervals.len() * std::mem::size_of::<f64>() + std::mem::size_of::<Option<u64>>()
     }
 }
 

@@ -282,7 +282,10 @@ mod tests {
     fn first_loss_triggers_immediate_feedback_with_positive_p() {
         let (_, fbs) = drive(50, &[20]);
         let after_loss: Vec<&Feedback> = fbs.iter().filter(|f| f.p > 0.0).collect();
-        assert!(!after_loss.is_empty(), "feedback after the loss must carry p>0");
+        assert!(
+            !after_loss.is_empty(),
+            "feedback after the loss must carry p>0"
+        );
     }
 
     #[test]
@@ -313,7 +316,10 @@ mod tests {
         assert_eq!(rx.history.intervals().len(), 4);
         // Closed intervals between events are ~200 packets.
         let closed = &rx.history.intervals()[..3];
-        assert!(closed.iter().all(|&l| (l - 200.0).abs() < 2.0), "{closed:?}");
+        assert!(
+            closed.iter().all(|&l| (l - 200.0).abs() < 2.0),
+            "{closed:?}"
+        );
     }
 
     #[test]
@@ -331,7 +337,13 @@ mod tests {
         let mut rx = TfrcReceiver::new(S, RTT);
         let t0 = SimTime::from_secs(1);
         rx.on_data(t0, 0, SimTime::ZERO, RTT, S);
-        rx.on_data(t0 + Duration::from_millis(10), 1, SimTime::from_millis(10), RTT, S);
+        rx.on_data(
+            t0 + Duration::from_millis(10),
+            1,
+            SimTime::from_millis(10),
+            RTT,
+            S,
+        );
         let fb1 = rx.build_feedback(t0 + Duration::from_millis(20)).unwrap();
         assert!(fb1.x_recv > 0.0);
         // No packets in the next round.
@@ -383,7 +395,10 @@ mod tests {
     fn state_bytes_nonzero_and_bounded() {
         let (rx, _) = drive(2000, &[100, 300, 500]);
         let bytes = rx.state_bytes();
-        assert!(bytes > 50, "history+detector state should be visible: {bytes}");
+        assert!(
+            bytes > 50,
+            "history+detector state should be visible: {bytes}"
+        );
         assert!(bytes < 10_000, "state should stay bounded: {bytes}");
     }
 }

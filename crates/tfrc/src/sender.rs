@@ -211,7 +211,9 @@ impl TfrcSender {
                 None => true,
             };
             if can_double {
-                self.x = (2.0 * self.x).min(2.0 * x_recv.max(s / r_secs)).max(s / r_secs);
+                self.x = (2.0 * self.x)
+                    .min(2.0 * x_recv.max(s / r_secs))
+                    .max(s / r_secs);
                 self.tld = Some(now);
             }
             self.meter.tick(OpClass::Arith, 4);
@@ -221,7 +223,7 @@ impl TfrcSender {
         if self.cfg.oscillation_reduction && self.r_sqmean > 0.0 {
             let adj = sample.as_secs_f64().sqrt() / self.r_sqmean;
             // §4.5 limits the down-scaling; apply a mild clamp.
-            self.x *= adj.clamp(0.5, 2.0).recip().min(1.0).max(0.5);
+            self.x *= adj.clamp(0.5, 2.0).recip().clamp(0.5, 1.0);
             self.meter.tick(OpClass::Arith, 3);
         }
 
@@ -347,7 +349,13 @@ mod tests {
         assert!((r.as_secs_f64() - 0.1).abs() < 1e-6, "r={r:?}");
         // A jump to 200 ms moves the estimate slowly (q=0.9).
         let now = SimTime::from_millis(2000);
-        tx.on_feedback(now, now - Duration::from_millis(200), Duration::ZERO, 1e9, 0.01);
+        tx.on_feedback(
+            now,
+            now - Duration::from_millis(200),
+            Duration::ZERO,
+            1e9,
+            0.01,
+        );
         let r2 = tx.rtt().unwrap();
         assert!(r2 > r && r2 < Duration::from_millis(120), "r2={r2:?}");
     }

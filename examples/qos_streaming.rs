@@ -41,7 +41,11 @@ fn run(use_qtpaf: bool, g: Rate) -> Vec<f64> {
         let ack = sim.register_flow("guaranteed-ack");
         sim.attach_agent(
             net.senders[0],
-            Box::new(TcpSender::new(data, net.receivers[0], TcpConfig::new(TcpFlavor::NewReno))),
+            Box::new(TcpSender::new(
+                data,
+                net.receivers[0],
+                TcpConfig::new(TcpFlavor::NewReno),
+            )),
         );
         sim.attach_agent(
             net.receivers[0],
@@ -60,7 +64,11 @@ fn run(use_qtpaf: bool, g: Rate) -> Vec<f64> {
     let bga = sim.register_flow("bg-ack");
     sim.attach_agent(
         net.senders[1],
-        Box::new(TcpSender::new(bg, net.receivers[1], TcpConfig::new(TcpFlavor::NewReno))),
+        Box::new(TcpSender::new(
+            bg,
+            net.receivers[1],
+            TcpConfig::new(TcpFlavor::NewReno),
+        )),
     );
     sim.attach_agent(
         net.receivers[1],
@@ -73,7 +81,9 @@ fn run(use_qtpaf: bool, g: Rate) -> Vec<f64> {
     );
 
     sim.run_until(SimTime::from_secs(SECS));
-    sim.stats().flow(flow).arrive_series_bps(Duration::from_secs(1))
+    sim.stats()
+        .flow(flow)
+        .arrive_series_bps(Duration::from_secs(1))
 }
 
 fn main() {

@@ -40,7 +40,10 @@ fn main() {
         "goodput:        {:.2} Mbit/s",
         f.goodput_bps(Duration::from_secs(20)) / 1e6
     );
-    println!("packets:        {} arrived, {} lost in the network", f.pkts_arrived, f.pkts_dropped);
+    println!(
+        "packets:        {} arrived, {} lost in the network",
+        f.pkts_arrived, f.pkts_dropped
+    );
     println!(
         "receiver load:  {:.1} ops/packet, peak state {} bytes",
         h.rx.read(|d| d.rx_ops_per_packet()),
@@ -56,6 +59,11 @@ fn main() {
         .iter()
         .enumerate()
     {
-        println!("  t={:>2}s  {:>6.2}  {}", i + 1, bps / 1e6, "#".repeat((bps / 4e5) as usize));
+        println!(
+            "  t={:>2}s  {:>6.2}  {}",
+            i + 1,
+            bps / 1e6,
+            "#".repeat((bps / 4e5) as usize)
+        );
     }
 }

@@ -23,7 +23,11 @@ fn run(light: bool, selfish_factor: f64) -> f64 {
             .with_loss(LossModel::bernoulli(0.02))
             .with_queue(QueueConfig::DropTailPkts(500)),
     );
-    b.simplex_link(r, s, LinkConfig::new(Rate::from_mbps(50), Duration::from_millis(30)));
+    b.simplex_link(
+        r,
+        s,
+        LinkConfig::new(Rate::from_mbps(50), Duration::from_millis(30)),
+    );
     let mut sim = b.build(5);
     let cfg = if light {
         qtp_light_sender()
@@ -43,7 +47,10 @@ fn run(light: bool, selfish_factor: f64) -> f64 {
 
 fn main() {
     println!("2% lossy path; receiver divides its reported loss rate by k\n");
-    println!("{:>6} {:>22} {:>22}", "k", "standard TFRC (Mbit/s)", "QTPlight (Mbit/s)");
+    println!(
+        "{:>6} {:>22} {:>22}",
+        "k", "standard TFRC (Mbit/s)", "QTPlight (Mbit/s)"
+    );
     let honest_std = run(false, 1.0);
     let honest_light = run(true, 1.0);
     for k in [1.0, 2.0, 10.0, 100.0] {

@@ -23,7 +23,11 @@ fn path(seed: u64) -> (qtp::simnet::sim::Simulator, NodeId, NodeId) {
             .with_loss(LossModel::gilbert_elliott(0.01, 0.3, 0.0, 0.5))
             .with_queue(QueueConfig::DropTailPkts(200)),
     );
-    b.simplex_link(r, s, LinkConfig::new(Rate::from_mbps(5), Duration::from_millis(20)));
+    b.simplex_link(
+        r,
+        s,
+        LinkConfig::new(Rate::from_mbps(5), Duration::from_millis(20)),
+    );
     (b.build(seed), s, r)
 }
 
@@ -34,16 +38,32 @@ fn main() {
     let (mut sim, s, r) = path(11);
     let data = sim.register_flow("tcp");
     let ack = sim.register_flow("tcp-ack");
-    sim.attach_agent(s, Box::new(TcpSender::new(data, r, TcpConfig::new(TcpFlavor::Sack))));
+    sim.attach_agent(
+        s,
+        Box::new(TcpSender::new(data, r, TcpConfig::new(TcpFlavor::Sack))),
+    );
     sim.attach_agent(r, Box::new(TcpReceiver::new(data, ack, s, true, 1000)));
     sim.run_until(SimTime::from_secs(SECS));
-    let tcp_goodput = sim.stats().flow(data).goodput_bps(Duration::from_secs(SECS));
+    let tcp_goodput = sim
+        .stats()
+        .flow(data)
+        .goodput_bps(Duration::from_secs(SECS));
 
     // QTPlight unreliable stream.
     let (mut sim, s, r) = path(11);
-    let h = attach_qtp(&mut sim, s, r, "light", qtp_light_sender(), QtpReceiverConfig::default());
+    let h = attach_qtp(
+        &mut sim,
+        s,
+        r,
+        "light",
+        qtp_light_sender(),
+        QtpReceiverConfig::default(),
+    );
     sim.run_until(SimTime::from_secs(SECS));
-    let light_goodput = sim.stats().flow(h.data_flow).goodput_bps(Duration::from_secs(SECS));
+    let light_goodput = sim
+        .stats()
+        .flow(h.data_flow)
+        .goodput_bps(Duration::from_secs(SECS));
 
     // QTPlight with 200 ms partial reliability: late frames are abandoned.
     let (mut sim, s, r) = path(11);
@@ -56,12 +76,23 @@ fn main() {
         QtpReceiverConfig::default(),
     );
     sim.run_until(SimTime::from_secs(SECS));
-    let partial_goodput = sim.stats().flow(hp.data_flow).goodput_bps(Duration::from_secs(SECS));
+    let partial_goodput = sim
+        .stats()
+        .flow(hp.data_flow)
+        .goodput_bps(Duration::from_secs(SECS));
     let pd = hp.tx.snapshot();
 
     println!("{:<34}{:>12}", "transport", "goodput");
-    println!("{:<34}{:>9.2} Mb", "TCP SACK (full reliability)", tcp_goodput / 1e6);
-    println!("{:<34}{:>9.2} Mb", "QTPlight (no retransmission)", light_goodput / 1e6);
+    println!(
+        "{:<34}{:>9.2} Mb",
+        "TCP SACK (full reliability)",
+        tcp_goodput / 1e6
+    );
+    println!(
+        "{:<34}{:>9.2} Mb",
+        "QTPlight (no retransmission)",
+        light_goodput / 1e6
+    );
     println!(
         "{:<34}{:>9.2} Mb   ({} retx, {} frames abandoned)",
         "QTPlight + PartialTtl(200ms)",

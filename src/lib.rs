@@ -63,8 +63,8 @@ pub use qtp_tfrc as tfrc;
 pub mod prelude {
     pub use qtp_core::{
         attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,
-        qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe,
-        QtpHandles, QtpReceiverConfig, QtpSenderConfig, ServerPolicy,
+        qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe, QtpHandles,
+        QtpReceiverConfig, QtpSenderConfig, ServerPolicy,
     };
     pub use qtp_sack::ReliabilityMode;
     pub use qtp_simnet::prelude::*;

@@ -123,7 +123,11 @@ fn qtpaf_is_reliable_end_to_end() {
             .with_loss(LossModel::gilbert_elliott(0.01, 0.3, 0.0, 0.6))
             .with_queue(QueueConfig::DropTailPkts(300)),
     );
-    b.simplex_link(r, s, LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)));
+    b.simplex_link(
+        r,
+        s,
+        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)),
+    );
     let mut sim = b.build(3);
     let mut cfg = qtp_af_sender(Rate::from_mbps(1));
     cfg.app = AppModel::Finite { packets: 2000 };
@@ -156,7 +160,14 @@ fn negotiation_downgrade_full_stack() {
         ..QtpReceiverConfig::default()
     };
     // Offer QTPAF (Full reliability); server refuses reliability.
-    let h = attach_qtp(&mut sim, s, r, "dg", qtp_af_sender(Rate::from_mbps(2)), rcfg);
+    let h = attach_qtp(
+        &mut sim,
+        s,
+        r,
+        "dg",
+        qtp_af_sender(Rate::from_mbps(2)),
+        rcfg,
+    );
     sim.run_until(SimTime::from_secs(10));
     // Data still flows and nothing is ever retransmitted.
     assert!(sim.stats().flow(h.data_flow).pkts_arrived > 100);

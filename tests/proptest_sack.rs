@@ -20,7 +20,7 @@ proptest! {
             } else {
                 prop_assert_eq!(rs.remove(v), model.remove(&v));
             }
-            rs.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            rs.check_invariants().map_err(TestCaseError::fail)?;
         }
         prop_assert_eq!(rs.len(), model.len() as u64);
         for v in 0..200 {
@@ -43,7 +43,7 @@ proptest! {
                 }
             }
             prop_assert_eq!(added, model_added);
-            rs.check_invariants().map_err(|e| TestCaseError::fail(e))?;
+            rs.check_invariants().map_err(TestCaseError::fail)?;
         }
     }
 

@@ -8,12 +8,7 @@ use std::time::Duration;
 
 /// Run a two-pair dumbbell with CBR + Poisson load; return the full flow
 /// counter tuple for determinism comparison.
-fn run(
-    seed: u64,
-    rate_kbps: u64,
-    loss_p: f64,
-    queue_pkts: usize,
-) -> Vec<(u64, u64, u64, u64)> {
+fn run(seed: u64, rate_kbps: u64, loss_p: f64, queue_pkts: usize) -> Vec<(u64, u64, u64, u64)> {
     let cfg = DumbbellConfig {
         pairs: 2,
         bottleneck_rate: Rate::from_mbps(2),
@@ -53,7 +48,12 @@ fn run(
     (0..2)
         .map(|f| {
             let st = sim.stats().flow(f as u32);
-            (st.pkts_sent, st.pkts_arrived, st.pkts_dropped, st.bytes_app_delivered)
+            (
+                st.pkts_sent,
+                st.pkts_arrived,
+                st.pkts_dropped,
+                st.bytes_app_delivered,
+            )
         })
         .collect()
 }

@@ -112,7 +112,7 @@ proptest! {
         let mut now = SimTime::ZERO;
         let mut green_bytes = 0u64;
         for gap in gaps_us {
-            now = now + Duration::from_micros(gap);
+            now += Duration::from_micros(gap);
             let mut p = Packet::new(0, 0, 0, 1, 1_000, now, Vec::new());
             m.mark(now, &mut p);
             if p.color == Color::Green {

@@ -22,8 +22,12 @@ fn arb_caps() -> impl Strategy<Value = CapabilitySet> {
     ];
     let cc = prop_oneof![
         Just(CcKind::Tfrc),
-        (1u64..1_000_000_000).prop_map(|bps| CcKind::Gtfrc { target: Rate::from_bps(bps) }),
-        (1u64..1_000_000_000).prop_map(|bps| CcKind::Fixed { rate: Rate::from_bps(bps) }),
+        (1u64..1_000_000_000).prop_map(|bps| CcKind::Gtfrc {
+            target: Rate::from_bps(bps)
+        }),
+        (1u64..1_000_000_000).prop_map(|bps| CcKind::Fixed {
+            rate: Rate::from_bps(bps)
+        }),
     ];
     (rel, fb, cc).prop_map(|(reliability, feedback, cc)| CapabilitySet {
         reliability,
@@ -33,29 +37,37 @@ fn arb_caps() -> impl Strategy<Value = CapabilitySet> {
 }
 
 fn arb_blocks() -> impl Strategy<Value = Vec<SeqRange>> {
-    prop::collection::vec((0u64..1 << 40, 1u64..1 << 16), 0..4)
-        .prop_map(|v| v.into_iter().map(|(s, l)| SeqRange::new(s, s + l)).collect())
+    prop::collection::vec((0u64..1 << 40, 1u64..1 << 16), 0..4).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, l)| SeqRange::new(s, s + l))
+            .collect()
+    })
 }
 
 fn arb_qtp_packet() -> impl Strategy<Value = QtpPacket> {
     prop_oneof![
-        (any::<u64>(), arb_caps()).prop_map(|(ts_nanos, offered)| QtpPacket::Syn {
-            ts_nanos,
-            offered
-        }),
+        (any::<u64>(), arb_caps())
+            .prop_map(|(ts_nanos, offered)| QtpPacket::Syn { ts_nanos, offered }),
         (any::<u64>(), arb_caps()).prop_map(|(ts_echo_nanos, chosen)| QtpPacket::SynAck {
             ts_echo_nanos,
             chosen
         }),
-        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>(), any::<bool>()).prop_map(
-            |(seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, is_retx)| QtpPacket::Data {
-                seq,
-                ts_nanos,
-                adu_ts_nanos,
-                rtt_hint_micros,
-                is_retx
-            }
-        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, is_retx)| {
+                QtpPacket::Data {
+                    seq,
+                    ts_nanos,
+                    adu_ts_nanos,
+                    rtt_hint_micros,
+                    is_retx,
+                }
+            }),
         (
             any::<u64>(),
             any::<u32>(),

@@ -36,7 +36,12 @@ fn traced_run(seed: u64) -> Vec<TraceEvent> {
     let bg = sim.register_flow("bg");
     sim.attach_agent(
         net.senders[1],
-        Box::new(PoissonSource::new(bg, net.receivers[1], 800, Rate::from_mbps(1))),
+        Box::new(PoissonSource::new(
+            bg,
+            net.receivers[1],
+            800,
+            Rate::from_mbps(1),
+        )),
     );
     sim.attach_agent(net.receivers[1], Box::new(Sink));
     sim.run_until(SimTime::from_secs(5));

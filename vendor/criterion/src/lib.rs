@@ -1,0 +1,229 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! Implements the subset used by this workspace's benches:
+//! `Criterion::bench_function`, `Bencher::{iter, iter_batched}`, `black_box`,
+//! `BatchSize`, `criterion_group!`, `criterion_main!`.
+//!
+//! Behaviour: when the binary is invoked with `--bench` (what `cargo bench`
+//! passes to `harness = false` bench targets) each benchmark runs a short
+//! calibrated measurement loop and prints a `time: … ns/iter` line. Under any
+//! other invocation (e.g. `cargo test`) each benchmark body runs exactly once
+//! as a smoke test. A positional argument filters benchmarks by substring,
+//! matching cargo's `cargo bench -- <filter>` convention.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup; the shim only distinguishes
+/// per-iteration setup, which all variants here use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Benchmark driver handed to `criterion_group!` functions.
+pub struct Criterion {
+    filter: Option<String>,
+    measure: bool,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut measure = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => measure = true,
+                "--test" => measure = false,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let target_time = std::env::var("CRITERION_TARGET_TIME_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .map(Duration::from_millis)
+            .unwrap_or_else(|| Duration::from_millis(200));
+        Criterion {
+            filter,
+            measure,
+            target_time,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(ref needle) = self.filter {
+            if !id.contains(needle.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            measure: self.measure,
+            target_time: self.target_time,
+            report: None,
+        };
+        f(&mut b);
+        match b.report {
+            Some((iters, total)) if self.measure => {
+                let ns = total.as_nanos() as f64 / iters as f64;
+                println!("{id:<50} time: {ns:>12.1} ns/iter ({iters} iters)");
+            }
+            _ => println!("{id:<50} ok (smoke)"),
+        }
+        self
+    }
+}
+
+/// Per-benchmark measurement loop.
+pub struct Bencher {
+    measure: bool,
+    target_time: Duration,
+    report: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        if !self.measure {
+            black_box(routine());
+            return;
+        }
+        // Calibrate: grow the iteration count until the batch is long enough
+        // to time reliably, then measure one batch sized to the target time.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let t = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            if dt > Duration::from_millis(5) || n >= 1 << 30 {
+                break dt.as_secs_f64() / n as f64;
+            }
+            n *= 8;
+        };
+        let iters =
+            ((self.target_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.report = Some((iters, t.elapsed()));
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if !self.measure {
+            black_box(routine(setup()));
+            return;
+        }
+        // Measure routine time only, excluding setup, one input at a time.
+        let mut n: u64 = 1;
+        let per_iter = loop {
+            let mut total = Duration::ZERO;
+            for _ in 0..n {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                total += t.elapsed();
+            }
+            if total > Duration::from_millis(5) || n >= 1 << 30 {
+                break total.as_secs_f64() / n as f64;
+            }
+            n *= 8;
+        };
+        let iters =
+            ((self.target_time.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1 << 32);
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.report = Some((iters, total));
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            measure: false,
+            target_time: Duration::from_millis(1),
+        };
+        let mut runs = 0;
+        c.bench_function("demo", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+        let mut batched = 0;
+        c.bench_function("demo2", |b| {
+            b.iter_batched(|| 3u32, |x| batched += x, BatchSize::SmallInput)
+        });
+        assert_eq!(batched, 3);
+    }
+
+    #[test]
+    fn measure_mode_reports() {
+        let mut c = Criterion {
+            filter: None,
+            measure: true,
+            target_time: Duration::from_millis(5),
+        };
+        c.bench_function("spin", |b| b.iter(|| black_box(2u64).pow(10)));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match-me".into()),
+            measure: false,
+            target_time: Duration::from_millis(1),
+        };
+        let mut runs = 0;
+        c.bench_function("other", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("yes/match-me/x", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+}
