@@ -1,0 +1,75 @@
+//! Simulator adapter: run any sans-io [`Endpoint`] as a simnet [`Agent`].
+//!
+//! The adapter is deliberately mechanical — it is the *only* place where
+//! endpoint commands meet the simulator — so that a fixed-seed simulation
+//! through the seam replays byte-identically to the pre-seam code:
+//!
+//! * `out.now` is set from `ctx.now` before every callback;
+//! * commands are applied strictly in emission order after each callback
+//!   ([`Transmit`](crate::driver::Transmit) → [`Ctx::send_new`], which
+//!   allocates packet uids in call order; `SetTimer` → [`Ctx::set_timer_at`],
+//!   whose events tie-break by insertion order);
+//! * `Deliver` goes straight to the per-flow statistics, exactly as the
+//!   endpoints used to call `ctx.stats.app_deliver` themselves.
+//!
+//! This adapter lives in `qtp-core` rather than `qtp-simnet` because the
+//! crate dependency points this way: core implements the seam *and* knows
+//! the simulator, while simnet stays protocol-agnostic.
+
+use qtp_simnet::packet::Packet;
+use qtp_simnet::sim::{Agent, Ctx};
+
+use crate::driver::{Command, Endpoint, Outbox};
+
+/// Wraps an [`Endpoint`] into a simulator [`Agent`].
+pub struct SimAgent<E: Endpoint> {
+    ep: E,
+    out: Outbox,
+}
+
+impl<E: Endpoint> SimAgent<E> {
+    pub fn new(ep: E) -> Self {
+        SimAgent {
+            ep,
+            out: Outbox::new(),
+        }
+    }
+
+    /// The wrapped endpoint (e.g. to read negotiated capabilities after a
+    /// run — note agents are moved into the simulator, so this is mostly
+    /// useful in tests that drive the adapter by hand).
+    pub fn endpoint(&self) -> &E {
+        &self.ep
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx) {
+        while let Some(cmd) = self.out.poll_cmd() {
+            match cmd {
+                Command::Transmit(t) => ctx.send_new(t.flow, t.dst, t.wire_size, t.header),
+                Command::SetTimer { at, token } => ctx.set_timer_at(at, token),
+                Command::Deliver { flow, bytes } => ctx.stats.app_deliver(flow, bytes),
+            }
+        }
+    }
+}
+
+impl<E: Endpoint> Agent for SimAgent<E> {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        self.out.now = ctx.now;
+        self.ep.on_start(&mut self.out);
+        self.flush(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+        self.out.now = ctx.now;
+        self.ep
+            .handle_datagram(&mut self.out, pkt.wire_size, &pkt.header);
+        self.flush(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.out.now = ctx.now;
+        self.ep.on_timer(&mut self.out, token);
+        self.flush(ctx);
+    }
+}

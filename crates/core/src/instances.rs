@@ -8,6 +8,7 @@ use qtp_simnet::prelude::*;
 use qtp_simnet::sim::Simulator;
 use std::time::Duration;
 
+use crate::adapter::SimAgent;
 use crate::caps::CapabilitySet;
 use crate::probe::Probe;
 use crate::receiver::{QtpReceiver, QtpReceiverConfig};
@@ -44,22 +45,22 @@ pub fn attach_qtp(
     let rx = Probe::new();
     sim.attach_agent(
         sender_node,
-        Box::new(QtpSender::new(
+        Box::new(SimAgent::new(QtpSender::new(
             data_flow,
             receiver_node,
             sender_cfg,
             tx.clone(),
-        )),
+        ))),
     );
     sim.attach_agent(
         receiver_node,
-        Box::new(QtpReceiver::new(
+        Box::new(SimAgent::new(QtpReceiver::new(
             data_flow,
             fb_flow,
             sender_node,
             receiver_cfg,
             rx.clone(),
-        )),
+        ))),
     );
     QtpHandles {
         data_flow,

@@ -24,9 +24,11 @@
 //! for the byte-level formats, and [`estimator`] for the sender-side loss
 //! estimation that makes QTPlight possible.
 
+pub mod adapter;
 mod bufext;
 pub mod caps;
 pub mod cc;
+pub mod driver;
 pub mod estimator;
 pub mod instances;
 pub mod probe;
@@ -34,8 +36,10 @@ pub mod receiver;
 pub mod sender;
 pub mod wire;
 
+pub use adapter::SimAgent;
 pub use caps::{CapabilitySet, CcKind, FeedbackMode, ServerPolicy};
 pub use cc::CcMachine;
+pub use driver::{Command, Endpoint, Outbox, TimerGens, Transmit};
 pub use estimator::SenderLossEstimator;
 pub use instances::{
     attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,

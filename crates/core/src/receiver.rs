@@ -15,16 +15,24 @@
 //! and the mode is ReceiverLoss, the reported loss event rate is divided
 //! by the factor and the receive rate inflated by it. In SenderLoss mode
 //! there is no loss report to falsify — which is the defence.
+//!
+//! Like the sender, the receiver is sans-io: it implements the
+//! [`Endpoint`](crate::driver::Endpoint) driver seam and emits its feedback
+//! transmissions, timer re-arms and application deliveries as
+//! [`Outbox`](crate::driver::Outbox) commands, so the same state machine
+//! runs unchanged under the simulator (via
+//! [`SimAgent`](crate::adapter::SimAgent)) or over real UDP (via
+//! `qtp-io`).
 
 use qtp_metrics::StateSize;
 use qtp_sack::{ReceiverBuffer, ReliabilityMode, MAX_SACK_BLOCKS};
 use qtp_simnet::prelude::*;
-use qtp_simnet::sim::{Agent, Ctx};
 use qtp_tfrc::TfrcReceiver;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::caps::{CapabilitySet, FeedbackMode, ServerPolicy};
+use crate::driver::{Endpoint, Outbox, TimerGens};
 use crate::probe::Probe;
 use crate::wire::{p_to_ppb, QtpPacket};
 
@@ -50,7 +58,7 @@ impl Default for QtpReceiverConfig {
 /// Timer token kinds.
 const TK_FB: u64 = 0;
 
-/// The QTP receiver agent.
+/// The QTP receiver endpoint.
 pub struct QtpReceiver {
     /// Incoming data flow (goodput accounting).
     data_flow: FlowId,
@@ -82,7 +90,7 @@ pub struct QtpReceiver {
     /// Light-receiver bookkeeping cost (SenderLoss mode's entire load
     /// beyond the reassembly buffer's own meter).
     own_ops: u64,
-    gens: [u64; 1],
+    gens: TimerGens<1>,
     probe: Probe,
 }
 
@@ -110,7 +118,7 @@ impl QtpReceiver {
             bytes_since_fb: 0,
             round_started: None,
             own_ops: 0,
-            gens: [0],
+            gens: TimerGens::new(),
             probe,
         }
     }
@@ -120,18 +128,22 @@ impl QtpReceiver {
         self.chosen
     }
 
-    fn arm_fb(&mut self, ctx: &mut Ctx, at: SimTime) {
-        self.gens[TK_FB as usize] += 1;
-        ctx.set_timer_at(at, TK_FB | (self.gens[TK_FB as usize] << 2));
+    /// Packets delivered to the application so far (in-order runs plus
+    /// forward-released ranges) — exposed for differential backend tests.
+    pub fn delivered_packets(&self) -> u64 {
+        self.buf.delivered_total()
     }
 
-    fn token_live(&self, token: u64) -> Option<u64> {
-        let kind = token & 3;
-        let gen = token >> 2;
-        (kind == TK_FB && gen == self.gens[0]).then_some(kind)
+    /// Next expected in-order sequence.
+    pub fn cum_ack(&self) -> u64 {
+        self.buf.cum_ack()
     }
 
-    fn on_syn(&mut self, ctx: &mut Ctx, ts_nanos: u64, offered: CapabilitySet) {
+    fn arm_fb(&mut self, out: &mut Outbox, at: SimTime) {
+        out.set_timer_at(at, self.gens.arm(TK_FB));
+    }
+
+    fn on_syn(&mut self, out: &mut Outbox, ts_nanos: u64, offered: CapabilitySet) {
         let chosen = self
             .chosen
             .unwrap_or_else(|| self.cfg.policy.negotiate(offered));
@@ -146,7 +158,7 @@ impl QtpReceiver {
             chosen,
         };
         let size = pkt.wire_size();
-        ctx.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
     }
 
     fn reliability(&self) -> ReliabilityMode {
@@ -157,7 +169,7 @@ impl QtpReceiver {
 
     fn on_data(
         &mut self,
-        ctx: &mut Ctx,
+        out: &mut Outbox,
         seq: u64,
         ts_nanos: u64,
         adu_ts_nanos: u64,
@@ -174,13 +186,13 @@ impl QtpReceiver {
             self.rtt_hint = Duration::from_micros(rtt_hint_micros as u64);
         }
         let sender_ts = SimTime::from_nanos(ts_nanos);
-        self.last_pkt = Some((sender_ts, ctx.now));
+        self.last_pkt = Some((sender_ts, out.now));
         self.bytes_since_fb += payload as u64;
         if self.round_started.is_none() {
-            self.round_started = Some(ctx.now);
+            self.round_started = Some(out.now);
             // First data packet: start the feedback cadence.
-            let at = ctx.now + self.feedback_interval();
-            self.arm_fb(ctx, at);
+            let at = out.now + self.feedback_interval();
+            self.arm_fb(out, at);
         }
         self.own_ops += 3; // counter updates + hint check
 
@@ -194,7 +206,7 @@ impl QtpReceiver {
         // Heavy path: RFC 3448 receiver machinery.
         let mut loss_event_fb = false;
         if let Some(tfrc) = self.tfrc_rx.as_mut() {
-            let action = tfrc.on_data(ctx.now, seq, sender_ts, self.rtt_hint, payload);
+            let action = tfrc.on_data(out.now, seq, sender_ts, self.rtt_hint, payload);
             loss_event_fb = action.feedback_now;
         }
 
@@ -206,9 +218,8 @@ impl QtpReceiver {
                 if deliver_in_order {
                     if delivered > 0 {
                         // This packet plus any buffered run became deliverable.
-                        ctx.stats
-                            .app_deliver(self.data_flow, delivered * self.payload_bytes as u64);
-                        let now_s = ctx.now.as_secs_f64();
+                        out.app_deliver(self.data_flow, delivered * self.payload_bytes as u64);
+                        let now_s = out.now.as_secs_f64();
                         let own_latency = now_s - adu_ts_nanos as f64 / 1e9;
                         // Buffered packets that just flushed.
                         let flushed: Vec<u64> = self
@@ -230,9 +241,8 @@ impl QtpReceiver {
                     }
                 } else {
                     // Unordered delivery: hand every new packet up at once.
-                    ctx.stats
-                        .app_deliver(self.data_flow, self.payload_bytes as u64);
-                    let lat = (ctx.now.as_secs_f64() - adu_ts_nanos as f64 / 1e9).max(0.0);
+                    out.app_deliver(self.data_flow, self.payload_bytes as u64);
+                    let lat = (out.now.as_secs_f64() - adu_ts_nanos as f64 / 1e9).max(0.0);
                     self.probe.update(|d| {
                         d.latency_sum_s += lat;
                         d.latency_samples += 1;
@@ -244,7 +254,7 @@ impl QtpReceiver {
         // Immediate feedback on new loss evidence.
         let immediate = loss_event_fb || (chosen.feedback == FeedbackMode::SenderLoss && new_gap);
         if immediate {
-            self.send_feedback(ctx);
+            self.send_feedback(out);
         }
         self.update_probe_costs();
     }
@@ -281,13 +291,13 @@ impl QtpReceiver {
         }
     }
 
-    fn send_feedback(&mut self, ctx: &mut Ctx) {
+    fn send_feedback(&mut self, out: &mut Outbox) {
         let Some(chosen) = self.chosen else { return };
         let Some((last_ts, last_rx_time)) = self.last_pkt else {
             return; // nothing received yet
         };
-        let x_recv_honest = self.x_recv(ctx.now);
-        let t_delay = ctx.now.saturating_since(last_rx_time);
+        let x_recv_honest = self.x_recv(out.now);
+        let t_delay = out.now.saturating_since(last_rx_time);
         let selfish = self.cfg.selfish_factor.max(1.0);
 
         let (p_ppb, x_recv) = match chosen.feedback {
@@ -299,7 +309,7 @@ impl QtpReceiver {
                 // Build the RFC 3448 report (also rolls the x_recv round
                 // inside the TFRC receiver; we use our own counter for the
                 // wire value so both modes measure identically).
-                let fb = tfrc.build_feedback(ctx.now);
+                let fb = tfrc.build_feedback(out.now);
                 let p_honest = fb.map(|f| f.p).unwrap_or(0.0);
                 let p_reported = p_honest / selfish;
                 self.own_ops += 2;
@@ -329,27 +339,26 @@ impl QtpReceiver {
             blocks,
         };
         let size = pkt.wire_size();
-        ctx.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
         self.bytes_since_fb = 0;
-        self.round_started = Some(ctx.now);
+        self.round_started = Some(out.now);
         self.probe.update(|d| d.rx_feedback_sent += 1);
     }
 
-    fn on_forward(&mut self, ctx: &mut Ctx, new_cum: u64) {
+    fn on_forward(&mut self, out: &mut Outbox, new_cum: u64) {
         let before_delivered = self.buf.delivered_total();
         self.buf.on_forward(new_cum);
         // Buffered packets released by the jump count as delivered.
         let released = self.buf.delivered_total() - before_delivered;
         if released > 0 && self.reliability().retransmits() {
-            ctx.stats
-                .app_deliver(self.data_flow, released * self.payload_bytes as u64);
+            out.app_deliver(self.data_flow, released * self.payload_bytes as u64);
             let flushed: Vec<u64> = self
                 .pending_adu_ts
                 .range(..self.buf.cum_ack())
                 .map(|(_, &ts)| ts)
                 .collect();
             self.pending_adu_ts = self.pending_adu_ts.split_off(&self.buf.cum_ack());
-            let now_s = ctx.now.as_secs_f64();
+            let now_s = out.now.as_secs_f64();
             self.probe.update(|d| {
                 for ts in flushed {
                     d.latency_sum_s += (now_s - ts as f64 / 1e9).max(0.0);
@@ -361,14 +370,14 @@ impl QtpReceiver {
     }
 }
 
-impl Agent for QtpReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
-        let header_len = pkt.header.len() as u32;
-        let Ok(decoded) = QtpPacket::decode(&pkt.header) else {
+impl Endpoint for QtpReceiver {
+    fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
+        let header_len = header.len() as u32;
+        let Ok(decoded) = QtpPacket::decode(header) else {
             return;
         };
         match decoded {
-            QtpPacket::Syn { ts_nanos, offered } => self.on_syn(ctx, ts_nanos, offered),
+            QtpPacket::Syn { ts_nanos, offered } => self.on_syn(out, ts_nanos, offered),
             QtpPacket::Data {
                 seq,
                 ts_nanos,
@@ -376,25 +385,23 @@ impl Agent for QtpReceiver {
                 rtt_hint_micros,
                 ..
             } => {
-                let payload = pkt
-                    .wire_size
-                    .saturating_sub(header_len + crate::wire::IP_OVERHEAD);
-                self.on_data(ctx, seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, payload);
+                let payload = wire_size.saturating_sub(header_len + crate::wire::IP_OVERHEAD);
+                self.on_data(out, seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, payload);
             }
-            QtpPacket::Forward { new_cum } => self.on_forward(ctx, new_cum),
+            QtpPacket::Forward { new_cum } => self.on_forward(out, new_cum),
             _ => {}
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        if self.token_live(token).is_none() {
+    fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+        if self.gens.live(token).is_none() {
             return;
         }
         // Periodic feedback: send only if data arrived this round.
         if self.bytes_since_fb > 0 {
-            self.send_feedback(ctx);
+            self.send_feedback(out);
         }
-        let at = ctx.now + self.feedback_interval();
-        self.arm_fb(ctx, at);
+        let at = out.now + self.feedback_interval();
+        self.arm_fb(out, at);
     }
 }

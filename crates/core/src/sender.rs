@@ -12,17 +12,23 @@
 //!   the feedback packet; in `SenderLoss` (QTPlight) mode it comes from
 //!   the local [`SenderLossEstimator`] fed by SACK declarations.
 //!
-//! The endpoint is a [`qtp_simnet::sim::Agent`]: everything is driven by
-//! packet arrivals and timers.
+//! The endpoint is sans-io: it implements the transport-neutral
+//! [`Endpoint`](crate::driver::Endpoint) seam, reacting to datagrams and
+//! timers and emitting transmit/timer commands into an
+//! [`Outbox`](crate::driver::Outbox). Drivers decide what those commands
+//! mean — [`SimAgent`](crate::adapter::SimAgent) replays them into the
+//! discrete-event simulator, `qtp-io`'s `UdpDriver` onto a real UDP socket.
+//!
+//! [`ReliabilityPolicy`]: qtp_sack::ReliabilityPolicy
 
 use qtp_sack::{ReliabilityMode, Scoreboard, SeqRange};
 use qtp_simnet::prelude::*;
-use qtp_simnet::sim::{Agent, Ctx};
 use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::caps::{CapabilitySet, FeedbackMode};
 use crate::cc::CcMachine;
+use crate::driver::{Endpoint, Outbox, TimerGens};
 use crate::estimator::SenderLossEstimator;
 use crate::probe::Probe;
 use crate::wire::{ppb_to_p, QtpPacket, IP_OVERHEAD};
@@ -67,7 +73,8 @@ impl QtpSenderConfig {
     }
 }
 
-/// Timer token kinds (low 2 bits of the token; the rest is a generation).
+/// Timer token kinds (low 2 bits of the token; the rest is a generation —
+/// see [`TimerGens`]).
 const TK_SYN: u64 = 0;
 const TK_PACE: u64 = 1;
 const TK_NOFB: u64 = 2;
@@ -79,7 +86,7 @@ enum State {
     Running,
 }
 
-/// The QTP sender agent.
+/// The QTP sender endpoint.
 pub struct QtpSender {
     flow: FlowId,
     receiver_node: NodeId,
@@ -99,7 +106,7 @@ pub struct QtpSender {
     /// latency measurement); pruned as the cumulative ack advances.
     adu_ts: BTreeMap<u64, SimTime>,
     /// Timer generations per token kind.
-    gens: [u64; 4],
+    gens: TimerGens<4>,
     /// Last time a FWD was emitted (rate-limited to once per RTT).
     last_fwd: SimTime,
     /// Latest receive-rate report (for estimator synthesis).
@@ -123,7 +130,7 @@ impl QtpSender {
             backlog: std::collections::VecDeque::new(),
             sent_new: 0,
             adu_ts: BTreeMap::new(),
-            gens: [0; 4],
+            gens: TimerGens::new(),
             last_fwd: SimTime::ZERO,
             last_x_recv: 0.0,
             probe,
@@ -135,44 +142,47 @@ impl QtpSender {
         self.chosen
     }
 
-    // ---- timers -------------------------------------------------------
-
-    fn arm(&mut self, ctx: &mut Ctx, kind: u64, at: SimTime) {
-        self.gens[kind as usize] += 1;
-        let token = kind | (self.gens[kind as usize] << 2);
-        ctx.set_timer_at(at, token);
+    /// Whether every packet handed to the network has been acknowledged
+    /// (loop-termination signal for real-I/O drivers).
+    pub fn all_acked(&self) -> bool {
+        self.sb.all_acked()
     }
 
-    fn token_live(&self, token: u64) -> Option<u64> {
-        let kind = token & 3;
-        let gen = token >> 2;
-        (gen == self.gens[kind as usize]).then_some(kind)
+    /// New (never-retransmitted) packets handed to the network so far.
+    pub fn sent_new(&self) -> u64 {
+        self.sent_new
+    }
+
+    // ---- timers -------------------------------------------------------
+
+    fn arm(&mut self, out: &mut Outbox, kind: u64, at: SimTime) {
+        out.set_timer_at(at, self.gens.arm(kind));
     }
 
     // ---- handshake ----------------------------------------------------
 
-    fn send_syn(&mut self, ctx: &mut Ctx) {
+    fn send_syn(&mut self, out: &mut Outbox) {
         let pkt = QtpPacket::Syn {
-            ts_nanos: ctx.now.as_nanos(),
+            ts_nanos: out.now.as_nanos(),
             offered: self.cfg.offered,
         };
         let size = pkt.wire_size();
-        ctx.send_new(self.flow, self.receiver_node, size, pkt.encode());
-        self.arm(ctx, TK_SYN, ctx.now + Duration::from_secs(1));
+        out.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        self.arm(out, TK_SYN, out.now + Duration::from_secs(1));
     }
 
-    fn on_synack(&mut self, ctx: &mut Ctx, ts_echo_nanos: u64, chosen: CapabilitySet) {
+    fn on_synack(&mut self, out: &mut Outbox, ts_echo_nanos: u64, chosen: CapabilitySet) {
         if self.state == State::Running {
             return; // duplicate SYNACK
         }
         self.state = State::Running;
         self.chosen = Some(chosen);
-        let rtt = ctx
+        let rtt = out
             .now
             .saturating_since(SimTime::from_nanos(ts_echo_nanos))
             .max(Duration::from_micros(100));
         let mut cc = CcMachine::new(chosen.cc, self.cfg.s);
-        cc.seed_rtt(ctx.now, rtt);
+        cc.seed_rtt(out.now, rtt);
         self.cc = Some(cc);
         self.policy = qtp_sack::ReliabilityPolicy::new(chosen.reliability);
         if chosen.feedback == FeedbackMode::SenderLoss {
@@ -182,11 +192,11 @@ impl QtpSender {
         }
         // Kick off app generation (Cbr) and pacing.
         if let AppModel::Cbr { .. } = self.cfg.app {
-            self.arm(ctx, TK_APP, ctx.now);
+            self.arm(out, TK_APP, out.now);
         }
-        self.arm(ctx, TK_PACE, ctx.now);
+        self.arm(out, TK_PACE, out.now);
         let nofb = self.cc.as_ref().unwrap().nofeedback_deadline();
-        self.arm(ctx, TK_NOFB, nofb);
+        self.arm(out, TK_NOFB, nofb);
     }
 
     // ---- application --------------------------------------------------
@@ -208,17 +218,17 @@ impl QtpSender {
         }
     }
 
-    fn on_app_tick(&mut self, ctx: &mut Ctx) {
+    fn on_app_tick(&mut self, out: &mut Outbox) {
         let AppModel::Cbr { rate, adu_packets } = self.cfg.app else {
             return;
         };
         for _ in 0..adu_packets {
-            self.backlog.push_back(ctx.now);
+            self.backlog.push_back(out.now);
         }
         let interval = Duration::from_secs_f64(
             adu_packets as f64 * self.cfg.s as f64 * 8.0 / rate.bps() as f64,
         );
-        self.arm(ctx, TK_APP, ctx.now + interval);
+        self.arm(out, TK_APP, out.now + interval);
     }
 
     /// Sender-side staleness drop (TTL reliability, Cbr model): stale ADUs
@@ -246,7 +256,7 @@ impl QtpSender {
         self.cfg.s + header_len as u32 + IP_OVERHEAD
     }
 
-    fn send_data(&mut self, ctx: &mut Ctx, seq: u64, adu_ts: SimTime, is_retx: bool) {
+    fn send_data(&mut self, out: &mut Outbox, seq: u64, adu_ts: SimTime, is_retx: bool) {
         let rtt_hint_micros = self
             .cc
             .as_ref()
@@ -255,14 +265,14 @@ impl QtpSender {
             .unwrap_or(0);
         let pkt = QtpPacket::Data {
             seq,
-            ts_nanos: ctx.now.as_nanos(),
+            ts_nanos: out.now.as_nanos(),
             adu_ts_nanos: adu_ts.as_nanos(),
             rtt_hint_micros,
             is_retx,
         };
         let header = pkt.encode();
         let size = self.data_wire_size(header.len());
-        ctx.send_new(self.flow, self.receiver_node, size, header);
+        out.send_new(self.flow, self.receiver_node, size, header);
         self.probe.update(|d| {
             d.tx_data_pkts += 1;
             if is_retx {
@@ -273,16 +283,16 @@ impl QtpSender {
 
     /// Transmit one packet if anything is eligible: retransmissions first
     /// (policy permitting), then new data.
-    fn send_one(&mut self, ctx: &mut Ctx) {
-        self.drop_stale_backlog(ctx.now);
+    fn send_one(&mut self, out: &mut Outbox) {
+        self.drop_stale_backlog(out.now);
         // Retransmissions have priority under reliable modes.
         while let Some(seq) = self.sb.next_lost() {
             let retx_count = self.sb.retx_count(seq);
-            let decision = self.policy.on_loss(seq, ctx.now, retx_count);
+            let decision = self.policy.on_loss(seq, out.now, retx_count);
             if decision == qtp_sack::LossDecision::Retransmit {
-                let adu_ts = self.adu_ts.get(&seq).copied().unwrap_or(ctx.now);
-                self.sb.register_retransmit(seq, ctx.now);
-                self.send_data(ctx, seq, adu_ts, true);
+                let adu_ts = self.adu_ts.get(&seq).copied().unwrap_or(out.now);
+                self.sb.register_retransmit(seq, out.now);
+                self.send_data(out, seq, adu_ts, true);
                 return;
             }
             // Abandoned: drop from the retransmission queue and keep going.
@@ -290,8 +300,8 @@ impl QtpSender {
             self.probe.update(|d| d.tx_abandoned += 1);
         }
         if self.app_has_data() {
-            let submit = self.next_submit_ts(ctx.now);
-            let seq = self.sb.register_send(ctx.now);
+            let submit = self.next_submit_ts(out.now);
+            let seq = self.sb.register_send(out.now);
             self.sent_new += 1;
             let reliability = self.chosen.map(|c| c.reliability);
             if matches!(reliability, Some(ReliabilityMode::PartialTtl(_))) {
@@ -301,12 +311,12 @@ impl QtpSender {
             if reliability.map(|r| r.retransmits()).unwrap_or(false) {
                 self.adu_ts.insert(seq, submit);
             }
-            self.send_data(ctx, seq, submit, false);
+            self.send_data(out, seq, submit, false);
         }
     }
 
     /// Emit a FWD if the policy abandoned data the receiver is waiting for.
-    fn maybe_send_forward(&mut self, ctx: &mut Ctx) {
+    fn maybe_send_forward(&mut self, out: &mut Outbox) {
         let Some(fp) = self.policy.forward_point(self.sb.cum_ack()) else {
             return;
         };
@@ -315,26 +325,26 @@ impl QtpSender {
             .as_ref()
             .and_then(|cc| cc.rtt())
             .unwrap_or(Duration::from_millis(100));
-        if ctx.now.saturating_since(self.last_fwd) < rtt {
+        if out.now.saturating_since(self.last_fwd) < rtt {
             return;
         }
-        self.last_fwd = ctx.now;
+        self.last_fwd = out.now;
         let pkt = QtpPacket::Forward { new_cum: fp };
         let size = pkt.wire_size();
-        ctx.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        out.send_new(self.flow, self.receiver_node, size, pkt.encode());
     }
 
-    fn on_pace(&mut self, ctx: &mut Ctx) {
+    fn on_pace(&mut self, out: &mut Outbox) {
         if self.state != State::Running {
             return;
         }
-        self.check_tail_loss(ctx.now);
-        self.send_one(ctx);
-        self.maybe_send_forward(ctx);
+        self.check_tail_loss(out.now);
+        self.send_one(out);
+        self.maybe_send_forward(out);
         let interval = self.cc.as_ref().unwrap().send_interval();
         // Clamp pathological intervals so the event loop stays healthy.
         let interval = interval.clamp(Duration::from_micros(10), Duration::from_secs(2));
-        self.arm(ctx, TK_PACE, ctx.now + interval);
+        self.arm(out, TK_PACE, out.now + interval);
     }
 
     /// Tail-loss fallback: if the oldest outstanding packet has seen no
@@ -364,7 +374,7 @@ impl QtpSender {
 
     // ---- feedback -----------------------------------------------------
 
-    fn on_feedback_pkt(&mut self, ctx: &mut Ctx, fb: FeedbackFields<'_>) {
+    fn on_feedback_pkt(&mut self, out: &mut Outbox, fb: FeedbackFields<'_>) {
         let FeedbackFields {
             ts_echo_nanos,
             t_delay_micros,
@@ -394,7 +404,7 @@ impl QtpSender {
                 // Nothing will be retransmitted: abandon immediately so the
                 // receiver can be moved past the holes.
                 for &(seq, _) in &digest.newly_lost {
-                    let _ = self.policy.on_loss(seq, ctx.now, 0);
+                    let _ = self.policy.on_loss(seq, out.now, 0);
                     self.sb.abandon(seq);
                 }
             }
@@ -421,7 +431,7 @@ impl QtpSender {
 
         let cc = self.cc.as_mut().unwrap();
         cc.on_feedback(
-            ctx.now,
+            out.now,
             SimTime::from_nanos(ts_echo_nanos),
             Duration::from_micros(t_delay_micros as u64),
             x_recv as f64,
@@ -430,29 +440,30 @@ impl QtpSender {
         let rate = cc.allowed_rate();
         let nofb = cc.nofeedback_deadline();
         let rtt_s = cc.rtt().map(|r| r.as_secs_f64()).unwrap_or(0.0);
-        self.arm(ctx, TK_NOFB, nofb);
+        self.arm(out, TK_NOFB, nofb);
         let (cc_ops, est_ops, sb_ops) = (
             self.cc.as_ref().unwrap().ops(),
             self.estimator.as_ref().map(|e| e.total_ops()).unwrap_or(0),
             self.sb.meter.total(),
         );
+        let now = out.now;
         self.probe.update(|d| {
-            d.rate_trace.push((ctx.now, rate));
-            d.p_trace.push((ctx.now, p));
+            d.rate_trace.push((now, rate));
+            d.p_trace.push((now, p));
             d.rtt_estimate_s = rtt_s;
             d.tx_ops = cc_ops + est_ops + sb_ops;
         });
         // Feedback may unblock the window (e.g. new losses to retransmit).
-        self.maybe_send_forward(ctx);
+        self.maybe_send_forward(out);
     }
 
-    fn on_nofb(&mut self, ctx: &mut Ctx) {
+    fn on_nofb(&mut self, out: &mut Outbox) {
         let Some(cc) = self.cc.as_mut() else { return };
-        if ctx.now >= cc.nofeedback_deadline() {
-            cc.on_nofeedback_timer(ctx.now);
+        if out.now >= cc.nofeedback_deadline() {
+            cc.on_nofeedback_timer(out.now);
         }
         let next = self.cc.as_ref().unwrap().nofeedback_deadline();
-        self.arm(ctx, TK_NOFB, next);
+        self.arm(out, TK_NOFB, next);
     }
 }
 
@@ -467,20 +478,20 @@ struct FeedbackFields<'a> {
     blocks: &'a [SeqRange],
 }
 
-impl Agent for QtpSender {
-    fn on_start(&mut self, ctx: &mut Ctx) {
-        self.send_syn(ctx);
+impl Endpoint for QtpSender {
+    fn on_start(&mut self, out: &mut Outbox) {
+        self.send_syn(out);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
-        let Ok(decoded) = QtpPacket::decode(&pkt.header) else {
+    fn handle_datagram(&mut self, out: &mut Outbox, _wire_size: u32, header: &[u8]) {
+        let Ok(decoded) = QtpPacket::decode(header) else {
             return;
         };
         match decoded {
             QtpPacket::SynAck {
                 ts_echo_nanos,
                 chosen,
-            } => self.on_synack(ctx, ts_echo_nanos, chosen),
+            } => self.on_synack(out, ts_echo_nanos, chosen),
             QtpPacket::Feedback {
                 ts_echo_nanos,
                 t_delay_micros,
@@ -489,7 +500,7 @@ impl Agent for QtpSender {
                 cum_ack,
                 blocks,
             } => self.on_feedback_pkt(
-                ctx,
+                out,
                 FeedbackFields {
                     ts_echo_nanos,
                     t_delay_micros,
@@ -503,13 +514,13 @@ impl Agent for QtpSender {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
-        match self.token_live(token) {
-            Some(TK_SYN) if self.state == State::AwaitSynAck => self.send_syn(ctx),
+    fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+        match self.gens.live(token) {
+            Some(TK_SYN) if self.state == State::AwaitSynAck => self.send_syn(out),
             Some(TK_SYN) => {}
-            Some(TK_PACE) => self.on_pace(ctx),
-            Some(TK_NOFB) => self.on_nofb(ctx),
-            Some(TK_APP) => self.on_app_tick(ctx),
+            Some(TK_PACE) => self.on_pace(out),
+            Some(TK_NOFB) => self.on_nofb(out),
+            Some(TK_APP) => self.on_app_tick(out),
             _ => {}
         }
     }

@@ -1,0 +1,58 @@
+//! Monotonic wall clock mapped onto the protocol's [`SimTime`] axis.
+//!
+//! The QTP state machines timestamp everything in [`SimTime`] — nanoseconds
+//! since "the start". In the simulator that origin is the simulation epoch;
+//! over real I/O it is the moment the driver's clock was created. Mapping
+//! `Instant` onto the same axis keeps every protocol computation (RTT from
+//! echoed timestamps, feedback rounds, TTL staleness) identical across
+//! backends.
+//!
+//! Both endpoints of a connection measure RTT via *echoed* timestamps
+//! (each side only ever subtracts its own clock readings), so the two
+//! drivers' epochs don't need to be synchronized.
+
+use qtp_simnet::time::SimTime;
+use std::time::Instant;
+
+/// Monotonic clock anchored at its creation instant.
+#[derive(Debug, Clone, Copy)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// Anchor a new clock at the current instant (t = `SimTime::ZERO`).
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Current time on the protocol axis: nanoseconds since the anchor.
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos() as u64)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn clock_is_monotonic_and_starts_near_zero() {
+        let c = WallClock::new();
+        let t0 = c.now();
+        assert!(t0 < SimTime::from_secs(1), "fresh clock reads near zero");
+        std::thread::sleep(Duration::from_millis(5));
+        let t1 = c.now();
+        assert!(t1 > t0);
+        assert!(t1.saturating_since(t0) >= Duration::from_millis(4));
+    }
+}

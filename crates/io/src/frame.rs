@@ -1,0 +1,207 @@
+//! On-the-wire framing of QTP datagrams for real UDP transport.
+//!
+//! Inside the simulator a packet carries metadata the network "knows" for
+//! free: the flow id, the accounted wire size (simulated payload is never
+//! materialized) and the opaque transport header. Over a real socket those
+//! must be explicit, so every UDP datagram is one frame:
+//!
+//! ```text
+//!  0      2      3        7           15          19          21
+//! +------+------+--------+-----------+-----------+-----------+----------+
+//! | magic| ver  | flow   | seq (uid) | wire_size | header_len| header…  |
+//! | u16  | u8   | u32    | u64       | u32       | u16       | bytes    |
+//! +------+------+--------+-----------+-----------+-----------+----------+
+//! ```
+//!
+//! All integers are big-endian. `seq` is a per-driver datagram counter
+//! (the real-I/O analogue of the simulator's packet uid, for tracing).
+//! `wire_size` is the *accounted* size — transport header + simulated
+//! payload + IP overhead — which the receiving endpoint uses for payload
+//! and rate bookkeeping exactly as in the simulator; the UDP datagram
+//! itself stays header-sized, so loopback tests don't shovel bulk data.
+//! `header_len` must match the remaining bytes exactly: trailing garbage
+//! is rejected rather than ignored.
+
+/// Frame magic: "QT" big-endian.
+pub const MAGIC: u16 = 0x5154;
+/// Current frame version.
+pub const VERSION: u8 = 1;
+/// Fixed bytes before the variable-length header.
+pub const FIXED_LEN: usize = 2 + 1 + 4 + 8 + 4 + 2;
+
+/// A decoded datagram frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Flow the datagram belongs to (data vs feedback direction).
+    pub flow: u32,
+    /// Per-driver datagram counter (tracing only; endpoints don't read it).
+    pub seq: u64,
+    /// Accounted on-wire size (header + simulated payload + IP overhead).
+    pub wire_size: u32,
+    /// Encoded transport header.
+    pub header: Vec<u8>,
+}
+
+/// Frame decode errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Shorter than the fixed prologue, or header bytes missing.
+    Truncated,
+    /// First two bytes are not [`MAGIC`].
+    BadMagic(u16),
+    /// Unknown version byte.
+    BadVersion(u8),
+    /// `header_len` disagrees with the actual remaining length.
+    LengthMismatch { declared: u16, actual: usize },
+    /// Transport header longer than a `u16` can declare.
+    HeaderTooLong(usize),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Truncated => write!(f, "frame truncated"),
+            FrameError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported frame version {v}"),
+            FrameError::LengthMismatch { declared, actual } => {
+                write!(f, "header length {declared} declared, {actual} present")
+            }
+            FrameError::HeaderTooLong(n) => write!(f, "transport header of {n} bytes unframable"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Encode into a fresh datagram buffer.
+    pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        let header_len = u16::try_from(self.header.len())
+            .map_err(|_| FrameError::HeaderTooLong(self.header.len()))?;
+        let mut out = Vec::with_capacity(FIXED_LEN + self.header.len());
+        out.extend_from_slice(&MAGIC.to_be_bytes());
+        out.push(VERSION);
+        out.extend_from_slice(&self.flow.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.wire_size.to_be_bytes());
+        out.extend_from_slice(&header_len.to_be_bytes());
+        out.extend_from_slice(&self.header);
+        Ok(out)
+    }
+
+    /// Decode one UDP datagram.
+    pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() < FIXED_LEN {
+            return Err(FrameError::Truncated);
+        }
+        let magic = u16::from_be_bytes([buf[0], buf[1]]);
+        if magic != MAGIC {
+            return Err(FrameError::BadMagic(magic));
+        }
+        if buf[2] != VERSION {
+            return Err(FrameError::BadVersion(buf[2]));
+        }
+        let flow = u32::from_be_bytes(buf[3..7].try_into().unwrap());
+        let seq = u64::from_be_bytes(buf[7..15].try_into().unwrap());
+        let wire_size = u32::from_be_bytes(buf[15..19].try_into().unwrap());
+        let declared = u16::from_be_bytes(buf[19..21].try_into().unwrap());
+        let rest = &buf[FIXED_LEN..];
+        if rest.len() != declared as usize {
+            // Distinguish truncation from trailing garbage only in the
+            // error detail; both are rejected.
+            return Err(FrameError::LengthMismatch {
+                declared,
+                actual: rest.len(),
+            });
+        }
+        Ok(Frame {
+            flow,
+            seq,
+            wire_size,
+            header: rest.to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame {
+            flow: 7,
+            seq: 123_456_789,
+            wire_size: 1049,
+            header: vec![3, 0, 0, 0, 0, 0, 0, 0, 42],
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = sample();
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes.len(), FIXED_LEN + f.header.len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn empty_header_roundtrips() {
+        let f = Frame {
+            flow: 0,
+            seq: 0,
+            wire_size: 0,
+            header: Vec::new(),
+        };
+        assert_eq!(Frame::decode(&f.encode().unwrap()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().encode().unwrap();
+        for cut in 0..FIXED_LEN {
+            assert_eq!(Frame::decode(&bytes[..cut]), Err(FrameError::Truncated));
+        }
+        // Cutting into the header is a length mismatch.
+        assert!(matches!(
+            Frame::decode(&bytes[..bytes.len() - 1]),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        bytes.push(0xFF);
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample().encode().unwrap();
+        bytes[0] = 0xAB;
+        assert!(matches!(
+            Frame::decode(&bytes),
+            Err(FrameError::BadMagic(_))
+        ));
+        let mut bytes = sample().encode().unwrap();
+        bytes[2] = 99;
+        assert_eq!(Frame::decode(&bytes), Err(FrameError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversized_header_unencodable() {
+        let f = Frame {
+            flow: 1,
+            seq: 1,
+            wire_size: 1,
+            header: vec![0; usize::from(u16::MAX) + 1],
+        };
+        assert_eq!(
+            f.encode(),
+            Err(FrameError::HeaderTooLong(usize::from(u16::MAX) + 1))
+        );
+    }
+}

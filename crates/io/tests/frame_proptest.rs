@@ -1,0 +1,48 @@
+//! Property tests for the UDP datagram frame: every encodable frame
+//! round-trips exactly, and no prefix truncation of a valid encoding is
+//! accepted.
+
+use proptest::prelude::*;
+use qtp_io::frame::{Frame, FrameError, FIXED_LEN};
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::collection::vec(any::<u8>(), 0..256),
+    )
+        .prop_map(|(flow, seq, wire_size, header)| Frame {
+            flow,
+            seq,
+            wire_size,
+            header,
+        })
+}
+
+proptest! {
+    #[test]
+    fn frame_roundtrips(frame in arb_frame()) {
+        let bytes = frame.encode().unwrap();
+        prop_assert_eq!(bytes.len(), FIXED_LEN + frame.header.len());
+        let decoded = Frame::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncations_rejected(frame in arb_frame(), cut in 0usize..300) {
+        let bytes = frame.encode().unwrap();
+        let cut = cut.min(bytes.len().saturating_sub(1));
+        let err = Frame::decode(&bytes[..cut]);
+        prop_assert!(err.is_err(), "prefix of length {} must not decode", cut);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected(frame in arb_frame(), extra in 1usize..16) {
+        let mut bytes = frame.encode().unwrap();
+        bytes.extend(std::iter::repeat(0xEE).take(extra));
+        let is_len_mismatch =
+            matches!(Frame::decode(&bytes), Err(FrameError::LengthMismatch { .. }));
+        prop_assert!(is_len_mismatch);
+    }
+}

@@ -18,7 +18,9 @@
 //! Timers are fire-and-forget: `set_timer_in(d, token)` schedules a wakeup
 //! that cannot be cancelled. Agents that re-arm timers should carry a
 //! generation counter in their state and ignore stale tokens; the transports
-//! built on this simulator all follow that pattern.
+//! built on this simulator all follow that pattern (the QTP endpoints share
+//! it as `qtp_core::driver::TimerGens`, which encodes `kind | (gen << 2)`
+//! tokens and rejects superseded generations).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

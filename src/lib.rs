@@ -19,7 +19,8 @@
 //! | [`tfrc`] | RFC 3448 sender/receiver, throughput equation, loss-interval history, gTFRC |
 //! | [`sack`] | range sets, reassembly + SACK block generation, scoreboard, reliability policies |
 //! | [`tcp`] | TCP NewReno / SACK baseline agents |
-//! | [`core`] | the composed QTP endpoints, wire formats, capability negotiation, named instances |
+//! | [`core`] | the composed QTP endpoints (sans-io, behind the `Endpoint` driver seam), wire formats, capability negotiation, named instances |
+//! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop |
 //! | [`metrics`] | deterministic processing-cost accounting |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@
 //! every evaluation result.
 
 pub use qtp_core as core;
+pub use qtp_io as io;
 pub use qtp_metrics as metrics;
 pub use qtp_sack as sack;
 pub use qtp_simnet as simnet;
@@ -64,8 +66,9 @@ pub mod prelude {
     pub use qtp_core::{
         attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,
         qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe, QtpHandles,
-        QtpReceiverConfig, QtpSenderConfig, ServerPolicy,
+        QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, ServerPolicy,
     };
+    pub use qtp_io::{drive_pair, UdpDriver};
     pub use qtp_sack::ReliabilityMode;
     pub use qtp_simnet::prelude::*;
     pub use qtp_tcp::{TcpConfig, TcpFlavor, TcpReceiver, TcpSender};
