@@ -17,6 +17,7 @@ pub mod common;
 pub mod experiments_a;
 pub mod experiments_b;
 pub mod experiments_c;
+pub mod manyflow;
 pub mod table;
 
 use table::Table;

@@ -139,6 +139,23 @@ pub trait Endpoint {
     fn on_timer(&mut self, _out: &mut Outbox, _token: u64) {}
 }
 
+/// Boxed endpoints forward the whole seam, so drivers that multiplex many
+/// connections of different concrete types over one socket (`qtp-io`'s
+/// `MuxDriver<Box<dyn Endpoint>>`) can mix senders and receivers freely.
+impl<E: Endpoint + ?Sized> Endpoint for Box<E> {
+    fn on_start(&mut self, out: &mut Outbox) {
+        (**self).on_start(out)
+    }
+
+    fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
+        (**self).handle_datagram(out, wire_size, header)
+    }
+
+    fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+        (**self).on_timer(out, token)
+    }
+}
+
 /// Number of low token bits reserved for the timer kind.
 const KIND_BITS: u32 = 2;
 const KIND_MASK: u64 = (1 << KIND_BITS) - 1;
@@ -221,6 +238,37 @@ mod tests {
         assert!(matches!(out.poll_cmd(), Some(Command::Transmit(t)) if t.header == vec![0xBB]));
         assert!(out.poll_cmd().is_none());
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn boxed_endpoints_forward_the_seam() {
+        struct Recorder;
+        impl Endpoint for Recorder {
+            fn on_start(&mut self, out: &mut Outbox) {
+                out.send_new(1, 0, 10, vec![0xAB]);
+            }
+            fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, _header: &[u8]) {
+                out.app_deliver(1, wire_size as u64);
+            }
+            fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+                out.set_timer_at(out.now, token);
+            }
+        }
+        let mut boxed: Box<dyn Endpoint> = Box::new(Recorder);
+        let mut out = Outbox::new();
+        boxed.on_start(&mut out);
+        boxed.handle_datagram(&mut out, 100, &[1, 2]);
+        boxed.on_timer(&mut out, 7);
+        assert!(matches!(out.poll_cmd(), Some(Command::Transmit(_))));
+        assert!(matches!(
+            out.poll_cmd(),
+            Some(Command::Deliver { bytes: 100, .. })
+        ));
+        assert!(matches!(
+            out.poll_cmd(),
+            Some(Command::SetTimer { token: 7, .. })
+        ));
+        assert!(out.poll_cmd().is_none());
     }
 
     #[test]

@@ -32,11 +32,7 @@ use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
 use std::time::Duration;
 
 use crate::clock::WallClock;
-use crate::frame::Frame;
-
-/// Largest UDP datagram the driver will accept. QTP headers are tens of
-/// bytes; anything close to this is foreign traffic.
-const MAX_DATAGRAM: usize = 2048;
+use crate::frame::{Frame, MAX_FRAME_LEN};
 
 /// Smallest read timeout handed to the OS (zero means "block forever" to
 /// `set_read_timeout`, which is exactly what we never want).
@@ -53,6 +49,10 @@ pub struct DriverStats {
     pub datagrams_rejected: u64,
     /// Timer events delivered to the endpoint (stale ones included).
     pub timers_fired: u64,
+    /// Soft per-datagram socket errors absorbed by the loop (ICMP
+    /// port-unreachable reflections and the like). A run that "times out"
+    /// with a large count here was most likely talking to a dead peer.
+    pub soft_errors: u64,
 }
 
 /// Drives one [`Endpoint`] over one UDP socket.
@@ -100,7 +100,10 @@ impl<E: Endpoint> UdpDriver<E> {
             delivered_bytes: 0,
             started: false,
             stats: DriverStats::default(),
-            recv_buf: vec![0; MAX_DATAGRAM],
+            // One byte beyond the frame bound, so an over-long datagram
+            // reads as > MAX_FRAME_LEN and is rejected instead of being
+            // silently truncated into something decodable.
+            recv_buf: vec![0; MAX_FRAME_LEN + 1],
         })
     }
 
@@ -210,12 +213,18 @@ impl<E: Endpoint> UdpDriver<E> {
             Err(e)
                 if matches!(
                     e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::ConnectionReset
-                        | io::ErrorKind::ConnectionRefused
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
                 ) =>
             {
+                Ok(false)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionRefused
+                ) =>
+            {
+                self.stats.soft_errors += 1;
                 Ok(false)
             }
             Err(e) => Err(e),
@@ -287,9 +296,19 @@ impl<E: Endpoint> UdpDriver<E> {
     }
 }
 
+/// Annotate a socket error with which driver of a pair raised it, keeping
+/// the original [`io::ErrorKind`] so callers can still match on it.
+pub(crate) fn annotate_side(side: &str, e: io::Error) -> io::Error {
+    io::Error::new(e.kind(), format!("{side}: {e}"))
+}
+
 /// Drive two endpoints of one connection in a single thread, alternating
 /// short [`UdpDriver::drive_once`] slices, until `done` reports completion
 /// or `deadline` (wall time) expires. Returns whether `done` was reached.
+///
+/// Socket errors are never swallowed: a hard failure on either side aborts
+/// the loop immediately, with the error annotated by side (`"a side"` /
+/// `"b side"`, in argument order) and its [`io::ErrorKind`] preserved.
 pub fn drive_pair<A: Endpoint, B: Endpoint>(
     a: &mut UdpDriver<A>,
     b: &mut UdpDriver<B>,
@@ -299,8 +318,10 @@ pub fn drive_pair<A: Endpoint, B: Endpoint>(
     const SLICE: Duration = Duration::from_micros(300);
     let start = std::time::Instant::now();
     loop {
-        a.drive_once(SLICE)?;
-        b.drive_once(SLICE)?;
+        a.drive_once(SLICE)
+            .map_err(|e| annotate_side("a side", e))?;
+        b.drive_once(SLICE)
+            .map_err(|e| annotate_side("b side", e))?;
         if done(a, b) {
             return Ok(true);
         }
@@ -391,6 +412,31 @@ mod tests {
         }
         assert_eq!(d.endpoint().fired, vec![1, 2, 3]);
         assert_eq!(d.stats().timers_fired, 3);
+    }
+
+    #[test]
+    fn drive_pair_surfaces_socket_errors_with_side_attribution() {
+        // An endpoint whose very first transmit cannot be framed: the send
+        // path fails with InvalidData, and drive_pair must abort with that
+        // error (annotated by side) instead of spinning to the deadline.
+        struct Unframable;
+        impl Endpoint for Unframable {
+            fn on_start(&mut self, out: &mut Outbox) {
+                out.send_new(0, 0, 64, vec![0; crate::frame::MAX_FRAME_LEN]);
+            }
+        }
+        let mut server = UdpDriver::server(Echo { flow: 0, got: 0 }, "127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let mut client = UdpDriver::client(Unframable, "127.0.0.1:0", addr).unwrap();
+        let err = drive_pair(&mut client, &mut server, Duration::from_secs(5), |_, _| {
+            false
+        })
+        .expect_err("unframable transmit must surface as an error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("a side"),
+            "error names the failing side: {err}"
+        );
     }
 
     #[test]

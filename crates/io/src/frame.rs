@@ -28,6 +28,11 @@ pub const MAGIC: u16 = 0x5154;
 pub const VERSION: u8 = 1;
 /// Fixed bytes before the variable-length header.
 pub const FIXED_LEN: usize = 2 + 1 + 4 + 8 + 4 + 2;
+/// Largest encoded frame (and therefore UDP datagram) the protocol will
+/// produce or accept. QTP transport headers are tens of bytes; anything
+/// approaching this bound is foreign or hostile traffic and is rejected
+/// *before* any length field is trusted.
+pub const MAX_FRAME_LEN: usize = 2048;
 
 /// A decoded datagram frame.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,8 +58,10 @@ pub enum FrameError {
     BadVersion(u8),
     /// `header_len` disagrees with the actual remaining length.
     LengthMismatch { declared: u16, actual: usize },
-    /// Transport header longer than a `u16` can declare.
+    /// Transport header longer than [`MAX_FRAME_LEN`] allows.
     HeaderTooLong(usize),
+    /// Input longer than [`MAX_FRAME_LEN`] (never a QTP frame).
+    Oversized(usize),
 }
 
 impl std::fmt::Display for FrameError {
@@ -67,6 +74,12 @@ impl std::fmt::Display for FrameError {
                 write!(f, "header length {declared} declared, {actual} present")
             }
             FrameError::HeaderTooLong(n) => write!(f, "transport header of {n} bytes unframable"),
+            FrameError::Oversized(n) => {
+                write!(
+                    f,
+                    "datagram of {n} bytes exceeds the {MAX_FRAME_LEN}-byte frame bound"
+                )
+            }
         }
     }
 }
@@ -76,6 +89,9 @@ impl std::error::Error for FrameError {}
 impl Frame {
     /// Encode into a fresh datagram buffer.
     pub fn encode(&self) -> Result<Vec<u8>, FrameError> {
+        if FIXED_LEN + self.header.len() > MAX_FRAME_LEN {
+            return Err(FrameError::HeaderTooLong(self.header.len()));
+        }
         let header_len = u16::try_from(self.header.len())
             .map_err(|_| FrameError::HeaderTooLong(self.header.len()))?;
         let mut out = Vec::with_capacity(FIXED_LEN + self.header.len());
@@ -89,8 +105,12 @@ impl Frame {
         Ok(out)
     }
 
-    /// Decode one UDP datagram.
+    /// Decode one UDP datagram. Total: never panics, whatever the input —
+    /// adversarial, truncated, or oversized buffers all map to an error.
     pub fn decode(buf: &[u8]) -> Result<Frame, FrameError> {
+        if buf.len() > MAX_FRAME_LEN {
+            return Err(FrameError::Oversized(buf.len()));
+        }
         if buf.len() < FIXED_LEN {
             return Err(FrameError::Truncated);
         }
@@ -202,6 +222,32 @@ mod tests {
         assert_eq!(
             f.encode(),
             Err(FrameError::HeaderTooLong(usize::from(u16::MAX) + 1))
+        );
+        // The bound is MAX_FRAME_LEN, well below what u16 could declare.
+        let f = Frame {
+            header: vec![0; MAX_FRAME_LEN - FIXED_LEN + 1],
+            ..f
+        };
+        assert!(matches!(f.encode(), Err(FrameError::HeaderTooLong(_))));
+        // Exactly at the bound still encodes and round-trips.
+        let f = Frame {
+            header: vec![7; MAX_FRAME_LEN - FIXED_LEN],
+            ..f
+        };
+        let bytes = f.encode().unwrap();
+        assert_eq!(bytes.len(), MAX_FRAME_LEN);
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn oversized_datagrams_rejected_before_parsing() {
+        // A giant buffer is rejected on length alone, even if it starts
+        // with valid magic/version bytes.
+        let mut bytes = sample().encode().unwrap();
+        bytes.resize(MAX_FRAME_LEN + 1, 0);
+        assert_eq!(
+            Frame::decode(&bytes),
+            Err(FrameError::Oversized(MAX_FRAME_LEN + 1))
         );
     }
 }

@@ -17,7 +17,11 @@
 //!   rounds, TTL reliability) is backend-independent;
 //! * [`driver`] — [`UdpDriver`], a blocking single-thread event loop over
 //!   one `std::net::UdpSocket`: fire due timers → `recv` with the computed
-//!   timeout → dispatch → drain commands to the socket.
+//!   timeout → dispatch → drain commands to the socket;
+//! * [`mux`] — [`MuxDriver`], the connection multiplexer: one non-blocking
+//!   socket carrying many concurrent endpoints, routed by
+//!   `(peer, flow id)`, with a per-connection [`TimerWheel`],
+//!   accept-on-first-frame, teardown and stale-flow reaping.
 //!
 //! Zero runtime dependencies beyond `std`, by workspace policy.
 //!
@@ -53,7 +57,11 @@
 pub mod clock;
 pub mod driver;
 pub mod frame;
+pub mod mux;
 
 pub use clock::WallClock;
 pub use driver::{drive_pair, DriverStats, UdpDriver};
 pub use frame::{Frame, FrameError};
+pub use mux::{
+    drive_mux_pair, Accepted, ConnId, ConnStats, MuxConfig, MuxDriver, MuxStats, TimerWheel,
+};

@@ -1,0 +1,1175 @@
+//! Connection multiplexing: one UDP socket, many QTP flows.
+//!
+//! [`UdpDriver`](crate::UdpDriver) binds one socket per endpoint — fine for
+//! a demo, hopeless for a server. [`MuxDriver`] is the scaling seam the
+//! ROADMAP calls for: it owns **one** `std::net::UdpSocket` and routes
+//! datagrams among N concurrent [`Endpoint`] instances keyed by
+//! `(peer_addr, flow_id)`, QUIC-style:
+//!
+//! ```text
+//! loop {                                  // MuxDriver::drive_once
+//!     flush backlogged sends              // WouldBlock retries
+//!     advance timer wheel, fire due       // endpoint.on_timer per conn
+//!     while socket ready (level-trig.):   // set_nonblocking(true)
+//!         recv; decode frame
+//!         route (peer, frame.flow) -> conn, else acceptor -> new conn
+//!         endpoint.handle_datagram; drain outbox
+//!     if nothing happened: sleep min(slice, next deadline)
+//! }
+//! ```
+//!
+//! * **Routing** — every connection registers the flow ids it owns with its
+//!   peer address (a QTP connection owns two: data + feedback). The route
+//!   table is the hot path; see the `mux_micro` criterion bench.
+//! * **Timers** — a [`TimerWheel`] holds every armed wakeup, tagged by
+//!   connection so teardown can purge them. The wheel keeps the
+//!   simulator's fire-and-forget contract: it never cancels an entry on
+//!   re-arm; endpoints discard stale generations via
+//!   [`TimerGens`](qtp_core::TimerGens).
+//! * **Lifecycle** — connections appear either explicitly
+//!   ([`MuxDriver::add_connection`], the client role) or on the first
+//!   decodable frame from an unknown `(peer, flow)` via the acceptor
+//!   callback (the server role); they disappear explicitly
+//!   ([`MuxDriver::close`]) or through idle reaping
+//!   ([`MuxDriver::reap_stale`]).
+//!
+//! `MuxDriver` is generic over the endpoint type: a homogeneous mux
+//! (`MuxDriver<QtpReceiver>` on a server) keeps typed access to its
+//! endpoints, and `MuxDriver<Box<dyn Endpoint>>` mixes senders and
+//! receivers on one socket. Strictly single-threaded, like everything else
+//! in this crate; batching (recvmmsg/GSO) and async runtimes layer on top
+//! of this seam later.
+
+use qtp_core::driver::{Command, Endpoint, Outbox, Transmit};
+use qtp_simnet::packet::FlowId;
+use qtp_simnet::time::SimTime;
+use std::collections::{BTreeMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::time::Duration;
+
+use crate::clock::WallClock;
+use crate::frame::{Frame, MAX_FRAME_LEN};
+
+/// Identifier of one multiplexed connection, unique for the lifetime of a
+/// [`MuxDriver`] (ids are never reused after [`MuxDriver::close`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConnId(u64);
+
+impl ConnId {
+    /// Build an id from its raw value — for driving a [`TimerWheel`]
+    /// directly (tests, benchmarks). Ids used with a [`MuxDriver`] always
+    /// come from the driver itself.
+    pub fn from_raw(raw: u64) -> Self {
+        ConnId(raw)
+    }
+
+    /// The raw value.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+/// Slots per wheel revolution. With the default 1 ms granularity one
+/// revolution covers 256 ms; anything further out parks in the overflow
+/// list until its revolution comes around.
+const WHEEL_SLOTS: usize = 256;
+
+#[derive(Debug, Clone)]
+struct TimerEntry {
+    at: SimTime,
+    /// Arming order, the tie-break for equal deadlines (matching the
+    /// simulator's insertion-order event tie-break).
+    seq: u64,
+    conn: ConnId,
+    token: u64,
+}
+
+/// A hashed timer wheel over all connections of a mux.
+///
+/// Entries are bucketed by deadline into [`WHEEL_SLOTS`] slots of fixed
+/// granularity; [`TimerWheel::advance`] drains every entry due at `now`, in
+/// exact `(deadline, arming order)` order — the granularity affects only
+/// bucketing cost, never fire order. Entries are tagged with their
+/// [`ConnId`] so [`TimerWheel::cancel_conn`] can purge a torn-down
+/// connection wholesale; individual timers are fire-and-forget, exactly
+/// like the simulator's (endpoints filter stale generations themselves, see
+/// [`TimerGens`](qtp_core::TimerGens)).
+#[derive(Debug)]
+pub struct TimerWheel {
+    granularity_ns: u64,
+    slots: Vec<Vec<TimerEntry>>,
+    /// Entries more than one revolution ahead of the cursor.
+    overflow: Vec<TimerEntry>,
+    /// Tick index the wheel has been advanced to (inclusive).
+    cursor: u64,
+    next_seq: u64,
+    armed: usize,
+    /// Cached earliest deadline, so the idle path reads the sleep bound
+    /// without scanning every slot. Entry removal (advance/cancel) only
+    /// marks it dirty; [`TimerWheel::next_deadline`] recomputes lazily —
+    /// and the driver consults it only on idle iterations, where nothing
+    /// just fired and the cache is almost always still clean.
+    earliest: std::cell::Cell<Option<SimTime>>,
+    earliest_dirty: std::cell::Cell<bool>,
+}
+
+impl TimerWheel {
+    /// A wheel with the given slot width. Sub-slot deadline precision is
+    /// preserved; the width only sizes the buckets.
+    pub fn new(granularity: Duration) -> Self {
+        TimerWheel {
+            granularity_ns: (granularity.as_nanos() as u64).max(1),
+            slots: (0..WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            overflow: Vec::new(),
+            cursor: 0,
+            next_seq: 0,
+            armed: 0,
+            earliest: std::cell::Cell::new(None),
+            earliest_dirty: std::cell::Cell::new(false),
+        }
+    }
+
+    fn tick_of(&self, at: SimTime) -> u64 {
+        at.as_nanos() / self.granularity_ns
+    }
+
+    /// Arm a wakeup for `conn` at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, conn: ConnId, token: u64) {
+        self.next_seq += 1;
+        let entry = TimerEntry {
+            at,
+            seq: self.next_seq,
+            conn,
+            token,
+        };
+        self.armed += 1;
+        if !self.earliest_dirty.get() {
+            self.earliest.set(Some(match self.earliest.get() {
+                Some(e) => e.min(at),
+                None => at,
+            }));
+        }
+        let tick = self.tick_of(at);
+        if tick >= self.cursor + WHEEL_SLOTS as u64 {
+            self.overflow.push(entry);
+        } else {
+            // Already-due entries land in the cursor slot, which the next
+            // advance always rescans.
+            let slot = tick.max(self.cursor) % WHEEL_SLOTS as u64;
+            self.slots[slot as usize].push(entry);
+        }
+    }
+
+    /// Drain every entry due at `now`, ordered by `(deadline, arming
+    /// order)`, and move the cursor up to `now`'s tick.
+    pub fn advance(&mut self, now: SimTime) -> Vec<(ConnId, u64)> {
+        let now_tick = self.tick_of(now).max(self.cursor);
+        let mut due: Vec<TimerEntry> = Vec::new();
+
+        // Overflow: fire what is due outright, refile what has entered the
+        // coming revolution, keep the rest parked.
+        let horizon = now_tick + WHEEL_SLOTS as u64;
+        let mut i = 0;
+        while i < self.overflow.len() {
+            if self.overflow[i].at <= now {
+                due.push(self.overflow.swap_remove(i));
+            } else if self.tick_of(self.overflow[i].at) < horizon {
+                let e = self.overflow.swap_remove(i);
+                let slot = self.tick_of(e.at).max(now_tick) % WHEEL_SLOTS as u64;
+                self.slots[slot as usize].push(e);
+            } else {
+                i += 1;
+            }
+        }
+
+        // Visit each slot between the cursor and now's tick at most once
+        // (a revolution covers them all). Only the final slot can hold
+        // not-yet-due entries; they stay put and are rescanned next time.
+        let span = (now_tick - self.cursor).min(WHEEL_SLOTS as u64 - 1);
+        for t in self.cursor..=self.cursor + span {
+            let slot = &mut self.slots[(t % WHEEL_SLOTS as u64) as usize];
+            let mut j = 0;
+            while j < slot.len() {
+                if slot[j].at <= now {
+                    due.push(slot.swap_remove(j));
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        self.cursor = now_tick;
+
+        due.sort_by_key(|e| (e.at, e.seq));
+        self.armed -= due.len();
+        if !due.is_empty() {
+            self.earliest_dirty.set(true);
+        }
+        due.into_iter().map(|e| (e.conn, e.token)).collect()
+    }
+
+    /// Earliest armed deadline, if any (the idle-sleep bound). O(1) while
+    /// the cache is clean; one slot scan right after entries were removed.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        if self.earliest_dirty.get() {
+            self.earliest.set(
+                self.slots
+                    .iter()
+                    .flatten()
+                    .chain(self.overflow.iter())
+                    .map(|e| e.at)
+                    .min(),
+            );
+            self.earliest_dirty.set(false);
+        }
+        self.earliest.get()
+    }
+
+    /// Drop every entry belonging to `conn` (connection teardown).
+    pub fn cancel_conn(&mut self, conn: ConnId) {
+        for slot in self
+            .slots
+            .iter_mut()
+            .chain(std::iter::once(&mut self.overflow))
+        {
+            slot.retain(|e| e.conn != conn);
+        }
+        self.armed = self.slots.iter().map(Vec::len).sum::<usize>() + self.overflow.len();
+        self.earliest_dirty.set(true);
+    }
+
+    /// Number of armed entries.
+    pub fn len(&self) -> usize {
+        self.armed
+    }
+
+    /// Whether no entries are armed.
+    pub fn is_empty(&self) -> bool {
+        self.armed == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The mux driver
+// ---------------------------------------------------------------------------
+
+/// Tuning knobs for a [`MuxDriver`].
+#[derive(Debug, Clone)]
+pub struct MuxConfig {
+    /// Timer wheel slot width.
+    pub timer_granularity: Duration,
+    /// Most datagrams dispatched per [`MuxDriver::drive_once`] call before
+    /// yielding back to the timer path (level-triggered fairness bound).
+    pub recv_batch: usize,
+    /// Most concurrent connections; the acceptor is not consulted beyond
+    /// this (the datagram counts as unroutable).
+    pub max_conns: usize,
+}
+
+impl Default for MuxConfig {
+    fn default() -> Self {
+        MuxConfig {
+            timer_granularity: Duration::from_millis(1),
+            recv_batch: 256,
+            max_conns: 4096,
+        }
+    }
+}
+
+/// What an acceptor returns for a connection it admits: the endpoint plus
+/// every flow id to route to it (which must include the triggering flow).
+pub struct Accepted<E> {
+    /// The freshly built endpoint (driven from the triggering datagram on).
+    pub endpoint: E,
+    /// Flow ids owned by this connection, from the triggering peer.
+    pub flows: Vec<FlowId>,
+}
+
+type Acceptor<E> = Box<dyn FnMut(SocketAddr, &Frame) -> Option<Accepted<E>>>;
+
+/// Per-connection activity counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Frames sent on behalf of this connection.
+    pub datagrams_sent: u64,
+    /// Frames routed to this connection.
+    pub datagrams_received: u64,
+    /// Application bytes the endpoint delivered (`Command::Deliver`).
+    pub delivered_bytes: u64,
+    /// Last send or receive on this connection (mux clock axis); the
+    /// reaper's staleness measure.
+    pub last_activity: SimTime,
+}
+
+/// Whole-mux activity counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MuxStats {
+    /// Frames sent on the socket.
+    pub datagrams_sent: u64,
+    /// Frames received and routed to a connection.
+    pub datagrams_received: u64,
+    /// Datagrams dropped because they don't decode as frames.
+    pub datagrams_rejected: u64,
+    /// Valid frames with no route and no (or a declining) acceptor.
+    pub datagrams_unroutable: u64,
+    /// Timer events delivered (stale generations included).
+    pub timers_fired: u64,
+    /// Connections created by the acceptor.
+    pub conns_accepted: u64,
+    /// Connections removed by [`MuxDriver::close`] (reaping included).
+    pub conns_closed: u64,
+    /// Connections removed by [`MuxDriver::reap_stale`].
+    pub conns_reaped: u64,
+    /// Sends deferred because the socket buffer was full (`WouldBlock`).
+    pub sends_requeued: u64,
+    /// Soft per-datagram socket errors absorbed (ICMP reflections etc.).
+    pub soft_errors: u64,
+}
+
+struct Conn<E> {
+    /// The endpoint. `None` only transiently, while one of its callbacks
+    /// runs (taken out so the command drain can borrow the mux freely
+    /// without structurally mutating the connection map on the hot path).
+    ep: Option<E>,
+    peer: SocketAddr,
+    flows: Vec<FlowId>,
+    stats: ConnStats,
+}
+
+/// Drives N [`Endpoint`]s over one UDP socket.
+pub struct MuxDriver<E: Endpoint> {
+    socket: UdpSocket,
+    clock: WallClock,
+    cfg: MuxConfig,
+    wheel: TimerWheel,
+    conns: BTreeMap<ConnId, Conn<E>>,
+    routes: BTreeMap<(SocketAddr, FlowId), ConnId>,
+    acceptor: Option<Acceptor<E>>,
+    out: Outbox,
+    next_conn: u64,
+    /// Per-mux datagram counter, stamped into frames as `seq` (tracing).
+    next_seq: u64,
+    /// Encoded frames whose send hit `WouldBlock`; retried first thing
+    /// every `drive_once`, in order. While non-empty, fresh sends queue
+    /// behind it so the datagram stream never reorders.
+    tx_backlog: VecDeque<(ConnId, SocketAddr, Vec<u8>)>,
+    recv_buf: Vec<u8>,
+    stats: MuxStats,
+}
+
+impl<E: Endpoint> MuxDriver<E> {
+    /// Bind a mux on `bind_addr` with default tuning.
+    pub fn bind(bind_addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Self::bind_with(bind_addr, MuxConfig::default())
+    }
+
+    /// Bind a mux on `bind_addr` with explicit tuning.
+    pub fn bind_with(bind_addr: impl ToSocketAddrs, cfg: MuxConfig) -> io::Result<Self> {
+        let socket = UdpSocket::bind(bind_addr)?;
+        socket.set_nonblocking(true)?;
+        Ok(MuxDriver {
+            socket,
+            clock: WallClock::new(),
+            wheel: TimerWheel::new(cfg.timer_granularity),
+            cfg,
+            conns: BTreeMap::new(),
+            routes: BTreeMap::new(),
+            acceptor: None,
+            out: Outbox::new(),
+            next_conn: 0,
+            next_seq: 0,
+            tx_backlog: VecDeque::new(),
+            recv_buf: vec![0; MAX_FRAME_LEN + 1],
+            stats: MuxStats::default(),
+        })
+    }
+
+    /// The socket's local address (useful after binding to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.socket.local_addr()
+    }
+
+    /// Install the accept-on-first-frame callback: consulted whenever a
+    /// decodable frame arrives from an unknown `(peer, flow)`. Returning
+    /// `None` drops the datagram (counted as unroutable).
+    pub fn set_acceptor(
+        &mut self,
+        acceptor: impl FnMut(SocketAddr, &Frame) -> Option<Accepted<E>> + 'static,
+    ) {
+        self.acceptor = Some(Box::new(acceptor));
+    }
+
+    /// Register a connection to `peer` owning `flows` (the client role:
+    /// the endpoint's `on_start` runs immediately, typically emitting a
+    /// SYN). Fails if any `(peer, flow)` route is already taken, if
+    /// `flows` is empty, or at the connection cap.
+    pub fn add_connection(
+        &mut self,
+        peer: SocketAddr,
+        flows: Vec<FlowId>,
+        endpoint: E,
+    ) -> io::Result<ConnId> {
+        let id = self.register(peer, flows, endpoint)?;
+        self.drive_endpoint(id, |ep, out| ep.on_start(out))?;
+        Ok(id)
+    }
+
+    fn register(&mut self, peer: SocketAddr, flows: Vec<FlowId>, ep: E) -> io::Result<ConnId> {
+        if flows.is_empty() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "a connection must own at least one flow id",
+            ));
+        }
+        if self.conns.len() >= self.cfg.max_conns {
+            return Err(io::Error::new(
+                io::ErrorKind::OutOfMemory,
+                format!("connection cap ({}) reached", self.cfg.max_conns),
+            ));
+        }
+        for f in &flows {
+            if self.routes.contains_key(&(peer, *f)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    format!("route ({peer}, flow {f}) already taken"),
+                ));
+            }
+        }
+        let id = ConnId(self.next_conn);
+        self.next_conn += 1;
+        for f in &flows {
+            self.routes.insert((peer, *f), id);
+        }
+        self.conns.insert(
+            id,
+            Conn {
+                ep: Some(ep),
+                peer,
+                flows,
+                stats: ConnStats {
+                    last_activity: self.clock.now(),
+                    ..ConnStats::default()
+                },
+            },
+        );
+        Ok(id)
+    }
+
+    /// Tear a connection down: unroute its flows, purge its timers, return
+    /// its endpoint for inspection. `None` if already gone.
+    pub fn close(&mut self, id: ConnId) -> Option<E> {
+        let conn = self.conns.remove(&id)?;
+        for f in &conn.flows {
+            self.routes.remove(&(conn.peer, *f));
+        }
+        self.wheel.cancel_conn(id);
+        self.stats.conns_closed += 1;
+        conn.ep
+    }
+
+    /// Close every connection with no send/receive activity for at least
+    /// `idle`, returning the reaped endpoints.
+    pub fn reap_stale(&mut self, idle: Duration) -> Vec<(ConnId, E)> {
+        let now = self.clock.now();
+        let stale: Vec<ConnId> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| now.saturating_since(c.stats.last_activity) >= idle)
+            .map(|(id, _)| *id)
+            .collect();
+        stale
+            .into_iter()
+            .filter_map(|id| {
+                let ep = self.close(id)?;
+                self.stats.conns_reaped += 1;
+                Some((id, ep))
+            })
+            .collect()
+    }
+
+    /// The endpoint of a live connection.
+    pub fn endpoint(&self, id: ConnId) -> Option<&E> {
+        self.conns.get(&id).and_then(|c| c.ep.as_ref())
+    }
+
+    /// Activity counters of a live connection.
+    pub fn conn_stats(&self, id: ConnId) -> Option<ConnStats> {
+        self.conns.get(&id).map(|c| c.stats)
+    }
+
+    /// Ids of every live connection, ascending.
+    pub fn conn_ids(&self) -> Vec<ConnId> {
+        self.conns.keys().copied().collect()
+    }
+
+    /// Number of live connections.
+    pub fn conn_count(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// The connection a `(peer, flow)` datagram would route to.
+    pub fn route(&self, peer: SocketAddr, flow: FlowId) -> Option<ConnId> {
+        self.routes.get(&(peer, flow)).copied()
+    }
+
+    /// Whole-mux activity counters.
+    pub fn stats(&self) -> MuxStats {
+        self.stats
+    }
+
+    /// Earliest armed timer deadline across all connections.
+    pub fn poll_timeout(&self) -> Option<SimTime> {
+        self.wheel.next_deadline()
+    }
+
+    /// One iteration of the readiness loop: retry backlogged sends, fire
+    /// due timers, then drain the socket level-triggered (up to the batch
+    /// bound). Sleeps at most `slice` only when the socket was quiet and
+    /// no timer fired — any received datagram counts as activity, routed
+    /// or not, so a garbage flood cannot put the loop to sleep while real
+    /// traffic queues behind it. Returns the number of datagrams
+    /// dispatched to endpoints.
+    pub fn drive_once(&mut self, slice: Duration) -> io::Result<usize> {
+        self.flush_backlog()?;
+        let fired = self.fire_due_timers()?;
+
+        let mut handled = 0usize;
+        let mut received = 0usize;
+        for _ in 0..self.cfg.recv_batch {
+            match self.socket.recv_from(&mut self.recv_buf) {
+                Ok((n, from)) => {
+                    received += 1;
+                    match Frame::decode(&self.recv_buf[..n]) {
+                        Ok(frame) => {
+                            if self.ingest(from, frame)? {
+                                handled += 1;
+                            }
+                        }
+                        Err(_) => self.stats.datagrams_rejected += 1,
+                    };
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                // Soft per-datagram failures on UDP (ICMP port-unreachable
+                // reflected onto the socket): never loop-fatal, the armed
+                // protocol timers handle recovery.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionRefused
+                    ) =>
+                {
+                    self.stats.soft_errors += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        if received == 0 && fired == 0 {
+            // A pending send backlog still bounds the nap: retrying only
+            // needs the peer to have drained a little, so come back soon
+            // rather than busy-spinning or oversleeping.
+            let mut wait = match self.wheel.next_deadline() {
+                Some(at) => at.saturating_since(self.clock.now()).min(slice),
+                None => slice,
+            };
+            if !self.tx_backlog.is_empty() {
+                wait = wait.min(Duration::from_micros(100));
+            }
+            if wait > Duration::ZERO {
+                std::thread::sleep(wait);
+            }
+        }
+        Ok(handled)
+    }
+
+    /// Route one already-received datagram, exactly as the recv loop does —
+    /// the ingress seam for alternative receive paths (recvmmsg batching)
+    /// and the `mux_micro` routing benchmark. Returns whether the datagram
+    /// reached an endpoint.
+    pub fn handle_datagram_from(&mut self, from: SocketAddr, buf: &[u8]) -> io::Result<bool> {
+        match Frame::decode(buf) {
+            Ok(frame) => self.ingest(from, frame),
+            Err(_) => {
+                self.stats.datagrams_rejected += 1;
+                Ok(false)
+            }
+        }
+    }
+
+    fn ingest(&mut self, from: SocketAddr, frame: Frame) -> io::Result<bool> {
+        let id = match self.routes.get(&(from, frame.flow)) {
+            Some(&id) => id,
+            None => match self.try_accept(from, &frame)? {
+                Some(id) => id,
+                None => {
+                    self.stats.datagrams_unroutable += 1;
+                    return Ok(false);
+                }
+            },
+        };
+        self.stats.datagrams_received += 1;
+        let now = self.clock.now();
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.stats.datagrams_received += 1;
+            conn.stats.last_activity = now;
+        }
+        self.drive_endpoint(id, |ep, out| {
+            ep.handle_datagram(out, frame.wire_size, &frame.header)
+        })?;
+        Ok(true)
+    }
+
+    fn try_accept(&mut self, from: SocketAddr, frame: &Frame) -> io::Result<Option<ConnId>> {
+        if self.conns.len() >= self.cfg.max_conns {
+            return Ok(None);
+        }
+        let Some(acceptor) = self.acceptor.as_mut() else {
+            return Ok(None);
+        };
+        let Some(Accepted { endpoint, flows }) = acceptor(from, frame) else {
+            return Ok(None);
+        };
+        if !flows.contains(&frame.flow) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "acceptor admitted flow {} without routing it (flows {:?})",
+                    frame.flow, flows
+                ),
+            ));
+        }
+        let id = self.register(from, flows, endpoint)?;
+        self.stats.conns_accepted += 1;
+        self.drive_endpoint(id, |ep, out| ep.on_start(out))?;
+        Ok(Some(id))
+    }
+
+    /// Deliver every due timer. Stale generations are delivered too —
+    /// filtering them is the endpoint's job ([`TimerGens`]
+    /// fire-and-forget contract), but timers of closed connections are
+    /// dropped here.
+    ///
+    /// [`TimerGens`]: qtp_core::TimerGens
+    fn fire_due_timers(&mut self) -> io::Result<usize> {
+        let due = self.wheel.advance(self.clock.now());
+        let mut fired = 0usize;
+        for (id, token) in due {
+            if !self.conns.contains_key(&id) {
+                continue;
+            }
+            self.stats.timers_fired += 1;
+            fired += 1;
+            self.drive_endpoint(id, |ep, out| ep.on_timer(out, token))?;
+        }
+        Ok(fired)
+    }
+
+    /// Run one endpoint callback and apply its commands. The endpoint is
+    /// taken out of its slot for the duration so the outbox drain can
+    /// borrow the rest of the mux freely — no structural map mutation on
+    /// the hot path; nothing in the drain re-enters endpoints, so this is
+    /// not observable from outside.
+    fn drive_endpoint(
+        &mut self,
+        id: ConnId,
+        f: impl FnOnce(&mut E, &mut Outbox),
+    ) -> io::Result<()> {
+        let Some(conn) = self.conns.get_mut(&id) else {
+            return Ok(());
+        };
+        let peer = conn.peer;
+        let Some(mut ep) = conn.ep.take() else {
+            return Ok(());
+        };
+        self.out.now = self.clock.now();
+        f(&mut ep, &mut self.out);
+        let res = self.flush_cmds(id, peer);
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.ep = Some(ep);
+        }
+        res
+    }
+
+    fn flush_cmds(&mut self, id: ConnId, peer: SocketAddr) -> io::Result<()> {
+        while let Some(cmd) = self.out.poll_cmd() {
+            match cmd {
+                Command::Transmit(t) => self.send_frame(id, peer, t)?,
+                Command::SetTimer { at, token } => self.wheel.schedule(at, id, token),
+                Command::Deliver { bytes, .. } => {
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.stats.delivered_bytes += bytes;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn send_frame(&mut self, id: ConnId, peer: SocketAddr, t: Transmit) -> io::Result<()> {
+        self.next_seq += 1;
+        let frame = Frame {
+            flow: t.flow,
+            seq: self.next_seq,
+            wire_size: t.wire_size,
+            header: t.header,
+        };
+        let bytes = frame
+            .encode()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let now = self.clock.now();
+        // While older frames sit in the backlog, every new frame must queue
+        // behind them — sending around the backlog would reorder the
+        // datagram stream the moment the socket buffer fills.
+        let sent = if self.tx_backlog.is_empty() {
+            match self.socket.send_to(&bytes, peer) {
+                Ok(_) => true,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.tx_backlog.push_back((id, peer, bytes));
+                    self.stats.sends_requeued += 1;
+                    false
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionRefused
+                    ) =>
+                {
+                    self.stats.soft_errors += 1;
+                    false
+                }
+                Err(e) => return Err(e),
+            }
+        } else {
+            self.tx_backlog.push_back((id, peer, bytes));
+            self.stats.sends_requeued += 1;
+            false
+        };
+        if let Some(conn) = self.conns.get_mut(&id) {
+            conn.stats.last_activity = now;
+            if sent {
+                conn.stats.datagrams_sent += 1;
+            }
+        }
+        if sent {
+            self.stats.datagrams_sent += 1;
+        }
+        Ok(())
+    }
+
+    fn flush_backlog(&mut self) -> io::Result<()> {
+        while let Some((id, peer, bytes)) = self.tx_backlog.front() {
+            match self.socket.send_to(bytes, *peer) {
+                Ok(_) => {
+                    self.stats.datagrams_sent += 1;
+                    let id = *id;
+                    self.tx_backlog.pop_front();
+                    if let Some(conn) = self.conns.get_mut(&id) {
+                        conn.stats.datagrams_sent += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::ConnectionReset | io::ErrorKind::ConnectionRefused
+                    ) =>
+                {
+                    self.stats.soft_errors += 1;
+                    self.tx_backlog.pop_front();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Drive the two muxes of a test/example rig in one thread, alternating
+/// short [`MuxDriver::drive_once`] slices until `done` or `deadline`.
+/// Socket errors surface immediately, annotated by side (argument order).
+pub fn drive_mux_pair<A: Endpoint, B: Endpoint>(
+    a: &mut MuxDriver<A>,
+    b: &mut MuxDriver<B>,
+    deadline: Duration,
+    mut done: impl FnMut(&MuxDriver<A>, &MuxDriver<B>) -> bool,
+) -> io::Result<bool> {
+    const SLICE: Duration = Duration::from_micros(300);
+    let start = std::time::Instant::now();
+    loop {
+        a.drive_once(SLICE)
+            .map_err(|e| crate::driver::annotate_side("a side", e))?;
+        b.drive_once(SLICE)
+            .map_err(|e| crate::driver::annotate_side("b side", e))?;
+        if done(a, b) {
+            return Ok(true);
+        }
+        if start.elapsed() > deadline {
+            return Ok(false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn wheel_fires_in_deadline_then_arming_order() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let c = ConnId(1);
+        w.schedule(t(30), c, 3);
+        w.schedule(t(10), c, 1);
+        w.schedule(t(10), c, 11); // same deadline, armed later
+        w.schedule(t(20), c, 2);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.next_deadline(), Some(t(10)));
+        assert_eq!(w.advance(t(5)), vec![]);
+        assert_eq!(w.advance(t(10)), vec![(c, 1), (c, 11)]);
+        assert_eq!(w.advance(t(40)), vec![(c, 2), (c, 3)]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn wheel_sub_slot_deadlines_do_not_fire_early() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let c = ConnId(0);
+        w.schedule(SimTime::from_micros(1500), c, 7);
+        // Same slot as 1.0-1.999 ms, but not due at 1.2 ms.
+        assert_eq!(w.advance(SimTime::from_micros(1200)), vec![]);
+        assert_eq!(w.advance(SimTime::from_micros(1500)), vec![(c, 7)]);
+    }
+
+    #[test]
+    fn wheel_handles_far_deadlines_via_overflow() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let c = ConnId(2);
+        // Far beyond one 256-slot revolution.
+        w.schedule(t(10_000), c, 42);
+        w.schedule(t(5), c, 1);
+        assert_eq!(w.advance(t(100)), vec![(c, 1)]);
+        assert_eq!(w.advance(t(9_999)), vec![]);
+        assert_eq!(w.advance(t(10_000)), vec![(c, 42)]);
+        // A big jump straight over an overflow deadline still fires it.
+        w.schedule(t(90_000), c, 43);
+        assert_eq!(w.advance(t(200_000)), vec![(c, 43)]);
+    }
+
+    #[test]
+    fn wheel_cached_deadline_stays_exact_through_removals() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let (a, b) = (ConnId(1), ConnId(2));
+        w.schedule(t(10), a, 1);
+        w.schedule(t(20), b, 2);
+        w.schedule(t(10_000), a, 3); // overflow
+        assert_eq!(w.next_deadline(), Some(t(10)));
+        // Firing invalidates the cache; the next query recomputes.
+        assert_eq!(w.advance(t(15)), vec![(a, 1)]);
+        assert_eq!(w.next_deadline(), Some(t(20)));
+        // Scheduling after a query keeps the cache exact.
+        w.schedule(t(18), b, 4);
+        assert_eq!(w.next_deadline(), Some(t(18)));
+        // Cancellation invalidates too, across slots and overflow.
+        w.cancel_conn(b);
+        assert_eq!(w.next_deadline(), Some(t(10_000)));
+        w.cancel_conn(a);
+        assert_eq!(w.next_deadline(), None);
+    }
+
+    #[test]
+    fn wheel_cancel_conn_purges_only_that_connection() {
+        let mut w = TimerWheel::new(Duration::from_millis(1));
+        let (a, b) = (ConnId(1), ConnId(2));
+        w.schedule(t(10), a, 1);
+        w.schedule(t(10), b, 2);
+        w.schedule(t(10_000), a, 3); // overflow entry
+        w.schedule(t(20), b, 4);
+        w.cancel_conn(a);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.advance(t(20_000)), vec![(b, 2), (b, 4)]);
+    }
+
+    /// Echoes every datagram back with the header reversed, on `reply_flow`.
+    struct Echo {
+        reply_flow: FlowId,
+        got: Rc<RefCell<u64>>,
+    }
+    impl Endpoint for Echo {
+        fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
+            *self.got.borrow_mut() += 1;
+            let mut back = header.to_vec();
+            back.reverse();
+            out.send_new(self.reply_flow, 0, wire_size, back);
+        }
+    }
+
+    /// Sends one datagram on start, remembers replies.
+    struct Pinger {
+        flow: FlowId,
+        payload: Vec<u8>,
+        reply: Option<Vec<u8>>,
+    }
+    impl Endpoint for Pinger {
+        fn on_start(&mut self, out: &mut Outbox) {
+            out.send_new(self.flow, 0, 64, self.payload.clone());
+        }
+        fn handle_datagram(&mut self, _out: &mut Outbox, _wire_size: u32, header: &[u8]) {
+            self.reply = Some(header.to_vec());
+        }
+    }
+
+    #[test]
+    fn mux_routes_many_flows_between_two_sockets() {
+        const N: u32 = 8;
+        let mut server: MuxDriver<Echo> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let got = Rc::new(RefCell::new(0u64));
+        let got2 = got.clone();
+        server.set_acceptor(move |_, frame| {
+            Some(Accepted {
+                endpoint: Echo {
+                    reply_flow: frame.flow,
+                    got: got2.clone(),
+                },
+                flows: vec![frame.flow],
+            })
+        });
+        let server_addr = server.local_addr().unwrap();
+
+        let mut client: MuxDriver<Pinger> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let mut ids = Vec::new();
+        for f in 0..N {
+            let id = client
+                .add_connection(
+                    server_addr,
+                    vec![f],
+                    Pinger {
+                        flow: f,
+                        payload: vec![f as u8, 1, 2],
+                        reply: None,
+                    },
+                )
+                .unwrap();
+            ids.push(id);
+        }
+        let ok = drive_mux_pair(&mut client, &mut server, Duration::from_secs(5), |c, _| {
+            ids.iter()
+                .all(|id| c.endpoint(*id).unwrap().reply.is_some())
+        })
+        .unwrap();
+        assert!(ok, "all {N} echoes should complete");
+        assert_eq!(*got.borrow(), u64::from(N));
+        assert_eq!(server.conn_count(), N as usize);
+        assert_eq!(server.stats().conns_accepted, u64::from(N));
+        for (f, id) in ids.iter().enumerate() {
+            // Each pinger got *its own* payload back, so routing never
+            // crossed flows.
+            assert_eq!(
+                client.endpoint(*id).unwrap().reply.as_deref(),
+                Some(&[2, 1, f as u8][..])
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_routes_are_rejected() {
+        let mut mux: MuxDriver<Pinger> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        mux.add_connection(
+            peer,
+            vec![1, 2],
+            Pinger {
+                flow: 1,
+                payload: vec![],
+                reply: None,
+            },
+        )
+        .unwrap();
+        let err = mux
+            .add_connection(
+                peer,
+                vec![2],
+                Pinger {
+                    flow: 2,
+                    payload: vec![],
+                    reply: None,
+                },
+            )
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
+        // Same flow to a *different* peer is a different route.
+        let other: SocketAddr = "127.0.0.1:10".parse().unwrap();
+        mux.add_connection(
+            other,
+            vec![2],
+            Pinger {
+                flow: 2,
+                payload: vec![],
+                reply: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(mux.conn_count(), 2);
+    }
+
+    #[test]
+    fn close_unroutes_and_cancels_timers() {
+        struct Rearming;
+        impl Endpoint for Rearming {
+            fn on_start(&mut self, out: &mut Outbox) {
+                out.set_timer_at(out.now + Duration::from_millis(5), 1);
+            }
+            fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+                out.set_timer_at(out.now + Duration::from_millis(5), token + 1);
+            }
+        }
+        let mut mux: MuxDriver<Rearming> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let id = mux.add_connection(peer, vec![1], Rearming).unwrap();
+        assert!(mux.poll_timeout().is_some());
+        assert!(mux.close(id).is_some());
+        assert_eq!(mux.poll_timeout(), None, "timers purged with the conn");
+        assert_eq!(mux.route(peer, 1), None, "route removed");
+        assert!(mux.close(id).is_none(), "double close is a no-op");
+        // Late datagrams for the closed conn are unroutable, not fatal.
+        let frame = Frame {
+            flow: 1,
+            seq: 1,
+            wire_size: 64,
+            header: vec![1],
+        };
+        let routed = mux
+            .handle_datagram_from(peer, &frame.encode().unwrap())
+            .unwrap();
+        assert!(!routed);
+        assert_eq!(mux.stats().datagrams_unroutable, 1);
+    }
+
+    #[test]
+    fn reaper_removes_only_idle_connections() {
+        let mut mux: MuxDriver<Pinger> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let a = mux
+            .add_connection(
+                peer,
+                vec![1],
+                Pinger {
+                    flow: 1,
+                    payload: vec![],
+                    reply: None,
+                },
+            )
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        // Fresh activity on a second connection.
+        let b = mux
+            .add_connection(
+                peer,
+                vec![2],
+                Pinger {
+                    flow: 2,
+                    payload: vec![],
+                    reply: None,
+                },
+            )
+            .unwrap();
+        let reaped = mux.reap_stale(Duration::from_millis(25));
+        assert_eq!(
+            reaped.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![a]
+        );
+        assert_eq!(mux.conn_count(), 1);
+        assert!(mux.endpoint(b).is_some());
+        assert_eq!(mux.stats().conns_reaped, 1);
+    }
+
+    #[test]
+    fn acceptor_must_route_the_triggering_flow() {
+        let mut mux: MuxDriver<Echo> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        mux.set_acceptor(|_, _frame| {
+            Some(Accepted {
+                endpoint: Echo {
+                    reply_flow: 99,
+                    got: Rc::new(RefCell::new(0)),
+                },
+                flows: vec![99], // bug: does not include the triggering flow
+            })
+        });
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        let frame = Frame {
+            flow: 7,
+            seq: 1,
+            wire_size: 64,
+            header: vec![],
+        };
+        let err = mux
+            .handle_datagram_from(peer, &frame.encode().unwrap())
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+    }
+
+    #[test]
+    fn garbage_and_unroutable_datagrams_are_counted_not_fatal() {
+        let mut mux: MuxDriver<Echo> = MuxDriver::bind("127.0.0.1:0").unwrap();
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        assert!(!mux.handle_datagram_from(peer, b"not a frame").unwrap());
+        assert_eq!(mux.stats().datagrams_rejected, 1);
+        let frame = Frame {
+            flow: 3,
+            seq: 1,
+            wire_size: 64,
+            header: vec![],
+        };
+        // No acceptor installed: valid frame, nowhere to go.
+        assert!(!mux
+            .handle_datagram_from(peer, &frame.encode().unwrap())
+            .unwrap());
+        assert_eq!(mux.stats().datagrams_unroutable, 1);
+    }
+
+    #[test]
+    fn connection_cap_stops_accepting() {
+        let cfg = MuxConfig {
+            max_conns: 1,
+            ..MuxConfig::default()
+        };
+        let mut mux: MuxDriver<Echo> = MuxDriver::bind_with("127.0.0.1:0", cfg).unwrap();
+        mux.set_acceptor(|_, frame| {
+            Some(Accepted {
+                endpoint: Echo {
+                    reply_flow: frame.flow,
+                    got: Rc::new(RefCell::new(0)),
+                },
+                flows: vec![frame.flow],
+            })
+        });
+        let peer: SocketAddr = "127.0.0.1:9".parse().unwrap();
+        for flow in [1u32, 2u32] {
+            let frame = Frame {
+                flow,
+                seq: 1,
+                wire_size: 64,
+                header: vec![],
+            };
+            mux.handle_datagram_from(peer, &frame.encode().unwrap())
+                .unwrap();
+        }
+        assert_eq!(mux.conn_count(), 1, "second accept blocked by the cap");
+        assert_eq!(mux.stats().datagrams_unroutable, 1);
+    }
+}

@@ -20,7 +20,7 @@
 //! | [`sack`] | range sets, reassembly + SACK block generation, scoreboard, reliability policies |
 //! | [`tcp`] | TCP NewReno / SACK baseline agents |
 //! | [`core`] | the composed QTP endpoints (sans-io, behind the `Endpoint` driver seam), wire formats, capability negotiation, named instances |
-//! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop |
+//! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop, multi-flow connection mux |
 //! | [`metrics`] | deterministic processing-cost accounting |
 //!
 //! ## Quickstart
@@ -68,7 +68,9 @@ pub mod prelude {
         qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe, QtpHandles,
         QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, ServerPolicy,
     };
-    pub use qtp_io::{drive_pair, UdpDriver};
+    pub use qtp_io::{
+        drive_mux_pair, drive_pair, Accepted, ConnId, MuxConfig, MuxDriver, UdpDriver,
+    };
     pub use qtp_sack::ReliabilityMode;
     pub use qtp_simnet::prelude::*;
     pub use qtp_tcp::{TcpConfig, TcpFlavor, TcpReceiver, TcpSender};
