@@ -1,16 +1,71 @@
-//! Experiment runner: regenerates every evaluation claim of the paper.
+//! Experiment runner and claims-ledger gate: regenerates every evaluation
+//! claim of the paper and holds future runs to the committed baseline.
 //!
 //! ```text
-//! expt all            # run everything, print markdown tables
-//! expt e2 e5          # run selected experiments
-//! expt --json all     # also dump machine-readable JSON to stdout
+//! expt all                  # run everything, print markdown tables
+//! expt e2 e5                # run selected experiments
+//! expt --json all           # also dump machine-readable JSON to stdout
+//! expt --report             # full ledger → EXPERIMENTS.md + experiments.json
+//! expt --report --out DIR   # write the artifacts elsewhere
+//! expt --report --mux       # append the real-socket sweep (informational)
+//! expt --check              # re-run, diff vs committed baseline, exit ≠ 0
+//! expt --check --baseline D # read the baseline from another directory
 //! ```
+//!
+//! `--report` and `--check` run the **full deterministic ledger** (E1–E12
+//! plus the fairness sweep F1); the artifacts contain no timestamps, so
+//! the same commit regenerates them byte-identically.
 
+use qtp_bench::ledger;
 use std::env;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Instant;
 
-fn main() {
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: expt [ids|all] [--json] | expt --report [--out DIR] [--mux] | expt --check [--baseline DIR]"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--report") {
+        return match dir_flag(&args, "--out") {
+            Ok(out) => report(out, args.iter().any(|a| a == "--mux")),
+            Err(e) => usage_error(&e),
+        };
+    }
+    if args.iter().any(|a| a == "--check") {
+        return match dir_flag(&args, "--baseline") {
+            Ok(dir) => check(dir),
+            Err(e) => usage_error(&e),
+        };
+    }
+    run_selected(&args)
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("{msg} (try --help)");
+    ExitCode::from(2)
+}
+
+/// Value of `--flag DIR`, defaulting to the current directory (the
+/// workspace root under `cargo run`). A present flag without a directory
+/// value is an error, not a silent fallback — otherwise a forgotten value
+/// would write over the committed root artifacts.
+fn dir_flag(args: &[String], flag: &str) -> Result<PathBuf, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(PathBuf::from(".")),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(PathBuf::from(v)),
+            _ => Err(format!("missing directory value for {flag}")),
+        },
+    }
+}
+
+/// The original mode: run chosen experiments, print markdown (+ JSON).
+fn run_selected(args: &[String]) -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
     let ids: Vec<String> = args
         .iter()
@@ -25,6 +80,7 @@ fn main() {
 
     println!("# QTP experiment harness — reproduction of Jourjon et al., CoNEXT 2006\n");
     let mut tables = Vec::new();
+    let mut unknown = false;
     for id in ids {
         let t0 = Instant::now();
         match qtp_bench::run_experiment(id) {
@@ -33,7 +89,10 @@ fn main() {
                 println!("_(generated in {:.1} s)_\n", t0.elapsed().as_secs_f64());
                 tables.push(table);
             }
-            None => eprintln!("unknown experiment id: {id}"),
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                unknown = true;
+            }
         }
     }
     if json {
@@ -41,4 +100,94 @@ fn main() {
         println!("{}", qtp_bench::table::tables_to_json(&tables));
         println!("```");
     }
+    if unknown {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// `--report`: run the full ledger and write the committed artifact pair.
+fn report(out: PathBuf, with_mux: bool) -> ExitCode {
+    let t0 = Instant::now();
+    eprintln!("running the full claims ledger (12 experiments + fairness sweep)…");
+    let ledger_run = ledger::run_full();
+    let mut extras = Vec::new();
+    if with_mux {
+        eprintln!("running the real-socket mux sweep (informational)…");
+        match ledger::fairness_sweep_mux(&ledger::MUX_SWEEP_NS) {
+            Ok(t) => extras.push(t),
+            Err(e) => {
+                eprintln!("mux sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let md = ledger::render_markdown(&ledger_run, &extras);
+    let json = ledger::render_json(&ledger_run);
+    if let Err(e) = std::fs::create_dir_all(&out)
+        .and_then(|()| std::fs::write(out.join("EXPERIMENTS.md"), md))
+        .and_then(|()| std::fs::write(out.join("experiments.json"), json))
+    {
+        eprintln!("cannot write report to {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    let violated = ledger::evaluate_assertions(&ledger_run, &ledger::assertions())
+        .into_iter()
+        .filter(|r| !r.holds)
+        .count();
+    eprintln!(
+        "wrote {}/EXPERIMENTS.md and experiments.json in {:.1} s",
+        out.display(),
+        t0.elapsed().as_secs_f64(),
+    );
+    if violated > 0 {
+        eprintln!("{violated} claim assertion(s) VIOLATED — see the report's final section");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `--check`: run the full ledger and gate it against the committed
+/// baseline.
+fn check(baseline_dir: PathBuf) -> ExitCode {
+    let path = baseline_dir.join("experiments.json");
+    let baseline = match load_baseline(&path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let t0 = Instant::now();
+    eprintln!(
+        "re-running the full claims ledger against {}…",
+        path.display()
+    );
+    let fresh = ledger::run_full();
+    match ledger::check_against(&baseline, &fresh) {
+        Ok(report) => {
+            print!("{}", report.render());
+            eprintln!("(ledger re-run took {:.1} s)", t0.elapsed().as_secs_f64());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load_baseline(path: &Path) -> Result<qtp_bench::json::Value, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        format!(
+            "cannot read {} ({e}) — generate it with `expt --report`",
+            path.display()
+        )
+    })?;
+    qtp_bench::json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
 }

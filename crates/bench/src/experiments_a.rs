@@ -1,5 +1,22 @@
 //! Experiments E1–E5: the DiffServ/AF bandwidth-assurance studies (paper
 //! §4) and the QTPlight equivalence/cost studies (paper §3).
+//!
+//! Paper claims covered, one experiment each:
+//!
+//! * **E1** — §4 baseline (Seddigh et al.): TCP cannot sustain a
+//!   bandwidth guarantee inside an AF class.
+//! * **E2** — §4 headline: "QTPAF obtains the QoS negotiated by the
+//!   application … whereas TCP fails to deliver this QoS".
+//! * **E3** — §4 (gTFRC design): the guaranteed flow converges to ≥ g
+//!   and stays there.
+//! * **E4** — §3: moving loss estimation to the sender preserves TFRC's
+//!   rate behaviour.
+//! * **E5** — §3: "it allows the receiver load to be dramatically
+//!   decreased".
+//!
+//! Each experiment records its headline numbers as gated
+//! [`Table::metric`]s; `ledger::assertions` encodes the claim itself as
+//! an ordering check over them.
 
 use qtp_core::{qtp_af_sender, qtp_light_sender, qtp_standard_sender, QtpReceiverConfig};
 use qtp_simnet::prelude::*;
@@ -7,7 +24,7 @@ use qtp_tcp::TcpFlavor;
 use std::time::Duration;
 
 use crate::common::*;
-use crate::table::{mbps, ratio, Table};
+use crate::table::{mbps, ratio, Table, Tolerance};
 
 /// E1 — TCP cannot sustain a bandwidth guarantee inside an AF class
 /// (the Seddigh et al. baseline the paper's §4 builds on).
@@ -52,6 +69,18 @@ pub fn e1() -> Table {
     }
     t.verdict = format!(
         "large targets under-achieve (worst ratio {worst_high_target:.2}) while small targets grab excess (best ratio {best_low_target:.2}) — TCP cannot enforce the reservation, matching Seddigh et al."
+    );
+    t.metric(
+        "worst_high_target",
+        worst_high_target,
+        "ratio",
+        Tolerance::AbsOrRel(0.05, 0.20),
+    );
+    t.metric(
+        "best_low_target",
+        best_low_target,
+        "ratio",
+        Tolerance::Rel(0.15),
     );
     t
 }
@@ -138,6 +167,8 @@ pub fn e2() -> Table {
     t.verdict = format!(
         "QTPAF worst-case achievement {qtp_af_min:.2} of target vs TCP worst case {tcp_min:.2} — the negotiated rate is held by QTPAF and not by TCP, matching the claim."
     );
+    t.metric("qtpaf_min", qtp_af_min, "ratio", Tolerance::Rel(0.10));
+    t.metric("tcp_min", tcp_min, "ratio", Tolerance::AbsOrRel(0.05, 0.25));
     t
 }
 
@@ -192,6 +223,18 @@ pub fn e3() -> Table {
         sa / 1e6,
         sb / 1e6
     );
+    t.metric(
+        "qtpaf_steady_mbps",
+        sa / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.15),
+    );
+    t.metric(
+        "tcp_steady_mbps",
+        sb / 1e6,
+        "Mbit/s",
+        Tolerance::AbsOrRel(0.5, 0.25),
+    );
     t
 }
 
@@ -244,6 +287,7 @@ pub fn e4() -> Table {
     t.verdict = format!(
         "largest deviation of QTPlight from standard TFRC: factor {worst:.2} — the two track each other across two orders of magnitude of loss."
     );
+    t.metric("worst_deviation", worst, "factor", Tolerance::Abs(0.15));
     t
 }
 
@@ -310,6 +354,12 @@ pub fn e5() -> Table {
     }
     t.verdict = format!(
         "QTPlight cuts receiver work by at least {min_reduction:.1}x per packet (state shrinks too); the loss-history cost reappears at the sender, which is exactly the intended asymmetry."
+    );
+    t.metric(
+        "min_reduction",
+        min_reduction,
+        "factor",
+        Tolerance::Rel(0.20),
     );
     t
 }

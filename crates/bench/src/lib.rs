@@ -1,22 +1,35 @@
-//! # qtp-bench — experiment harness and micro-benchmarks
+//! # qtp-bench — experiment harness, claims ledger and micro-benchmarks
 //!
 //! The paper is a short "towards" paper without numbered figures; its
-//! evaluation is a set of textual claims. Each claim is reproduced by one
-//! experiment here (see `DESIGN.md` §4 for the index). Run them with:
+//! evaluation is a set of twelve textual claims. Each claim is reproduced
+//! by one experiment here (E1–E12 across [`experiments_a`],
+//! [`experiments_b`], [`experiments_c`]; the module docs name the claim
+//! each experiment covers) and extended at scale by the many-flow
+//! fairness sweep ([`manyflow`], table F1). Run them with:
 //!
 //! ```text
 //! cargo run -p qtp-bench --release --bin expt -- all
 //! cargo run -p qtp-bench --release --bin expt -- e2 e5
 //! ```
 //!
+//! The [`ledger`] module turns the full run into the committed claims
+//! ledger — `EXPERIMENTS.md` + `experiments.json` — and the regression
+//! gate behind `expt --check`: every headline number is a typed
+//! [`table::Metric`] with a drift [`table::Tolerance`], and every claim
+//! is an ordering assertion re-evaluated on each run.
+//!
 //! Criterion micro-benchmarks (`cargo bench`) price the individual
 //! mechanisms (equation, loss history, SACK structures, RIO, wire codecs)
 //! and cross-check the E5 operation-count ledger against real CPU time.
+
+#![deny(missing_docs)]
 
 pub mod common;
 pub mod experiments_a;
 pub mod experiments_b;
 pub mod experiments_c;
+pub mod json;
+pub mod ledger;
 pub mod manyflow;
 pub mod table;
 

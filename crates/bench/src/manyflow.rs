@@ -180,6 +180,24 @@ pub struct FlowOutcome {
     pub goodput_bps: f64,
 }
 
+/// Aggregates of one capability profile's flows within a scenario run.
+#[derive(Debug, Clone)]
+pub struct ProfileAgg {
+    /// Profile label (see [`ProfileKind::label`]).
+    pub profile: &'static str,
+    /// Flows running this profile.
+    pub flows: usize,
+    /// How many of them completed within the horizon.
+    pub completed: usize,
+    /// Mean per-flow goodput, bits/s.
+    pub mean_goodput_bps: f64,
+    /// Jain fairness index over this profile's goodputs.
+    pub jain: f64,
+    /// Mean completion time over completed flows, seconds (`NaN` if none
+    /// completed).
+    pub mean_completion_s: f64,
+}
+
 /// Scenario-level report: per-flow outcomes plus the fairness headline.
 #[derive(Debug, Clone)]
 pub struct ManyFlowReport {
@@ -216,6 +234,49 @@ impl ManyFlowReport {
         )
     }
 
+    /// 95th-percentile completion time across completed flows, seconds
+    /// (`NaN` when nothing completed).
+    pub fn p95_completion_s(&self) -> f64 {
+        let completions: Vec<f64> = self
+            .outcomes
+            .iter()
+            .filter_map(|o| o.completion_s)
+            .collect();
+        qtp_metrics::agg::percentile(&completions, 0.95)
+    }
+
+    /// Per-profile aggregates in first-appearance order — one entry per
+    /// capability profile present in the run.
+    pub fn profile_summary(&self) -> Vec<ProfileAgg> {
+        let mut profiles: Vec<&'static str> = Vec::new();
+        for o in &self.outcomes {
+            if !profiles.contains(&o.profile) {
+                profiles.push(o.profile);
+            }
+        }
+        profiles
+            .into_iter()
+            .map(|p| {
+                let of: Vec<&FlowOutcome> =
+                    self.outcomes.iter().filter(|o| o.profile == p).collect();
+                let goodputs: Vec<f64> = of.iter().map(|o| o.goodput_bps).collect();
+                let completions: Vec<f64> = of.iter().filter_map(|o| o.completion_s).collect();
+                ProfileAgg {
+                    profile: p,
+                    flows: of.len(),
+                    completed: completions.len(),
+                    mean_goodput_bps: mean(&goodputs),
+                    jain: jain_index(&goodputs),
+                    mean_completion_s: if completions.is_empty() {
+                        f64::NAN
+                    } else {
+                        mean(&completions)
+                    },
+                }
+            })
+            .collect()
+    }
+
     /// Render the report: headline, per-profile aggregates, and the first
     /// `detail` per-flow rows. Deterministic for the sim backend (pure
     /// function of the outcomes).
@@ -231,32 +292,17 @@ impl ManyFlowReport {
             self.jain,
             self.mean_goodput_bps() / 1e3,
         );
-        // Per-profile aggregates, in first-appearance order.
-        let mut profiles: Vec<&'static str> = Vec::new();
-        for o in &self.outcomes {
-            if !profiles.contains(&o.profile) {
-                profiles.push(o.profile);
-            }
-        }
-        for p in profiles {
-            let of: Vec<&FlowOutcome> = self.outcomes.iter().filter(|o| o.profile == p).collect();
-            let goodputs: Vec<f64> = of.iter().map(|o| o.goodput_bps).collect();
-            let completions: Vec<f64> = of.iter().filter_map(|o| o.completion_s).collect();
-            let mean_completion = if completions.is_empty() {
-                f64::NAN
-            } else {
-                mean(&completions)
-            };
+        for a in self.profile_summary() {
             let _ = writeln!(
                 s,
                 "  {:<12} {:>4} flows  goodput mean {:>9.1} kbit/s (jain {:.4})  completion mean {:>7.3} s ({}/{} done)",
-                p,
-                of.len(),
-                mean(&goodputs) / 1e3,
-                jain_index(&goodputs),
-                mean_completion,
-                completions.len(),
-                of.len(),
+                a.profile,
+                a.flows,
+                a.mean_goodput_bps / 1e3,
+                a.jain,
+                a.mean_completion_s,
+                a.completed,
+                a.flows,
             );
         }
         for o in self.outcomes.iter().take(detail) {

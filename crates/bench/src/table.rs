@@ -1,6 +1,206 @@
-//! Minimal result-table type the experiment harness prints (markdown) and
-//! serializes (JSON) so `EXPERIMENTS.md` can be regenerated mechanically.
-//! JSON emission is hand-rolled so the harness stays dependency-free.
+//! Result tables for the experiment harness: markdown + JSON rendering
+//! plus the **typed metric / tolerance layer** the claims ledger gates on.
+//!
+//! Every experiment returns a [`Table`]: human-readable rows (already
+//! formatted) plus a list of typed [`Metric`]s — the headline numbers the
+//! experiment's claim rests on. Each metric carries a [`Tolerance`]
+//! describing how far a future run may drift from the committed
+//! `experiments.json` baseline before `expt --check` declares a
+//! regression. JSON emission goes through [`crate::json::escape`] so the
+//! committed artifacts stay dependency-free and byte-reproducible.
+
+use crate::json;
+
+/// A typed metric value. Experiments record the type that matches the
+/// measurement (counts stay integers, verdicts stay booleans) so the
+/// regression gate can compare like with like.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// A real-valued measurement (rates, ratios, indices).
+    Float(f64),
+    /// An exact count (packets, retransmissions, completed flows).
+    Int(i64),
+    /// A pass/fail style observation.
+    Bool(bool),
+}
+
+impl MetricValue {
+    /// Numeric view used by tolerance comparison (`true` → 1, `false` → 0).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Float(x) => *x,
+            MetricValue::Int(i) => *i as f64,
+            MetricValue::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// The type tag serialized into `experiments.json`.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            MetricValue::Float(_) => "float",
+            MetricValue::Int(_) => "int",
+            MetricValue::Bool(_) => "bool",
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            // Non-finite floats have no JSON literal; `null` round-trips
+            // back to NaN through `crate::json::Value::as_f64`.
+            MetricValue::Float(x) if !x.is_finite() => "null".into(),
+            MetricValue::Float(x) => format!("{x}"),
+            MetricValue::Int(i) => format!("{i}"),
+            MetricValue::Bool(b) => format!("{b}"),
+        }
+    }
+
+    /// Rounded human rendering for `EXPERIMENTS.md` (the JSON baseline
+    /// keeps the exact value).
+    pub fn display(&self) -> String {
+        match self {
+            MetricValue::Float(x) => format!("{x:.4}"),
+            MetricValue::Int(i) => format!("{i}"),
+            MetricValue::Bool(b) => format!("{b}"),
+        }
+    }
+}
+
+impl From<f64> for MetricValue {
+    fn from(x: f64) -> Self {
+        MetricValue::Float(x)
+    }
+}
+
+impl From<i64> for MetricValue {
+    fn from(i: i64) -> Self {
+        MetricValue::Int(i)
+    }
+}
+
+impl From<u64> for MetricValue {
+    fn from(i: u64) -> Self {
+        MetricValue::Int(i as i64)
+    }
+}
+
+impl From<usize> for MetricValue {
+    fn from(i: usize) -> Self {
+        MetricValue::Int(i as i64)
+    }
+}
+
+impl From<bool> for MetricValue {
+    fn from(b: bool) -> Self {
+        MetricValue::Bool(b)
+    }
+}
+
+/// How far a metric may drift from the committed baseline before the
+/// `expt --check` gate fails.
+///
+/// All comparisons are inclusive at the boundary, and — except for
+/// [`Tolerance::Info`] — a `NaN` on either side is always a failure: a
+/// metric that stopped being a number is a regression, not noise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// The value must reproduce exactly (integer counts, booleans,
+    /// deterministic byte counts).
+    Exact,
+    /// `|fresh − baseline| ≤ eps`.
+    Abs(f64),
+    /// `|fresh − baseline| ≤ frac · |baseline|`.
+    Rel(f64),
+    /// Accepted when *either* the absolute or the relative bound holds —
+    /// the usual spec for values that can legitimately sit near zero.
+    AbsOrRel(f64, f64),
+    /// Recorded for trend-watching, never gated (wall-clock backends).
+    Info,
+}
+
+impl Tolerance {
+    /// Does `fresh` stay within this tolerance of `baseline`?
+    pub fn accepts(&self, baseline: MetricValue, fresh: MetricValue) -> bool {
+        if matches!(self, Tolerance::Info) {
+            return true;
+        }
+        if baseline.type_name() != fresh.type_name() {
+            return false;
+        }
+        if let (MetricValue::Bool(a), MetricValue::Bool(b)) = (baseline, fresh) {
+            return a == b;
+        }
+        let (b, f) = (baseline.as_f64(), fresh.as_f64());
+        if b.is_nan() || f.is_nan() {
+            return false;
+        }
+        let d = (f - b).abs();
+        match *self {
+            Tolerance::Exact => d == 0.0,
+            Tolerance::Abs(eps) => d <= eps,
+            Tolerance::Rel(frac) => d <= frac * b.abs(),
+            Tolerance::AbsOrRel(eps, frac) => d <= eps || d <= frac * b.abs(),
+            Tolerance::Info => unreachable!("handled above"),
+        }
+    }
+
+    /// Short human description for reports, e.g. `rel ±10%`.
+    pub fn describe(&self) -> String {
+        match self {
+            Tolerance::Exact => "exact".into(),
+            Tolerance::Abs(eps) => format!("abs ±{eps}"),
+            Tolerance::Rel(frac) => format!("rel ±{}%", frac * 100.0),
+            Tolerance::AbsOrRel(eps, frac) => {
+                format!("abs ±{eps} or rel ±{}%", frac * 100.0)
+            }
+            Tolerance::Info => "informational (not gated)".into(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        match self {
+            Tolerance::Exact => r#"{"kind": "exact"}"#.into(),
+            Tolerance::Abs(eps) => format!(r#"{{"kind": "abs", "eps": {eps}}}"#),
+            Tolerance::Rel(frac) => format!(r#"{{"kind": "rel", "frac": {frac}}}"#),
+            Tolerance::AbsOrRel(eps, frac) => {
+                format!(r#"{{"kind": "abs_or_rel", "eps": {eps}, "frac": {frac}}}"#)
+            }
+            Tolerance::Info => r#"{"kind": "info"}"#.into(),
+        }
+    }
+}
+
+/// One gated (or informational) headline number of an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// Name, unique within the table (qualified as `<table id>.<name>` in
+    /// the ledger).
+    pub name: String,
+    /// The measured value.
+    pub value: MetricValue,
+    /// Unit label for reports ("ratio", "kbit/s", "pkts", …).
+    pub unit: String,
+    /// Drift budget against the committed baseline.
+    pub tolerance: Tolerance,
+}
+
+impl Metric {
+    fn to_json(&self) -> String {
+        format!(
+            r#"{{"name": {}, "value": {}, "type": {}, "unit": {}, "tolerance": {}}}"#,
+            json::escape(&self.name),
+            self.value.to_json(),
+            json::escape(self.value.type_name()),
+            json::escape(&self.unit),
+            self.tolerance.to_json(),
+        )
+    }
+}
 
 /// One experiment output table.
 #[derive(Debug, Clone)]
@@ -17,9 +217,12 @@ pub struct Table {
     pub rows: Vec<Vec<String>>,
     /// Verdict line filled by the experiment ("SHAPE HOLDS: ..." etc.).
     pub verdict: String,
+    /// Typed headline metrics the claims ledger gates on.
+    pub metrics: Vec<Metric>,
 }
 
 impl Table {
+    /// Start an empty table with its identity and column headers.
     pub fn new(id: &str, title: &str, claim: &str, headers: &[&str]) -> Self {
         Table {
             id: id.to_string(),
@@ -28,12 +231,40 @@ impl Table {
             headers: headers.iter().map(|s| s.to_string()).collect(),
             rows: Vec::new(),
             verdict: String::new(),
+            metrics: Vec::new(),
         }
     }
 
+    /// Append one row of pre-formatted cells.
     pub fn row(&mut self, cells: Vec<String>) {
         debug_assert_eq!(cells.len(), self.headers.len());
         self.rows.push(cells);
+    }
+
+    /// Record one typed headline metric with its drift tolerance.
+    pub fn metric(
+        &mut self,
+        name: &str,
+        value: impl Into<MetricValue>,
+        unit: &str,
+        tolerance: Tolerance,
+    ) {
+        debug_assert!(
+            self.metrics.iter().all(|m| m.name != name),
+            "duplicate metric {name} in table {}",
+            self.id
+        );
+        self.metrics.push(Metric {
+            name: name.to_string(),
+            value: value.into(),
+            unit: unit.to_string(),
+            tolerance,
+        });
+    }
+
+    /// Look up a recorded metric by name.
+    pub fn get_metric(&self, name: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|m| m.name == name)
     }
 
     /// Render as markdown.
@@ -52,29 +283,44 @@ impl Table {
         if !self.verdict.is_empty() {
             out.push_str(&format!("\n**Measured:** {}\n", self.verdict));
         }
+        if !self.metrics.is_empty() {
+            out.push_str("\n**Gated metrics:**\n\n");
+            for m in &self.metrics {
+                out.push_str(&format!(
+                    "- `{}.{}` = {} {} — tolerance: {}\n",
+                    self.id.to_lowercase(),
+                    m.name,
+                    m.value.display(),
+                    m.unit,
+                    m.tolerance.describe(),
+                ));
+            }
+        }
         out.push('\n');
         out
     }
 
     /// Render as a JSON object.
     pub fn to_json(&self) -> String {
-        let headers: Vec<String> = self.headers.iter().map(|h| json_str(h)).collect();
+        let headers: Vec<String> = self.headers.iter().map(|h| json::escape(h)).collect();
         let rows: Vec<String> = self
             .rows
             .iter()
             .map(|r| {
-                let cells: Vec<String> = r.iter().map(|c| json_str(c)).collect();
+                let cells: Vec<String> = r.iter().map(|c| json::escape(c)).collect();
                 format!("[{}]", cells.join(", "))
             })
             .collect();
+        let metrics: Vec<String> = self.metrics.iter().map(Metric::to_json).collect();
         format!(
-            "{{\"id\": {}, \"title\": {}, \"claim\": {}, \"headers\": [{}], \"rows\": [{}], \"verdict\": {}}}",
-            json_str(&self.id),
-            json_str(&self.title),
-            json_str(&self.claim),
+            "{{\"id\": {}, \"title\": {}, \"claim\": {}, \"headers\": [{}], \"rows\": [{}], \"verdict\": {}, \"metrics\": [{}]}}",
+            json::escape(&self.id),
+            json::escape(&self.title),
+            json::escape(&self.claim),
             headers.join(", "),
             rows.join(", "),
-            json_str(&self.verdict),
+            json::escape(&self.verdict),
+            metrics.join(",\n  "),
         )
     }
 }
@@ -83,25 +329,6 @@ impl Table {
 pub fn tables_to_json(tables: &[Table]) -> String {
     let items: Vec<String> = tables.iter().map(Table::to_json).collect();
     format!("[{}]", items.join(",\n "))
-}
-
-/// JSON string literal with the escapes markdown table text can contain.
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Format bits/second in Mbit/s with two decimals.
@@ -123,16 +350,125 @@ mod tests {
         let mut t = Table::new("E0", "demo", "x beats y", &["a", "b"]);
         t.row(vec!["1".into(), "2".into()]);
         t.verdict = "holds".into();
+        t.metric("speed", 2.0, "ratio", Tolerance::Rel(0.1));
         let md = t.to_markdown();
         assert!(md.contains("### E0 — demo"));
         assert!(md.contains("| a | b |"));
         assert!(md.contains("| 1 | 2 |"));
         assert!(md.contains("**Measured:** holds"));
+        assert!(md.contains("`e0.speed` = 2.0000 ratio — tolerance: rel ±10%"));
     }
 
     #[test]
     fn formatters() {
         assert_eq!(mbps(2_500_000.0), "2.50");
         assert_eq!(ratio(0.987), "0.99");
+    }
+
+    #[test]
+    fn json_carries_typed_metrics() {
+        let mut t = Table::new("E0", "demo", "c", &["a"]);
+        t.metric("count", 42u64, "pkts", Tolerance::Exact);
+        t.metric("rate", 1.5, "Mbit/s", Tolerance::AbsOrRel(0.01, 0.1));
+        t.metric("ok", true, "flag", Tolerance::Exact);
+        let parsed = crate::json::parse(&t.to_json()).expect("valid JSON");
+        let metrics = parsed.get("metrics").unwrap().as_arr().unwrap();
+        assert_eq!(metrics.len(), 3);
+        assert_eq!(metrics[0].get("type").unwrap().as_str(), Some("int"));
+        assert_eq!(metrics[0].get("value").unwrap().as_f64(), Some(42.0));
+        assert_eq!(
+            metrics[1]
+                .get("tolerance")
+                .unwrap()
+                .get("kind")
+                .unwrap()
+                .as_str(),
+            Some("abs_or_rel")
+        );
+        assert_eq!(
+            metrics[2].get("value"),
+            Some(&crate::json::Value::Bool(true))
+        );
+    }
+
+    #[test]
+    fn nan_metric_serializes_as_null() {
+        let mut t = Table::new("E0", "demo", "c", &["a"]);
+        t.metric("bad", f64::NAN, "ratio", Tolerance::Rel(0.1));
+        let parsed = crate::json::parse(&t.to_json()).unwrap();
+        let v = parsed.get("metrics").unwrap().as_arr().unwrap()[0]
+            .get("value")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(v.is_nan());
+    }
+
+    // --- Tolerance evaluation: the satellite test matrix -----------------
+
+    const F: fn(f64) -> MetricValue = MetricValue::Float;
+
+    #[test]
+    fn absolute_bound_inclusive_at_boundary() {
+        let t = Tolerance::Abs(0.5);
+        assert!(t.accepts(F(10.0), F(10.5)), "boundary-equal must pass");
+        assert!(t.accepts(F(10.0), F(9.5)), "boundary-equal must pass");
+        assert!(t.accepts(F(10.0), F(10.49)));
+        assert!(!t.accepts(F(10.0), F(10.500001)));
+        assert!(!t.accepts(F(10.0), F(8.0)));
+    }
+
+    #[test]
+    fn relative_bound_inclusive_and_sign_safe() {
+        let t = Tolerance::Rel(0.10);
+        assert!(t.accepts(F(100.0), F(110.0)), "boundary-equal must pass");
+        assert!(t.accepts(F(100.0), F(90.0)));
+        assert!(!t.accepts(F(100.0), F(110.1)));
+        // Relative bounds are measured against |baseline|.
+        assert!(t.accepts(F(-100.0), F(-92.0)));
+        assert!(!t.accepts(F(-100.0), F(-111.0)));
+        // A zero baseline accepts only an exact zero under Rel.
+        assert!(t.accepts(F(0.0), F(0.0)));
+        assert!(!t.accepts(F(0.0), F(0.001)));
+    }
+
+    #[test]
+    fn abs_or_rel_accepts_either_bound() {
+        let t = Tolerance::AbsOrRel(0.05, 0.10);
+        assert!(t.accepts(F(0.0), F(0.05)), "abs leg covers near-zero");
+        assert!(t.accepts(F(100.0), F(108.0)), "rel leg covers large values");
+        assert!(!t.accepts(F(100.0), F(115.0)));
+    }
+
+    #[test]
+    fn exact_requires_identity() {
+        assert!(Tolerance::Exact.accepts(F(1.25), F(1.25)));
+        assert!(!Tolerance::Exact.accepts(F(1.25), F(1.2500001)));
+        assert!(Tolerance::Exact.accepts(42u64.into(), 42u64.into()));
+        assert!(!Tolerance::Exact.accepts(42u64.into(), 43u64.into()));
+        assert!(Tolerance::Exact.accepts(true.into(), true.into()));
+        assert!(!Tolerance::Exact.accepts(true.into(), false.into()));
+    }
+
+    #[test]
+    fn nan_always_fails_gated_tolerances() {
+        for t in [
+            Tolerance::Exact,
+            Tolerance::Abs(1e9),
+            Tolerance::Rel(1e9),
+            Tolerance::AbsOrRel(1e9, 1e9),
+        ] {
+            assert!(!t.accepts(F(f64::NAN), F(1.0)), "{t:?}: NaN baseline");
+            assert!(!t.accepts(F(1.0), F(f64::NAN)), "{t:?}: NaN fresh");
+            assert!(!t.accepts(F(f64::NAN), F(f64::NAN)), "{t:?}: both NaN");
+        }
+        // Info is never gated, even on NaN.
+        assert!(Tolerance::Info.accepts(F(f64::NAN), F(1.0)));
+    }
+
+    #[test]
+    fn type_mismatch_fails() {
+        assert!(!Tolerance::Abs(10.0).accepts(F(1.0), 1u64.into()));
+        assert!(!Tolerance::Exact.accepts(true.into(), 1u64.into()));
     }
 }

@@ -1,0 +1,166 @@
+//! Property tests for the ledger's JSON layer: any table the harness can
+//! build — arbitrary claim/title/cell strings full of quotes, backslashes,
+//! control characters and astral-plane unicode — serializes through
+//! `Table::to_json` / `tables_to_json` into a document the in-tree parser
+//! (`qtp_bench::json`) reads back with every field intact. This is the
+//! proof that the hand-rolled escaping in the committed `experiments.json`
+//! is sound.
+
+use proptest::prelude::*;
+use qtp_bench::json::{self, Value};
+use qtp_bench::table::{tables_to_json, MetricValue, Table, Tolerance};
+
+/// Characters chosen to stress the escaper: every JSON-mandatory escape,
+/// raw control characters, multi-byte UTF-8, and an astral-plane scalar.
+const AWKWARD: &[char] = &[
+    '"',
+    '\\',
+    '\n',
+    '\r',
+    '\t',
+    '\u{0}',
+    '\u{1}',
+    '\u{1f}',
+    '/',
+    '|',
+    ' ',
+    'a',
+    'Z',
+    '0',
+    'é',
+    'β',
+    '\u{2028}',
+    '\u{2029}',
+    '\u{FFFD}',
+    '\u{1F600}',
+    '中',
+];
+
+fn arb_string() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..48).prop_map(|codes| {
+        codes
+            .iter()
+            .map(|c| AWKWARD[*c as usize % AWKWARD.len()])
+            .collect()
+    })
+}
+
+fn arb_finite_f64() -> impl Strategy<Value = f64> {
+    any::<i64>().prop_map(|i| i as f64 / 1000.0)
+}
+
+fn arb_metric_value() -> impl Strategy<Value = MetricValue> {
+    prop_oneof![
+        arb_finite_f64().prop_map(MetricValue::Float),
+        any::<i64>().prop_map(MetricValue::Int),
+        any::<bool>().prop_map(MetricValue::Bool),
+    ]
+}
+
+fn arb_tolerance() -> impl Strategy<Value = Tolerance> {
+    prop_oneof![
+        Just(Tolerance::Exact),
+        Just(Tolerance::Info),
+        arb_finite_f64().prop_map(Tolerance::Abs),
+        arb_finite_f64().prop_map(Tolerance::Rel),
+        (arb_finite_f64(), arb_finite_f64()).prop_map(|(a, r)| Tolerance::AbsOrRel(a, r)),
+    ]
+}
+
+fn arb_table() -> impl Strategy<Value = Table> {
+    (
+        arb_string(),
+        arb_string(),
+        arb_string(),
+        prop::collection::vec(arb_string(), 1..4),
+        prop::collection::vec((arb_string(), arb_metric_value(), arb_tolerance()), 0..4),
+        arb_string(),
+    )
+        .prop_flat_map(|(id, title, claim, headers, metrics, verdict)| {
+            let width = headers.len();
+            (
+                Just((id, title, claim, headers, metrics, verdict)),
+                prop::collection::vec(prop::collection::vec(arb_string(), width..=width), 0..4),
+            )
+        })
+        .prop_map(|((id, title, claim, headers, metrics, verdict), rows)| {
+            let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+            let mut t = Table::new(&id, &title, &claim, &header_refs);
+            for r in rows {
+                t.row(r);
+            }
+            for (i, (name, value, tol)) in metrics.into_iter().enumerate() {
+                // Metric names must be unique within a table; the payload
+                // string still exercises the escaper.
+                t.metric(&format!("m{i}_{name}"), value, &name, tol);
+            }
+            t.verdict = verdict;
+            t
+        })
+}
+
+fn metric_value_survives(before: MetricValue, after: &Value) -> bool {
+    match before {
+        MetricValue::Float(x) => after.as_f64() == Some(x),
+        MetricValue::Int(i) => after.as_f64() == Some(i as f64),
+        MetricValue::Bool(b) => *after == Value::Bool(b),
+    }
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_strings_roundtrip_through_escape(s in arb_string()) {
+        let parsed = json::parse(&json::escape(&s)).expect("escape emits valid JSON");
+        prop_assert_eq!(parsed, Value::Str(s));
+    }
+
+    #[test]
+    fn tables_roundtrip_through_to_json(table in arb_table()) {
+        let doc = json::parse(&table.to_json()).expect("to_json emits valid JSON");
+        prop_assert_eq!(doc.get("id").and_then(Value::as_str), Some(table.id.as_str()));
+        prop_assert_eq!(doc.get("title").and_then(Value::as_str), Some(table.title.as_str()));
+        prop_assert_eq!(doc.get("claim").and_then(Value::as_str), Some(table.claim.as_str()));
+        prop_assert_eq!(doc.get("verdict").and_then(Value::as_str), Some(table.verdict.as_str()));
+
+        let headers = doc.get("headers").and_then(Value::as_arr).expect("headers");
+        prop_assert_eq!(headers.len(), table.headers.len());
+        for (h, parsed) in table.headers.iter().zip(headers) {
+            prop_assert_eq!(parsed.as_str(), Some(h.as_str()));
+        }
+
+        let rows = doc.get("rows").and_then(Value::as_arr).expect("rows");
+        prop_assert_eq!(rows.len(), table.rows.len());
+        for (row, parsed_row) in table.rows.iter().zip(rows) {
+            let cells = parsed_row.as_arr().expect("row array");
+            prop_assert_eq!(cells.len(), row.len());
+            for (cell, parsed_cell) in row.iter().zip(cells) {
+                prop_assert_eq!(parsed_cell.as_str(), Some(cell.as_str()));
+            }
+        }
+
+        let metrics = doc.get("metrics").and_then(Value::as_arr).expect("metrics");
+        prop_assert_eq!(metrics.len(), table.metrics.len());
+        for (m, parsed_m) in table.metrics.iter().zip(metrics) {
+            prop_assert_eq!(parsed_m.get("name").and_then(Value::as_str), Some(m.name.as_str()));
+            prop_assert_eq!(parsed_m.get("unit").and_then(Value::as_str), Some(m.unit.as_str()));
+            prop_assert_eq!(
+                parsed_m.get("type").and_then(Value::as_str),
+                Some(m.value.type_name())
+            );
+            prop_assert!(
+                metric_value_survives(m.value, parsed_m.get("value").expect("value")),
+                "metric value {:?} did not survive", m.value
+            );
+        }
+    }
+
+    #[test]
+    fn table_lists_roundtrip(tables in prop::collection::vec(arb_table(), 0..3)) {
+        let doc = json::parse(&tables_to_json(&tables)).expect("valid JSON array");
+        let arr = doc.as_arr().expect("array");
+        prop_assert_eq!(arr.len(), tables.len());
+        for (t, parsed) in tables.iter().zip(arr) {
+            prop_assert_eq!(parsed.get("id").and_then(Value::as_str), Some(t.id.as_str()));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Deterministic aggregate statistics for experiment reports.
+//!
+//! The claims ledger (`qtp-bench`) reduces per-flow outcome vectors to a
+//! handful of headline numbers that are then regression-gated against a
+//! committed baseline. Those reductions live here so they are shared,
+//! tested once, and — like everything in this crate — deterministic:
+//! no wall clock, no hashing, pure functions of their inputs.
+
+/// Nearest-rank percentile (inclusive), `q` in `[0, 1]`.
+///
+/// Returns `NaN` for an empty slice or when any input is `NaN` — a NaN
+/// aggregate is a signal the ledger treats as a regression, never silently
+/// ordered. The input does not need to be sorted.
+pub fn percentile(xs: &[f64], q: f64) -> f64 {
+    if xs.is_empty() || xs.iter().any(|x| x.is_nan()) {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN filtered above"));
+    let q = q.clamp(0.0, 1.0);
+    // Nearest-rank: smallest value with at least ceil(q * n) values ≤ it.
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1)]
+}
+
+/// Streaming mean/min/max/variance accumulator (Welford), so aggregate
+/// rows can be computed in one pass without materialising copies.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// A fresh accumulator with no observations.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold one observation in.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Arithmetic mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Smallest observation (`NaN` when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (`NaN` when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Population variance (`NaN` when empty).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation (`NaN` when empty).
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation, `stddev / mean` (`NaN` when empty,
+    /// infinite when the mean is zero but the spread is not).
+    pub fn cov(&self) -> f64 {
+        self.stddev() / self.mean()
+    }
+}
+
+impl std::iter::FromIterator<f64> for RunningStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = RunningStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 0.05), 15.0);
+        assert_eq!(percentile(&xs, 0.30), 20.0);
+        assert_eq!(percentile(&xs, 0.40), 20.0);
+        assert_eq!(percentile(&xs, 0.50), 35.0);
+        assert_eq!(percentile(&xs, 1.00), 50.0);
+        assert_eq!(percentile(&xs, 0.0), 15.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_and_single() {
+        assert_eq!(percentile(&[9.0, 1.0, 5.0], 0.95), 9.0);
+        assert_eq!(percentile(&[7.0], 0.5), 7.0);
+    }
+
+    #[test]
+    fn percentile_nan_and_empty_are_nan() {
+        assert!(percentile(&[], 0.5).is_nan());
+        assert!(percentile(&[1.0, f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn running_stats_matches_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s: RunningStats = xs.iter().copied().collect();
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.cov() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_stats_empty_is_nan() {
+        let s = RunningStats::new();
+        assert!(s.mean().is_nan());
+        assert!(s.min().is_nan());
+        assert!(s.max().is_nan());
+        assert!(s.variance().is_nan());
+    }
+}

@@ -21,6 +21,8 @@
 
 use std::fmt;
 
+pub mod agg;
+
 /// Classes of per-packet work, mirroring what a profiler would attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum OpClass {
