@@ -9,9 +9,7 @@
 //! qtpsim --protocol qtplight --gilbert 0.01,0.3,0.0,0.5
 //! ```
 
-use qtp_core::{
-    attach_qtp, qtp_af_sender, qtp_light_sender, qtp_standard_sender, QtpReceiverConfig,
-};
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile};
 use qtp_simnet::prelude::*;
 use qtp_tcp::{TcpConfig, TcpFlavor, TcpReceiver, TcpSender};
 use std::time::Duration;
@@ -151,12 +149,12 @@ fn main() {
             println!("network loss rate: {:.4}", f.loss_rate());
         }
         proto @ ("tfrc" | "qtplight" | "qtpaf") => {
-            let cfg = match proto {
-                "tfrc" => qtp_standard_sender(),
-                "qtplight" => qtp_light_sender(),
-                _ => qtp_af_sender(Rate::from_mbps_f64(args.target_mbps)),
+            let profile = match proto {
+                "tfrc" => Profile::tfrc(),
+                "qtplight" => Profile::qtp_light(),
+                _ => Profile::qtp_af(Rate::from_mbps_f64(args.target_mbps)),
             };
-            let h = attach_qtp(&mut sim, s, r, "data", cfg, QtpReceiverConfig::default());
+            let h = attach_pair(&mut sim, s, r, "data", &ConnectionPlan::new(profile));
             sim.run_until(SimTime::from_secs(args.secs));
             let f = sim.stats().flow(h.data_flow);
             println!("throughput: {:.3} Mbit/s", f.throughput_bps(secs) / 1e6);

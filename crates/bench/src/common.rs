@@ -2,7 +2,7 @@
 //! dumbbell (the EuQoS network-service substitute) and endpoint attachment
 //! helpers for TCP and QTP flows.
 
-use qtp_core::{attach_qtp, QtpHandles, QtpReceiverConfig, QtpSenderConfig};
+use qtp_core::session::{attach_pair, ConnectionPlan, PairHandles};
 use qtp_simnet::marker::{Marker, TokenBucketMarker};
 use qtp_simnet::prelude::*;
 use qtp_simnet::sim::Simulator;
@@ -98,23 +98,15 @@ pub fn attach_tcp(
     data
 }
 
-/// Attach a QTP connection on pair `i`.
-pub fn attach_qtp_pair(
+/// Attach a planned QTP connection on pair `i`.
+pub fn attach_plan_pair(
     sim: &mut Simulator,
     net: &Dumbbell,
     pair: usize,
     name: &str,
-    sender_cfg: QtpSenderConfig,
-    receiver_cfg: QtpReceiverConfig,
-) -> QtpHandles {
-    attach_qtp(
-        sim,
-        net.senders[pair],
-        net.receivers[pair],
-        name,
-        sender_cfg,
-        receiver_cfg,
-    )
+    plan: &ConnectionPlan,
+) -> PairHandles {
+    attach_pair(sim, net.senders[pair], net.receivers[pair], name, plan)
 }
 
 /// Network-level throughput of a flow over `secs` seconds, bit/s.
@@ -156,18 +148,17 @@ pub fn lossy_path(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qtp_core::qtp_standard_sender;
+    use qtp_core::session::Profile;
 
     #[test]
     fn af_dumbbell_builds_and_runs() {
         let (mut sim, net) = af_dumbbell(2, 10, Duration::from_millis(10), None, 1);
-        let h = attach_qtp_pair(
+        let h = attach_plan_pair(
             &mut sim,
             &net,
             0,
             "q",
-            qtp_standard_sender(),
-            QtpReceiverConfig::default(),
+            &ConnectionPlan::new(Profile::tfrc()),
         );
         set_profile(&mut sim, &net, 0, h.data_flow, Rate::from_mbps(2));
         sim.run_until(SimTime::from_secs(5));

@@ -18,7 +18,7 @@
 //! [`Table::metric`]s; `ledger::assertions` encodes the claim itself as
 //! an ordering check over them.
 
-use qtp_core::{qtp_af_sender, qtp_light_sender, qtp_standard_sender, QtpReceiverConfig};
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile};
 use qtp_simnet::prelude::*;
 use qtp_tcp::TcpFlavor;
 use std::time::Duration;
@@ -125,24 +125,22 @@ pub fn e2() -> Table {
                 let flow = match proto {
                     "TCP" => attach_tcp(&mut sim, &net, 0, "dut", TcpFlavor::NewReno),
                     "TFRC" => {
-                        attach_qtp_pair(
+                        attach_plan_pair(
                             &mut sim,
                             &net,
                             0,
                             "dut",
-                            qtp_standard_sender(),
-                            QtpReceiverConfig::default(),
+                            &ConnectionPlan::new(Profile::tfrc()),
                         )
                         .data_flow
                     }
                     _ => {
-                        attach_qtp_pair(
+                        attach_plan_pair(
                             &mut sim,
                             &net,
                             0,
                             "dut",
-                            qtp_af_sender(target),
-                            QtpReceiverConfig::default(),
+                            &ConnectionPlan::new(Profile::qtp_af(target)),
                         )
                         .data_flow
                     }
@@ -189,13 +187,12 @@ pub fn e3() -> Table {
         let (mut sim, net) = af_dumbbell(2, 10, Duration::from_millis(10), None, 31);
         sim.set_sample_interval(Duration::from_secs(1));
         let flow = if use_qtpaf {
-            attach_qtp_pair(
+            attach_plan_pair(
                 &mut sim,
                 &net,
                 0,
                 "dut",
-                qtp_af_sender(g),
-                QtpReceiverConfig::default(),
+                &ConnectionPlan::new(Profile::qtp_af(g)),
             )
             .data_flow
         } else {
@@ -257,12 +254,12 @@ pub fn e4() -> Table {
                 LossModel::bernoulli(p),
                 (p * 1e4) as u64 + 17,
             );
-            let cfg = if light {
-                qtp_light_sender()
+            let profile = if light {
+                Profile::qtp_light()
             } else {
-                qtp_standard_sender()
+                Profile::tfrc()
             };
-            let h = qtp_core::attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+            let h = attach_pair(&mut sim, s, r, "x", &ConnectionPlan::new(profile));
             sim.run_until(SimTime::from_secs(SECS));
             goodput(&sim, h.data_flow, SECS)
         };
@@ -324,12 +321,12 @@ pub fn e5() -> Table {
                 },
                 (p * 1e4) as u64 + 23,
             );
-            let cfg = if light {
-                qtp_light_sender()
+            let profile = if light {
+                Profile::qtp_light()
             } else {
-                qtp_standard_sender()
+                Profile::tfrc()
             };
-            let h = qtp_core::attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+            let h = attach_pair(&mut sim, s, r, "x", &ConnectionPlan::new(profile));
             sim.run_until(SimTime::from_secs(SECS));
             h
         };

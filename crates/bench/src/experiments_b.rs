@@ -18,10 +18,8 @@
 //! Headline numbers are recorded as gated [`Table::metric`]s; the claim
 //! orderings live in `ledger::assertions`.
 
-use qtp_core::{
-    attach_qtp, qtp_light_sender, qtp_standard_sender, AppModel, CapabilitySet, QtpReceiverConfig,
-    QtpSenderConfig,
-};
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile};
+use qtp_core::CapabilitySet;
 use qtp_sack::ReliabilityMode;
 use qtp_simnet::marker::{Marker, TokenBucketMarker};
 use qtp_simnet::prelude::*;
@@ -50,16 +48,13 @@ pub fn e6() -> Table {
             LossModel::bernoulli(0.02),
             61,
         );
-        let cfg = if light {
-            qtp_light_sender()
+        let profile = if light {
+            Profile::qtp_light()
         } else {
-            qtp_standard_sender()
+            Profile::tfrc()
         };
-        let rcfg = QtpReceiverConfig {
-            selfish_factor: k,
-            ..QtpReceiverConfig::default()
-        };
-        let h = attach_qtp(&mut sim, s, r, "x", cfg, rcfg);
+        let plan = ConnectionPlan::new(profile).selfish_factor(k);
+        let h = attach_pair(&mut sim, s, r, "x", &plan);
         sim.run_until(SimTime::from_secs(SECS));
         throughput(&sim, h.data_flow, SECS)
     };
@@ -109,13 +104,12 @@ pub fn e7() -> Table {
     let (mut sim, net) = droptail_dumbbell(2, 10, Duration::from_millis(10), 50, 71);
     sim.set_sample_interval(Duration::from_millis(200));
     let tcp = attach_tcp(&mut sim, &net, 0, "tcp", TcpFlavor::NewReno);
-    let tfrc = attach_qtp_pair(
+    let tfrc = attach_plan_pair(
         &mut sim,
         &net,
         1,
         "tfrc",
-        qtp_standard_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::tfrc()),
     )
     .data_flow;
     sim.run_until(SimTime::from_secs(SECS));
@@ -196,12 +190,12 @@ pub fn e8() -> Table {
         };
         let run_qtp = |light: bool| -> f64 {
             let (mut sim, s, r) = lossy_path(5, Duration::from_millis(20), loss(), seed);
-            let cfg = if light {
-                qtp_light_sender()
+            let profile = if light {
+                Profile::qtp_light()
             } else {
-                qtp_standard_sender()
+                Profile::tfrc()
             };
-            let h = attach_qtp(&mut sim, s, r, "q", cfg, QtpReceiverConfig::default());
+            let h = attach_pair(&mut sim, s, r, "q", &ConnectionPlan::new(profile));
             sim.run_until(SimTime::from_secs(SECS));
             goodput(&sim, h.data_flow, SECS)
         };
@@ -272,15 +266,15 @@ pub fn e9() -> Table {
                 feedback: fb,
                 cc: qtp_core::CcKind::Tfrc,
             };
-            let mut cfg = QtpSenderConfig::new(caps);
-            cfg.app = AppModel::Greedy;
+            let plan =
+                ConnectionPlan::new(Profile::try_from(caps).expect("matrix entries are valid"));
             let (mut sim, s, r) = lossy_path(
                 5,
                 Duration::from_millis(30),
                 LossModel::bernoulli(0.03),
                 91 + rel.wire_code() as u64 * 2 + fb.wire_code() as u64,
             );
-            let h = attach_qtp(&mut sim, s, r, "m", cfg, QtpReceiverConfig::default());
+            let h = attach_pair(&mut sim, s, r, "m", &plan);
             sim.run_until(SimTime::from_secs(SECS));
             let st = sim.stats().flow(h.data_flow);
             let d = h.tx.snapshot();
@@ -383,8 +377,8 @@ pub fn e10() -> Table {
         ),
     ] {
         let (mut sim, s0, r0, s1, r1, s0l, _s1l) = build();
-        let cfg = QtpSenderConfig::new(caps);
-        let h = attach_qtp(&mut sim, s0, r0, "af", cfg, QtpReceiverConfig::default());
+        let plan = ConnectionPlan::new(Profile::try_from(caps).expect("AF profiles are valid"));
+        let h = attach_pair(&mut sim, s0, r0, "af", &plan);
         sim.set_marker(
             s0l,
             h.data_flow,

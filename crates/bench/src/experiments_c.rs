@@ -12,7 +12,8 @@
 //! Headline numbers are recorded as gated [`Table::metric`]s; the claim
 //! orderings live in `ledger::assertions`.
 
-use qtp_core::{attach_qtp, qtp_af_sender, qtp_light_sender, QtpReceiverConfig};
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile, Reliability};
+use qtp_core::{CcKind, FeedbackMode};
 use qtp_simnet::prelude::*;
 use qtp_tcp::TcpFlavor;
 use std::time::Duration;
@@ -48,9 +49,8 @@ pub fn e11() -> Table {
                 LossModel::gilbert_elliott(p_gb, 0.25, 0.0, 0.8),
                 (p_gb * 1e4) as u64 + 111,
             );
-            let mut cfg = qtp_light_sender();
-            cfg.ablate_ungrouped_losses = ungrouped;
-            let h = attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+            let plan = ConnectionPlan::new(Profile::qtp_light()).ablate_ungrouped_losses(ungrouped);
+            let h = attach_pair(&mut sim, s, r, "x", &plan);
             sim.run_until(SimTime::from_secs(SECS));
             let rate = goodput(&sim, h.data_flow, SECS);
             // Mean of the p values the rate computation actually used.
@@ -145,15 +145,18 @@ pub fn e12() -> Table {
             };
             Dumbbell::build(&cfg, 121)
         };
-        let cfg = if use_gtfrc {
-            qtp_af_sender(g)
+        let profile = if use_gtfrc {
+            Profile::qtp_af(g)
         } else {
-            let mut c = qtp_core::qtp_standard_sender();
             // Keep reliability identical so only the CC axis changes.
-            c.offered.reliability = qtp_sack::ReliabilityMode::Full;
-            c
+            Profile::new()
+                .reliability(Reliability::Full)
+                .feedback(FeedbackMode::ReceiverLoss)
+                .cc(CcKind::Tfrc)
+                .build()
+                .expect("valid composition")
         };
-        let h = attach_qtp_pair(&mut sim, &net, 0, "dut", cfg, QtpReceiverConfig::default());
+        let h = attach_plan_pair(&mut sim, &net, 0, "dut", &ConnectionPlan::new(profile));
         if use_marker {
             set_profile(&mut sim, &net, 0, h.data_flow, g);
         } else {

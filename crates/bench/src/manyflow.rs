@@ -21,11 +21,10 @@
 //! job": full delivery for reliable profiles, backlog fully transmitted
 //! for the others (which promise no delivery).
 
-use qtp_core::{
-    attach_qtp, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender, qtp_standard_sender,
-    AppModel, Probe, QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig,
+use qtp_core::session::{
+    Backend, ConnectionOutcome, ConnectionPlan, Profile, SimBackend, SimTopology,
 };
-use qtp_io::mux::{drive_mux_pair, Accepted, ConnId, MuxConfig, MuxDriver};
+use qtp_io::backend::MuxBackend;
 use qtp_simnet::prelude::*;
 use std::time::Duration;
 
@@ -61,24 +60,23 @@ impl ProfileKind {
         }
     }
 
-    /// Whether the profile guarantees full delivery (changes what
-    /// "completion" means).
-    pub fn fully_reliable(self) -> bool {
-        matches!(self, ProfileKind::QtpAf)
+    /// The session-layer [`Profile`] for this kind. `af_floor` is the
+    /// gTFRC guaranteed rate for QTPAF flows (their DiffServ reservation —
+    /// typically the fair bottleneck share).
+    pub fn profile(self, af_floor: Rate) -> Profile {
+        match self {
+            ProfileKind::QtpAf => Profile::qtp_af(af_floor),
+            ProfileKind::QtpLight => Profile::qtp_light(),
+            ProfileKind::QtpLightTtl => {
+                Profile::qtp_light_partial(Duration::from_millis(500)).expect("nonzero TTL")
+            }
+            ProfileKind::Tfrc => Profile::tfrc(),
+        }
     }
 
-    /// Sender configuration for one finite transfer under this profile.
-    /// `af_floor` is the gTFRC guaranteed rate for QTPAF flows (their
-    /// DiffServ reservation — typically the fair bottleneck share).
-    pub fn sender_cfg(self, af_floor: Rate, packets: u64) -> QtpSenderConfig {
-        let mut cfg = match self {
-            ProfileKind::QtpAf => qtp_af_sender(af_floor),
-            ProfileKind::QtpLight => qtp_light_sender(),
-            ProfileKind::QtpLightTtl => qtp_light_partial_sender(Duration::from_millis(500)),
-            ProfileKind::Tfrc => qtp_standard_sender(),
-        };
-        cfg.app = AppModel::Finite { packets };
-        cfg
+    /// A [`ConnectionPlan`] for one finite transfer under this profile.
+    pub fn plan(self, af_floor: Rate, packets: u64) -> ConnectionPlan {
+        ConnectionPlan::new(self.profile(af_floor)).finite(packets)
     }
 }
 
@@ -157,8 +155,17 @@ impl ManyFlowConfig {
         lo + (hi.saturating_sub(lo)) * step / (steps - 1)
     }
 
-    fn target_bytes(&self) -> u64 {
+    /// Total application bytes a fully-reliable flow must deliver.
+    pub fn target_bytes(&self) -> u64 {
         self.packets_per_flow * self.payload as u64
+    }
+
+    /// The backend-neutral plan for flow `i`.
+    fn plan(&self, i: usize) -> ConnectionPlan {
+        self.profile(i)
+            .plan(self.af_floor(), self.packets_per_flow)
+            .label(format!("mf{i:04}"))
+            .payload(self.payload)
     }
 }
 
@@ -326,9 +333,31 @@ impl ManyFlowReport {
     }
 }
 
+/// Lower a scenario config into per-flow [`ConnectionPlan`]s and lift the
+/// backend's [`ConnectionOutcome`]s back into the report shape.
+fn report_from(
+    cfg: &ManyFlowConfig,
+    backend: &'static str,
+    outcomes: Vec<ConnectionOutcome>,
+) -> ManyFlowReport {
+    let outcomes = outcomes
+        .into_iter()
+        .enumerate()
+        .map(|(i, o)| FlowOutcome {
+            name: o.label,
+            profile: cfg.profile(i).label(),
+            delivered_bytes: o.delivered_bytes,
+            completion_s: o.completion_s,
+            goodput_bps: o.goodput_bps,
+        })
+        .collect();
+    ManyFlowReport::from_outcomes(backend, outcomes)
+}
+
 /// Run the scenario on the deterministic simulator: an N-pair dumbbell
-/// with heterogeneous access delays and a shared bottleneck. Same config +
-/// seed ⇒ byte-identical report.
+/// with heterogeneous access delays and a shared bottleneck, through the
+/// session layer's [`SimBackend`]. Same config + seed ⇒ byte-identical
+/// report.
 pub fn run_sim(cfg: &ManyFlowConfig) -> ManyFlowReport {
     let delays: Vec<Duration> = (0..cfg.flows).map(|i| cfg.access_delay(i)).collect();
     let dcfg = DumbbellConfig {
@@ -343,171 +372,27 @@ pub fn run_sim(cfg: &ManyFlowConfig) -> ManyFlowReport {
         bottleneck_queue: QueueConfig::DropTailPkts(cfg.flows.max(50)),
         reverse_queue: QueueConfig::DropTailPkts((2 * cfg.flows).max(1000)),
     };
-    let (mut sim, net) = Dumbbell::build(&dcfg, cfg.seed);
-
-    let af_floor = cfg.af_floor();
-    let mut handles = Vec::with_capacity(cfg.flows);
-    for i in 0..cfg.flows {
-        let profile = cfg.profile(i);
-        let mut scfg = profile.sender_cfg(af_floor, cfg.packets_per_flow);
-        scfg.s = cfg.payload;
-        let h = attach_qtp(
-            &mut sim,
-            net.senders[i],
-            net.receivers[i],
-            &format!("mf{i:04}"),
-            scfg,
-            QtpReceiverConfig::default(),
-        );
-        handles.push((profile, h));
-    }
-
-    // Stepped run: completion is sampled every check_interval, keeping
-    // the scan cost negligible and the result deterministic.
-    let target = cfg.target_bytes();
-    let mut completion: Vec<Option<SimTime>> = vec![None; cfg.flows];
-    let horizon = SimTime::ZERO + cfg.horizon;
-    let mut t = SimTime::ZERO;
-    while t < horizon {
-        t = (t + cfg.check_interval).min(horizon);
-        sim.run_until(t);
-        let mut all_done = true;
-        for (i, (profile, h)) in handles.iter().enumerate() {
-            if completion[i].is_some() {
-                continue;
-            }
-            let done = if profile.fully_reliable() {
-                sim.stats().flow(h.data_flow).bytes_app_delivered >= target
-            } else {
-                // Unreliable/partial profiles never promise delivery; the
-                // flow's job is done when its backlog of *new* data has
-                // been transmitted.
-                h.tx.read(|d| d.tx_data_pkts - d.tx_retransmissions) >= cfg.packets_per_flow
-            };
-            if done {
-                completion[i] = Some(t);
-            } else {
-                all_done = false;
-            }
-        }
-        if all_done {
-            break;
-        }
-    }
-
-    let outcomes = handles
-        .iter()
-        .enumerate()
-        .map(|(i, (profile, h))| {
-            let delivered = sim.stats().flow(h.data_flow).bytes_app_delivered;
-            let elapsed = completion[i].unwrap_or(horizon).as_secs_f64();
-            FlowOutcome {
-                name: format!("mf{i:04}"),
-                profile: profile.label(),
-                delivered_bytes: delivered,
-                completion_s: completion[i].map(|c| c.as_secs_f64()),
-                goodput_bps: if elapsed > 0.0 {
-                    delivered as f64 * 8.0 / elapsed
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect();
-    ManyFlowReport::from_outcomes("sim", outcomes)
+    let mut backend = SimBackend {
+        topology: SimTopology::Dumbbell(Box::new(dcfg)),
+        seed: cfg.seed,
+        horizon: cfg.horizon,
+        check_interval: cfg.check_interval,
+    };
+    let plans: Vec<ConnectionPlan> = (0..cfg.flows).map(|i| cfg.plan(i)).collect();
+    let outcomes = backend.run(&plans).expect("sim backend cannot fail");
+    report_from(cfg, "sim", outcomes)
 }
 
 /// Run the same workload over the real-socket connection multiplexer on
-/// loopback: one client socket with N senders, one server socket with N
-/// accept-on-first-frame receivers. There is no shaped bottleneck here —
-/// the point is that one socket pair carries the whole scenario — so
-/// times are wall-clock and the report is *not* byte-deterministic.
+/// loopback, through the session layer's [`MuxBackend`]: one client
+/// socket with N senders, one server socket with N accept-on-first-frame
+/// receivers. There is no shaped bottleneck here — the point is that one
+/// socket pair carries the whole scenario — so times are wall-clock and
+/// the report is *not* byte-deterministic.
 pub fn run_mux_loopback(cfg: &ManyFlowConfig) -> std::io::Result<ManyFlowReport> {
-    let mux_cfg = MuxConfig {
-        max_conns: (2 * cfg.flows).max(64),
-        ..MuxConfig::default()
-    };
-    let mut server: MuxDriver<QtpReceiver> = MuxDriver::bind_with("127.0.0.1:0", mux_cfg.clone())?;
-    server.set_acceptor(|_, frame| {
-        // Convention: connection i owns data flow 2i / feedback flow 2i+1.
-        (frame.flow % 2 == 0).then(|| Accepted {
-            endpoint: QtpReceiver::new(
-                frame.flow,
-                frame.flow + 1,
-                0,
-                QtpReceiverConfig::default(),
-                Probe::new(),
-            ),
-            flows: vec![frame.flow, frame.flow + 1],
-        })
-    });
-    let server_addr = server.local_addr()?;
-
-    let mut client: MuxDriver<QtpSender> = MuxDriver::bind_with("127.0.0.1:0", mux_cfg)?;
-    let af_floor = cfg.af_floor();
-    let mut conns: Vec<(ProfileKind, ConnId)> = Vec::with_capacity(cfg.flows);
-    for i in 0..cfg.flows {
-        let profile = cfg.profile(i);
-        let mut scfg = profile.sender_cfg(af_floor, cfg.packets_per_flow);
-        scfg.s = cfg.payload;
-        let data = 2 * i as u32;
-        let sender = QtpSender::new(data, 0, scfg, Probe::new());
-        conns.push((
-            profile,
-            client.add_connection(server_addr, vec![data, data + 1], sender)?,
-        ));
-    }
-
-    let start = std::time::Instant::now();
-    let mut completion: Vec<Option<f64>> = vec![None; cfg.flows];
-    drive_mux_pair(&mut client, &mut server, cfg.horizon, |c, _| {
-        let mut all_done = true;
-        for (i, (profile, id)) in conns.iter().enumerate() {
-            if completion[i].is_some() {
-                continue;
-            }
-            let tx = c.endpoint(*id).expect("client conn");
-            let sent_all = tx.sent_new() >= cfg.packets_per_flow;
-            let done = if profile.fully_reliable() {
-                sent_all && tx.all_acked()
-            } else {
-                sent_all
-            };
-            if done {
-                completion[i] = Some(start.elapsed().as_secs_f64());
-            } else {
-                all_done = false;
-            }
-        }
-        all_done
-    })?;
-
-    let client_addr = client.local_addr()?;
-    let horizon_s = cfg.horizon.as_secs_f64();
-    let outcomes = conns
-        .iter()
-        .enumerate()
-        .map(|(i, (profile, _))| {
-            let delivered = server
-                .route(client_addr, 2 * i as u32)
-                .and_then(|id| server.conn_stats(id))
-                .map(|s| s.delivered_bytes)
-                .unwrap_or(0);
-            let elapsed = completion[i].unwrap_or(horizon_s);
-            FlowOutcome {
-                name: format!("mf{i:04}"),
-                profile: profile.label(),
-                delivered_bytes: delivered,
-                completion_s: completion[i],
-                goodput_bps: if elapsed > 0.0 {
-                    delivered as f64 * 8.0 / elapsed
-                } else {
-                    0.0
-                },
-            }
-        })
-        .collect();
-    Ok(ManyFlowReport::from_outcomes("mux", outcomes))
+    let plans: Vec<ConnectionPlan> = (0..cfg.flows).map(|i| cfg.plan(i)).collect();
+    let outcomes = MuxBackend::new(cfg.horizon).run(&plans)?;
+    Ok(report_from(cfg, "mux", outcomes))
 }
 
 #[cfg(test)]

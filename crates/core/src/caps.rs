@@ -21,6 +21,31 @@ use qtp_sack::ReliabilityMode;
 use qtp_simnet::time::Rate;
 use std::time::Duration;
 
+/// A capability field that failed to decode, carrying the offending wire
+/// code so negotiation failures are diagnosable (and surfaceable to
+/// applications as a `Rejected` session event) instead of a silent `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CapsError {
+    /// Unknown reliability-mode wire code.
+    BadReliability(u8),
+    /// Unknown feedback-mode wire code.
+    BadFeedback(u8),
+    /// Unknown congestion-control wire code.
+    BadCc(u8),
+}
+
+impl std::fmt::Display for CapsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CapsError::BadReliability(c) => write!(f, "unknown reliability wire code {c}"),
+            CapsError::BadFeedback(c) => write!(f, "unknown feedback wire code {c}"),
+            CapsError::BadCc(c) => write!(f, "unknown congestion-control wire code {c}"),
+        }
+    }
+}
+
+impl std::error::Error for CapsError {}
+
 /// Where the TFRC loss-event rate is computed (axis 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FeedbackMode {
@@ -41,12 +66,38 @@ impl FeedbackMode {
     }
 
     /// Decode a wire code.
-    pub fn from_wire(code: u8) -> Option<Self> {
+    pub fn from_wire(code: u8) -> Result<Self, CapsError> {
         match code {
-            0 => Some(FeedbackMode::ReceiverLoss),
-            1 => Some(FeedbackMode::SenderLoss),
-            _ => None,
+            0 => Ok(FeedbackMode::ReceiverLoss),
+            1 => Ok(FeedbackMode::SenderLoss),
+            other => Err(CapsError::BadFeedback(other)),
         }
+    }
+}
+
+/// Decode a reliability-mode wire code plus its parameter (TTL in
+/// microseconds, or a retransmission budget).
+pub fn reliability_from_wire(code: u8, param: u64) -> Result<ReliabilityMode, CapsError> {
+    match code {
+        0 => Ok(ReliabilityMode::None),
+        1 => Ok(ReliabilityMode::Full),
+        2 => Ok(ReliabilityMode::PartialTtl(Duration::from_micros(param))),
+        3 => Ok(ReliabilityMode::PartialRetx(param as u32)),
+        other => Err(CapsError::BadReliability(other)),
+    }
+}
+
+/// Decode a congestion-control wire code plus its rate parameter (bits/s).
+pub fn cc_from_wire(code: u8, param: u64) -> Result<CcKind, CapsError> {
+    match code {
+        0 => Ok(CcKind::Tfrc),
+        1 => Ok(CcKind::Gtfrc {
+            target: Rate::from_bps(param),
+        }),
+        2 => Ok(CcKind::Fixed {
+            rate: Rate::from_bps(param),
+        }),
+        other => Err(CapsError::BadCc(other)),
     }
 }
 
@@ -248,8 +299,22 @@ mod tests {
     #[test]
     fn wire_codes_roundtrip() {
         for m in [FeedbackMode::ReceiverLoss, FeedbackMode::SenderLoss] {
-            assert_eq!(FeedbackMode::from_wire(m.wire_code()), Some(m));
+            assert_eq!(FeedbackMode::from_wire(m.wire_code()), Ok(m));
         }
-        assert_eq!(FeedbackMode::from_wire(9), None);
+        assert_eq!(FeedbackMode::from_wire(9), Err(CapsError::BadFeedback(9)));
+    }
+
+    #[test]
+    fn decode_errors_carry_the_offending_code() {
+        assert_eq!(
+            reliability_from_wire(7, 0),
+            Err(CapsError::BadReliability(7))
+        );
+        assert_eq!(cc_from_wire(250, 0), Err(CapsError::BadCc(250)));
+        assert_eq!(
+            reliability_from_wire(2, 1_000).unwrap(),
+            ReliabilityMode::PartialTtl(Duration::from_millis(1))
+        );
+        assert!(matches!(cc_from_wire(1, 8_000), Ok(CcKind::Gtfrc { .. })));
     }
 }

@@ -1,8 +1,12 @@
-//! Named protocol instances and simulation wiring helpers.
+//! Deprecated pre-session wiring helpers.
 //!
-//! The paper derives two named instances from the composition framework;
-//! this module provides them as one-line constructors plus the glue that
-//! attaches a QTP connection to a simulated topology.
+//! Before the [`session`](crate::session) layer existed, experiments wired
+//! endpoints up with these free functions. They remain as thin shims over
+//! the session layer so external code keeps compiling, but everything
+//! in-tree builds with `-D deprecated` and uses
+//! [`Profile`](crate::session::Profile) /
+//! [`ConnectionPlan`](crate::session::ConnectionPlan) /
+//! [`attach_pair`](crate::session::attach_pair) instead.
 
 use qtp_simnet::prelude::*;
 use qtp_simnet::sim::Simulator;
@@ -31,6 +35,10 @@ pub struct QtpHandles {
 ///
 /// Registers two flows (`<name>` for data, `<name>-fb` for feedback) and
 /// returns the probes for post-run inspection.
+#[deprecated(
+    since = "0.5.0",
+    note = "use qtp_core::session::attach_pair with a ConnectionPlan"
+)]
 pub fn attach_qtp(
     sim: &mut Simulator,
     sender_node: NodeId,
@@ -72,32 +80,37 @@ pub fn attach_qtp(
 
 /// Sender configuration for **QTPAF**: gTFRC with target `g`, full
 /// reliability, receiver-side loss estimation (paper §4).
+#[deprecated(since = "0.5.0", note = "use qtp_core::session::Profile::qtp_af")]
 pub fn qtp_af_sender(g: Rate) -> QtpSenderConfig {
     QtpSenderConfig::new(CapabilitySet::qtp_af(g))
 }
 
 /// Sender configuration for **QTPlight**: sender-side loss estimation, no
 /// retransmission (paper §3).
+#[deprecated(since = "0.5.0", note = "use qtp_core::session::Profile::qtp_light")]
 pub fn qtp_light_sender() -> QtpSenderConfig {
     QtpSenderConfig::new(CapabilitySet::qtp_light())
 }
 
 /// QTPlight with TTL-bounded partial reliability (the selective
 /// retransmission by-product the paper highlights).
+#[deprecated(
+    since = "0.5.0",
+    note = "use qtp_core::session::Profile::qtp_light_partial"
+)]
 pub fn qtp_light_partial_sender(ttl: Duration) -> QtpSenderConfig {
     QtpSenderConfig::new(CapabilitySet::qtp_light_partial(ttl))
 }
 
 /// Standard TFRC instance (receiver-side estimation, unreliable) — the
 /// baseline both QTP instances are compared against.
+#[deprecated(since = "0.5.0", note = "use qtp_core::session::Profile::tfrc")]
 pub fn qtp_standard_sender() -> QtpSenderConfig {
     QtpSenderConfig::new(CapabilitySet::tfrc_standard())
 }
 
 /// A media-like application model: `rate` worth of 1-packet ADUs.
+#[deprecated(since = "0.5.0", note = "use qtp_core::AppModel::cbr")]
 pub fn cbr_app(rate: Rate) -> AppModel {
-    AppModel::Cbr {
-        rate,
-        adu_packets: 1,
-    }
+    AppModel::cbr(rate)
 }

@@ -20,9 +20,10 @@
 //! | `QTPAF`    | gTFRC(g)  | Full        | ReceiverLoss |
 //! | `QTPlight` | TFRC      | None/partial| SenderLoss   |
 //!
-//! See [`instances`] for constructors, [`caps`] for negotiation, [`wire`]
-//! for the byte-level formats, and [`estimator`] for the sender-side loss
-//! estimation that makes QTPlight possible.
+//! See [`session`] for the application-facing API (fluent [`Profile`]s,
+//! poll-style [`Session`]s, the backend seam), [`caps`] for negotiation,
+//! [`wire`] for the byte-level formats, and [`estimator`] for the
+//! sender-side loss estimation that makes QTPlight possible.
 
 pub mod adapter;
 mod bufext;
@@ -34,18 +35,25 @@ pub mod instances;
 pub mod probe;
 pub mod receiver;
 pub mod sender;
+pub mod session;
 pub mod wire;
 
 pub use adapter::SimAgent;
-pub use caps::{CapabilitySet, CcKind, FeedbackMode, ServerPolicy};
+pub use caps::{CapabilitySet, CapsError, CcKind, FeedbackMode, ServerPolicy};
 pub use cc::CcMachine;
 pub use driver::{Command, Endpoint, Outbox, TimerGens, Transmit};
 pub use estimator::SenderLossEstimator;
+pub use instances::QtpHandles;
+#[allow(deprecated)]
 pub use instances::{
     attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,
-    qtp_standard_sender, QtpHandles,
+    qtp_standard_sender,
 };
 pub use probe::{Probe, ProbeData};
 pub use receiver::{QtpReceiver, QtpReceiverConfig};
 pub use sender::{AppModel, QtpSender, QtpSenderConfig};
+pub use session::{
+    attach_pair, Backend, ConnectionOutcome, ConnectionPlan, PairHandles, Profile, ProfileBuilder,
+    ProfileError, Reliability, Session, SessionEvent, SessionEvents, SimBackend, SimTopology,
+};
 pub use wire::{QtpPacket, WireError};

@@ -47,6 +47,16 @@ pub enum AppModel {
     Cbr { rate: Rate, adu_packets: u32 },
 }
 
+impl AppModel {
+    /// A media-like source: `rate` worth of 1-packet ADUs.
+    pub fn cbr(rate: Rate) -> AppModel {
+        AppModel::Cbr {
+            rate,
+            adu_packets: 1,
+        }
+    }
+}
+
 /// Sender configuration.
 #[derive(Debug, Clone)]
 pub struct QtpSenderConfig {

@@ -1,0 +1,1456 @@
+//! The backend-neutral application API: fluent service profiles and
+//! poll-style connection sessions.
+//!
+//! The paper's thesis is that applications *negotiate* a transport service
+//! per connection from three orthogonal axes (reliability, receiver
+//! processing, QoS awareness). This module is where that idea meets the
+//! programmer:
+//!
+//! * [`Profile`] — a validated service profile, built fluently
+//!   (`Profile::new().reliability(..).feedback(..).cc(..).build()?`) or
+//!   from the named paper presets ([`Profile::qtp_af`],
+//!   [`Profile::qtp_light`]); lossless to/from the [`CapabilitySet`] that
+//!   travels in the handshake.
+//! * [`ConnectionPlan`] — one connection's worth of application intent:
+//!   the offered profile, the traffic model, the receiver's negotiation
+//!   policy. Plans are backend-neutral descriptions; every backend runs
+//!   the same plan unchanged.
+//! * [`Session`] — a sans-io connection object in the tradition of
+//!   quinn-proto: feed it datagrams ([`Session::handle_input`]) and time
+//!   ([`Session::on_timeout`]), poll it for datagrams to send
+//!   ([`Session::poll_transmit`]), the next wakeup
+//!   ([`Session::poll_timeout`]) and typed events
+//!   ([`Session::poll_event`]: `Connected`, `Delivered`, `TtlExpired`,
+//!   `Rejected`, `Closed`). A `Session` also implements the lower-level
+//!   [`Endpoint`] seam, so every existing driver (the simulator's
+//!   [`SimAgent`](crate::adapter::SimAgent), `qtp-io`'s `UdpDriver` and
+//!   `MuxDriver`) mounts it directly.
+//! * [`Backend`] — the run-a-scenario seam: hand any backend a slice of
+//!   plans and get per-connection [`ConnectionOutcome`]s back.
+//!   [`SimBackend`] (here) drives plans through the deterministic
+//!   simulator; `qtp_io::backend::{UdpBackend, MuxBackend}` drive the
+//!   *same plans* over real UDP sockets, single-socket-per-connection or
+//!   multiplexed.
+//!
+//! QUIC implementations converged on exactly this shape — one sans-io
+//! connection object, many I/O strategies — and it is what lets a single
+//! program here run unchanged on the simulator, the blocking UDP driver
+//! and the multi-flow mux.
+
+use qtp_sack::ReliabilityMode;
+use qtp_simnet::packet::{FlowId, NodeId};
+use qtp_simnet::prelude::*;
+use qtp_simnet::sim::Simulator;
+use qtp_simnet::topology::{Dumbbell, DumbbellConfig};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::adapter::SimAgent;
+use crate::caps::{CapabilitySet, CapsError, CcKind, FeedbackMode, ServerPolicy};
+use crate::driver::{Command, Endpoint, Outbox, Transmit};
+use crate::probe::{Probe, ProbeData};
+use crate::receiver::{QtpReceiver, QtpReceiverConfig};
+use crate::sender::{AppModel, QtpSender, QtpSenderConfig};
+use crate::wire::{self, QtpPacket, WireError};
+
+// ---------------------------------------------------------------------------
+// Profiles
+// ---------------------------------------------------------------------------
+
+/// The reliability axis, in application terms (axis 1 of the paper).
+///
+/// This is the fluent-API face of [`ReliabilityMode`]; the two convert
+/// losslessly in both directions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reliability {
+    /// No retransmission at all (pure streaming).
+    None,
+    /// Full reliability: every byte is retransmitted until acknowledged.
+    Full,
+    /// Partial reliability: retransmit only data still younger than the
+    /// TTL (stale ADUs are abandoned with a `FWD`).
+    Ttl(Duration),
+    /// Partial reliability: at most this many retransmissions per packet.
+    Budget(u32),
+}
+
+impl From<Reliability> for ReliabilityMode {
+    fn from(r: Reliability) -> ReliabilityMode {
+        match r {
+            Reliability::None => ReliabilityMode::None,
+            Reliability::Full => ReliabilityMode::Full,
+            Reliability::Ttl(d) => ReliabilityMode::PartialTtl(d),
+            Reliability::Budget(n) => ReliabilityMode::PartialRetx(n),
+        }
+    }
+}
+
+impl From<ReliabilityMode> for Reliability {
+    fn from(m: ReliabilityMode) -> Reliability {
+        match m {
+            ReliabilityMode::None => Reliability::None,
+            ReliabilityMode::Full => Reliability::Full,
+            ReliabilityMode::PartialTtl(d) => Reliability::Ttl(d),
+            ReliabilityMode::PartialRetx(n) => Reliability::Budget(n),
+        }
+    }
+}
+
+/// Why a profile failed validation. Returned by [`ProfileBuilder::build`]
+/// (and [`Profile::try_from`] on a [`CapabilitySet`]) instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `Reliability::Ttl(0)`: every ADU would be stale before its first
+    /// transmission. Use [`Reliability::None`] to opt out of reliability.
+    ZeroTtl,
+    /// `Reliability::Budget(0)`: a zero retransmission budget is
+    /// [`Reliability::None`] with extra bookkeeping — ask for what you
+    /// mean.
+    ZeroRetxBudget,
+    /// `CcKind::Fixed` with a zero rate: the sender would never transmit.
+    ZeroFixedRate,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProfileError::ZeroTtl => write!(f, "partial reliability with a zero TTL"),
+            ProfileError::ZeroRetxBudget => {
+                write!(f, "partial reliability with a zero retransmission budget")
+            }
+            ProfileError::ZeroFixedRate => write!(f, "fixed-rate congestion control at 0 bit/s"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// A validated service profile over the paper's three axes.
+///
+/// Build one fluently — [`Profile::new`] returns a [`ProfileBuilder`] —
+/// or use the named paper instances:
+///
+/// ```
+/// use qtp_core::session::{Profile, Reliability};
+/// use qtp_core::{CcKind, FeedbackMode};
+/// use qtp_simnet::time::Rate;
+/// use std::time::Duration;
+///
+/// // The QTPAF preset…
+/// let af = Profile::qtp_af(Rate::from_mbps(2));
+/// // …and an à-la-carte composition over the same axes.
+/// let custom = Profile::new()
+///     .reliability(Reliability::Ttl(Duration::from_millis(200)))
+///     .feedback(FeedbackMode::SenderLoss)
+///     .cc(CcKind::Tfrc)
+///     .build()
+///     .unwrap();
+/// assert_ne!(af.caps(), custom.caps());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    caps: CapabilitySet,
+}
+
+impl Profile {
+    /// Start a fluent profile description. Defaults to the standard-TFRC
+    /// baseline (no reliability, receiver-side estimation, plain TFRC).
+    #[allow(clippy::new_ret_no_self)]
+    pub fn new() -> ProfileBuilder {
+        ProfileBuilder {
+            reliability: Reliability::None,
+            feedback: FeedbackMode::ReceiverLoss,
+            cc: CcKind::Tfrc,
+        }
+    }
+
+    /// The **QTPAF** instance (paper §4): gTFRC with guaranteed floor `g`,
+    /// full reliability, receiver-side loss estimation.
+    pub fn qtp_af(g: Rate) -> Profile {
+        Profile {
+            caps: CapabilitySet::qtp_af(g),
+        }
+    }
+
+    /// The **QTPlight** instance (paper §3): sender-side loss estimation,
+    /// no retransmission, plain TFRC.
+    pub fn qtp_light() -> Profile {
+        Profile {
+            caps: CapabilitySet::qtp_light(),
+        }
+    }
+
+    /// QTPlight with TTL-bounded partial reliability (the selective
+    /// retransmission by-product paper §3 highlights). A zero TTL is
+    /// rejected — see [`ProfileError::ZeroTtl`].
+    pub fn qtp_light_partial(ttl: Duration) -> Result<Profile, ProfileError> {
+        Profile::new()
+            .reliability(Reliability::Ttl(ttl))
+            .feedback(FeedbackMode::SenderLoss)
+            .cc(CcKind::Tfrc)
+            .build()
+    }
+
+    /// The standard TFRC baseline both named instances are compared
+    /// against.
+    pub fn tfrc() -> Profile {
+        Profile {
+            caps: CapabilitySet::tfrc_standard(),
+        }
+    }
+
+    /// The wire-level capability set this profile offers in the handshake
+    /// (lossless; [`Profile::try_from`] converts back).
+    pub fn caps(&self) -> CapabilitySet {
+        self.caps
+    }
+
+    /// The reliability axis.
+    pub fn reliability(&self) -> Reliability {
+        self.caps.reliability.into()
+    }
+
+    /// The receiver-processing axis.
+    pub fn feedback(&self) -> FeedbackMode {
+        self.caps.feedback
+    }
+
+    /// The QoS-awareness axis.
+    pub fn cc(&self) -> CcKind {
+        self.caps.cc
+    }
+}
+
+impl From<Profile> for CapabilitySet {
+    fn from(p: Profile) -> CapabilitySet {
+        p.caps
+    }
+}
+
+impl TryFrom<CapabilitySet> for Profile {
+    type Error = ProfileError;
+
+    /// Validate a wire-level capability set into a profile. Lossless for
+    /// every set a [`ProfileBuilder`] accepts.
+    fn try_from(caps: CapabilitySet) -> Result<Profile, ProfileError> {
+        Profile::new()
+            .reliability(caps.reliability.into())
+            .feedback(caps.feedback)
+            .cc(caps.cc)
+            .build()
+    }
+}
+
+/// Fluent builder returned by [`Profile::new`]; validation happens once,
+/// in [`ProfileBuilder::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileBuilder {
+    reliability: Reliability,
+    feedback: FeedbackMode,
+    cc: CcKind,
+}
+
+impl ProfileBuilder {
+    /// Set the reliability axis.
+    pub fn reliability(mut self, r: Reliability) -> Self {
+        self.reliability = r;
+        self
+    }
+
+    /// Set the receiver-processing axis.
+    pub fn feedback(mut self, f: FeedbackMode) -> Self {
+        self.feedback = f;
+        self
+    }
+
+    /// Set the QoS-awareness axis.
+    pub fn cc(mut self, cc: CcKind) -> Self {
+        self.cc = cc;
+        self
+    }
+
+    /// Validate the composition.
+    pub fn build(self) -> Result<Profile, ProfileError> {
+        match self.reliability {
+            Reliability::Ttl(d) if d.is_zero() => return Err(ProfileError::ZeroTtl),
+            Reliability::Budget(0) => return Err(ProfileError::ZeroRetxBudget),
+            _ => {}
+        }
+        if let CcKind::Fixed { rate } = self.cc {
+            if rate.bps() == 0 {
+                return Err(ProfileError::ZeroFixedRate);
+            }
+        }
+        Ok(Profile {
+            caps: CapabilitySet {
+                reliability: self.reliability.into(),
+                feedback: self.feedback,
+                cc: self.cc,
+            },
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Connection plans
+// ---------------------------------------------------------------------------
+
+/// One connection's worth of application intent, backend-neutral: what
+/// service to offer, what traffic to generate, and how the receiving side
+/// negotiates. The same plan runs unchanged on every [`Backend`].
+#[derive(Debug, Clone)]
+pub struct ConnectionPlan {
+    /// Display / flow-registration label (backends generate one if empty).
+    pub label: String,
+    /// Service profile the sender offers.
+    pub profile: Profile,
+    /// Traffic model on top of the sender.
+    pub app: AppModel,
+    /// Payload bytes per data packet.
+    pub payload: u32,
+    /// Receiver-side negotiation policy.
+    pub policy: ServerPolicy,
+    /// Selfish-receiver attack factor (1.0 = honest).
+    pub selfish_factor: f64,
+    /// **D1 ablation** (experiments only): disable RTT-window loss-event
+    /// grouping in the sender-side estimator.
+    pub ablate_ungrouped_losses: bool,
+}
+
+impl ConnectionPlan {
+    /// A greedy connection offering `profile`, with default payload size
+    /// and a permissive receiver.
+    pub fn new(profile: Profile) -> Self {
+        ConnectionPlan {
+            label: String::new(),
+            profile,
+            app: AppModel::Greedy,
+            payload: 1000,
+            policy: ServerPolicy::default(),
+            selfish_factor: 1.0,
+            ablate_ungrouped_losses: false,
+        }
+    }
+
+    /// Set the label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// Set the traffic model.
+    pub fn app(mut self, app: AppModel) -> Self {
+        self.app = app;
+        self
+    }
+
+    /// Shorthand for a finite transfer of `packets` packets.
+    pub fn finite(self, packets: u64) -> Self {
+        self.app(AppModel::Finite { packets })
+    }
+
+    /// Set the payload bytes per packet.
+    pub fn payload(mut self, payload: u32) -> Self {
+        self.payload = payload;
+        self
+    }
+
+    /// Set the receiver's negotiation policy.
+    pub fn policy(mut self, policy: ServerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Set the selfish-receiver factor (experiments).
+    pub fn selfish_factor(mut self, k: f64) -> Self {
+        self.selfish_factor = k;
+        self
+    }
+
+    /// Enable the D1 ungrouped-losses ablation (experiments).
+    pub fn ablate_ungrouped_losses(mut self, on: bool) -> Self {
+        self.ablate_ungrouped_losses = on;
+        self
+    }
+
+    /// Lower the plan into the sender endpoint's configuration.
+    pub fn sender_config(&self) -> QtpSenderConfig {
+        let mut cfg = QtpSenderConfig::new(self.profile.caps());
+        cfg.s = self.payload;
+        cfg.app = self.app.clone();
+        cfg.ablate_ungrouped_losses = self.ablate_ungrouped_losses;
+        cfg
+    }
+
+    /// Lower the plan into the receiver endpoint's configuration.
+    pub fn receiver_config(&self) -> QtpReceiverConfig {
+        QtpReceiverConfig {
+            policy: self.policy.clone(),
+            selfish_factor: self.selfish_factor,
+        }
+    }
+
+    /// The reliability mode a backend should judge this plan by: the
+    /// **negotiated** mode once the handshake completed (the receiver's
+    /// policy may have downgraded the offer), the offer before. Every
+    /// backend's completion rule goes through this one helper so sim and
+    /// socket backends can never disagree on what "done" means.
+    pub fn effective_reliability(&self, negotiated: Option<CapabilitySet>) -> ReliabilityMode {
+        negotiated
+            .map(|c| c.reliability)
+            .unwrap_or(self.profile.caps().reliability)
+    }
+
+    /// Packets this plan's app model will generate, if finite (backends
+    /// use this to decide when a connection has finished its job).
+    pub fn finite_packets(&self) -> Option<u64> {
+        match self.app {
+            AppModel::Finite { packets } => Some(packets),
+            _ => None,
+        }
+    }
+
+    /// The plan's label, or a generated `conn{index:04}` when unset.
+    pub fn display_label(&self, index: usize) -> String {
+        if self.label.is_empty() {
+            format!("conn{index:04}")
+        } else {
+            self.label.clone()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session events
+// ---------------------------------------------------------------------------
+
+/// A typed event observed on a [`Session`] — the application-facing view
+/// of negotiation outcomes and delivery, with no reaching into probes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionEvent {
+    /// The handshake completed; this is the service the network granted.
+    Connected {
+        /// The negotiated capability set (the offer after policy
+        /// intersection).
+        negotiated: CapabilitySet,
+    },
+    /// Application payload became deliverable (receiver side).
+    /// Consecutive deliveries coalesce into one event while it sits
+    /// unpolled at the queue tail, so a long-running connection holds
+    /// O(1) delivery events rather than one per ADU.
+    Delivered {
+        /// Bytes handed to the application since the last poll.
+        bytes: u64,
+    },
+    /// Partial reliability abandoned stale data (sender side): `packets`
+    /// ADUs aged past their TTL/budget and will never be (re)sent.
+    /// Coalesces at the queue tail like `Delivered`.
+    TtlExpired {
+        /// Newly abandoned packets since the last poll.
+        packets: u64,
+    },
+    /// A peer offered a capability set this implementation cannot decode;
+    /// the datagram was dropped. Carries the offending wire code.
+    /// Consecutive identical rejections (a peer retransmitting the same
+    /// malformed SYN) coalesce into one event at the queue tail.
+    Rejected {
+        /// Which axis failed and with what wire code.
+        error: CapsError,
+    },
+    /// The session was closed locally.
+    Closed,
+}
+
+/// Cloneable handle onto a session's event queue.
+///
+/// Sessions attached to the simulator are moved into it (like agents), so
+/// observers keep one of these — the session-event analogue of [`Probe`].
+#[derive(Debug, Default, Clone)]
+pub struct SessionEvents {
+    inner: Rc<RefCell<VecDeque<SessionEvent>>>,
+}
+
+impl SessionEvents {
+    fn push(&self, ev: SessionEvent) {
+        self.inner.borrow_mut().push_back(ev);
+    }
+
+    /// Record a delivery, coalescing with a `Delivered` event already at
+    /// the queue tail (unbounded-growth guard for observers that only
+    /// read events after the run — or never).
+    fn push_delivered(&self, bytes: u64) {
+        let mut q = self.inner.borrow_mut();
+        if let Some(SessionEvent::Delivered { bytes: tail }) = q.back_mut() {
+            *tail += bytes;
+            return;
+        }
+        q.push_back(SessionEvent::Delivered { bytes });
+    }
+
+    /// Record TTL/budget expiry, coalescing at the queue tail like
+    /// [`SessionEvents::push_delivered`] — a long-lived TTL-streaming
+    /// session otherwise grows one event per expiry burst.
+    fn push_ttl_expired(&self, packets: u64) {
+        let mut q = self.inner.borrow_mut();
+        if let Some(SessionEvent::TtlExpired { packets: tail }) = q.back_mut() {
+            *tail += packets;
+            return;
+        }
+        q.push_back(SessionEvent::TtlExpired { packets });
+    }
+
+    /// Record a capability rejection; consecutive identical errors (a
+    /// peer retransmitting one malformed SYN) collapse into one event.
+    fn push_rejected(&self, error: CapsError) {
+        let mut q = self.inner.borrow_mut();
+        if q.back() == Some(&SessionEvent::Rejected { error }) {
+            return;
+        }
+        q.push_back(SessionEvent::Rejected { error });
+    }
+
+    /// Pop the oldest pending event.
+    pub fn poll(&self) -> Option<SessionEvent> {
+        self.inner.borrow_mut().pop_front()
+    }
+
+    /// Drain every pending event.
+    pub fn drain(&self) -> Vec<SessionEvent> {
+        self.inner.borrow_mut().drain(..).collect()
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.borrow().is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+enum Role {
+    Sender(QtpSender),
+    Receiver(QtpReceiver),
+}
+
+impl Endpoint for Role {
+    fn on_start(&mut self, out: &mut Outbox) {
+        match self {
+            Role::Sender(s) => s.on_start(out),
+            Role::Receiver(r) => r.on_start(out),
+        }
+    }
+
+    fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
+        match self {
+            Role::Sender(s) => s.handle_datagram(out, wire_size, header),
+            Role::Receiver(r) => r.handle_datagram(out, wire_size, header),
+        }
+    }
+
+    fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+        match self {
+            Role::Sender(s) => s.on_timer(out, token),
+            Role::Receiver(r) => r.on_timer(out, token),
+        }
+    }
+}
+
+/// A sans-io QTP connection endpoint with a poll-style surface.
+///
+/// One `Session` wraps one side of a connection (sender or receiver). Two
+/// consumption styles exist, and every backend uses exactly one:
+///
+/// **Standalone (poll) style** — for hand-written event loops, quinn-proto
+/// fashion. The session owns its timer queue:
+///
+/// ```text
+/// session.start(now);
+/// loop {
+///     while let Some(t) = session.poll_transmit() { /* send t */ }
+///     while let Some(ev) = session.poll_event() { /* observe */ }
+///     // sleep until session.poll_timeout(), or a datagram arrives…
+///     session.on_timeout(now);
+///     session.handle_input(now, wire_size, &header);
+/// }
+/// ```
+///
+/// **Mounted style** — a `Session` implements [`Endpoint`], so the
+/// simulator ([`SimAgent`](crate::adapter::SimAgent)), `qtp_io::UdpDriver`
+/// and `qtp_io::MuxDriver` drive it like any endpoint. Commands pass
+/// through to the driver unchanged and in order (which is what keeps
+/// fixed-seed simulations byte-identical to the pre-session wiring); the
+/// driver owns the timers, and [`Session::poll_timeout`] stays empty.
+/// Events and accessors work identically in both styles.
+pub struct Session {
+    inner: Role,
+    out: Outbox,
+    started: bool,
+    closed: bool,
+    connected: bool,
+    // Standalone-style surfaces (unused while mounted in a driver).
+    transmits: VecDeque<Transmit>,
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    timer_seq: u64,
+    delivered_bytes: u64,
+    abandoned_seen: u64,
+    probe: Probe,
+    events: SessionEvents,
+}
+
+impl Session {
+    /// A sending session for one connection: `data_flow` is the flow id
+    /// its data travels on, `peer` the destination endpoint id (a node id
+    /// under the simulator; real-socket drivers map every id onto the
+    /// connected peer).
+    pub fn sender(data_flow: FlowId, peer: NodeId, plan: &ConnectionPlan) -> Session {
+        let probe = Probe::new();
+        Session::wrap(Role::Sender(QtpSender::new(
+            data_flow,
+            peer,
+            plan.sender_config(),
+            probe.clone(),
+        )))
+        .with_probe(probe)
+    }
+
+    /// A receiving session: data arrives on `data_flow`, feedback leaves
+    /// on `fb_flow` toward `peer`.
+    pub fn receiver(
+        data_flow: FlowId,
+        fb_flow: FlowId,
+        peer: NodeId,
+        plan: &ConnectionPlan,
+    ) -> Session {
+        let probe = Probe::new();
+        Session::wrap(Role::Receiver(QtpReceiver::new(
+            data_flow,
+            fb_flow,
+            peer,
+            plan.receiver_config(),
+            probe.clone(),
+        )))
+        .with_probe(probe)
+    }
+
+    fn wrap(inner: Role) -> Session {
+        Session {
+            inner,
+            out: Outbox::new(),
+            started: false,
+            closed: false,
+            connected: false,
+            transmits: VecDeque::new(),
+            timers: BinaryHeap::new(),
+            timer_seq: 0,
+            delivered_bytes: 0,
+            abandoned_seen: 0,
+            probe: Probe::new(),
+            events: SessionEvents::default(),
+        }
+    }
+
+    fn with_probe(mut self, probe: Probe) -> Session {
+        self.probe = probe;
+        self
+    }
+
+    // ---- poll-style driving -------------------------------------------
+
+    /// Start the session (idempotent): a sender emits its SYN.
+    pub fn start(&mut self, now: SimTime) {
+        if self.started || self.closed {
+            return;
+        }
+        self.started = true;
+        self.out.now = now;
+        self.inner.on_start(&mut self.out);
+        self.pump(None);
+    }
+
+    /// An incoming datagram: `wire_size` is the accounted on-wire size,
+    /// `header` the encoded transport header. Malformed capability offers
+    /// surface as [`SessionEvent::Rejected`]; all other undecodable input
+    /// is silently dropped (datagram networks promise nothing).
+    pub fn handle_input(&mut self, now: SimTime, wire_size: u32, header: &[u8]) {
+        if self.closed {
+            return;
+        }
+        self.detect_rejected(header);
+        self.out.now = now;
+        self.inner.handle_datagram(&mut self.out, wire_size, header);
+        self.pump(None);
+    }
+
+    /// Fire every internally-armed timer due at `now`, in deadline order
+    /// (ties by arming order). Standalone style only — while mounted in a
+    /// driver the driver owns the timers.
+    pub fn on_timeout(&mut self, now: SimTime) {
+        while let Some(Reverse((at, _, _))) = self.timers.peek() {
+            if *at > now {
+                break;
+            }
+            let Reverse((_, _, token)) = self.timers.pop().expect("peeked entry");
+            self.handle_timer(now, token);
+        }
+    }
+
+    /// Deliver one raw timer token (drivers that schedule tokens natively;
+    /// [`Session::on_timeout`] is the cooked variant). Stale generations
+    /// are filtered by the endpoint itself.
+    pub fn handle_timer(&mut self, now: SimTime, token: u64) {
+        if self.closed {
+            return;
+        }
+        self.out.now = now;
+        self.inner.on_timer(&mut self.out, token);
+        self.pump(None);
+    }
+
+    /// Deadline of the earliest internally-armed timer, if any: sleep no
+    /// longer than this before calling [`Session::on_timeout`].
+    pub fn poll_timeout(&self) -> Option<SimTime> {
+        self.timers.peek().map(|Reverse((at, _, _))| *at)
+    }
+
+    /// Next datagram to put on the wire, in emission order.
+    pub fn poll_transmit(&mut self) -> Option<Transmit> {
+        self.transmits.pop_front()
+    }
+
+    /// Next pending session event.
+    pub fn poll_event(&mut self) -> Option<SessionEvent> {
+        self.events.poll()
+    }
+
+    /// Close the session locally: further input and timers are ignored,
+    /// already-queued transmits still drain, and a final
+    /// [`SessionEvent::Closed`] is emitted.
+    pub fn close(&mut self) {
+        if !self.closed {
+            self.closed = true;
+            self.timers.clear();
+            self.events.push(SessionEvent::Closed);
+        }
+    }
+
+    // ---- shared internals ---------------------------------------------
+
+    fn detect_rejected(&mut self, header: &[u8]) {
+        if wire::carries_capabilities(header) {
+            if let Err(WireError::BadCapability(error)) = QtpPacket::decode(header) {
+                self.events.push_rejected(error);
+            }
+        }
+    }
+
+    /// Drain the endpoint's commands. With `ext` (mounted style) they pass
+    /// through to the driver's outbox unchanged and in order; without it
+    /// (standalone style) they land in the session's own queues. Either
+    /// way, session events are derived as a side effect.
+    fn pump(&mut self, mut ext: Option<&mut Outbox>) {
+        while let Some(cmd) = self.out.poll_cmd() {
+            match cmd {
+                Command::Transmit(t) => match ext.as_deref_mut() {
+                    Some(o) => o.send_new(t.flow, t.dst, t.wire_size, t.header),
+                    None => self.transmits.push_back(t),
+                },
+                Command::SetTimer { at, token } => match ext.as_deref_mut() {
+                    Some(o) => o.set_timer_at(at, token),
+                    None => {
+                        self.timer_seq += 1;
+                        self.timers.push(Reverse((at, self.timer_seq, token)));
+                    }
+                },
+                Command::Deliver { flow, bytes } => {
+                    self.delivered_bytes += bytes;
+                    self.events.push_delivered(bytes);
+                    if let Some(o) = ext.as_deref_mut() {
+                        o.app_deliver(flow, bytes);
+                    }
+                }
+            }
+        }
+        if !self.connected {
+            if let Some(negotiated) = self.negotiated() {
+                self.connected = true;
+                self.events.push(SessionEvent::Connected { negotiated });
+            }
+        }
+        let abandoned = self.probe.read(|d| d.tx_abandoned);
+        if abandoned > self.abandoned_seen {
+            self.events
+                .push_ttl_expired(abandoned - self.abandoned_seen);
+            self.abandoned_seen = abandoned;
+        }
+    }
+
+    // ---- observation ---------------------------------------------------
+
+    /// The negotiated capability set, once the handshake completed.
+    pub fn negotiated(&self) -> Option<CapabilitySet> {
+        match &self.inner {
+            Role::Sender(s) => s.negotiated(),
+            Role::Receiver(r) => r.negotiated(),
+        }
+    }
+
+    /// Cloneable handle onto this session's event queue (survives the
+    /// session being moved into a simulator or driver).
+    pub fn events(&self) -> SessionEvents {
+        self.events.clone()
+    }
+
+    /// The endpoint's measurement probe (processing costs, traces).
+    pub fn probe(&self) -> &Probe {
+        &self.probe
+    }
+
+    /// Application bytes delivered by this session (receiver side).
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered_bytes
+    }
+
+    /// Whether [`Session::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Sender-side: has every packet handed to the network been
+    /// acknowledged?
+    pub fn all_acked(&self) -> bool {
+        match &self.inner {
+            Role::Sender(s) => s.all_acked(),
+            Role::Receiver(_) => true,
+        }
+    }
+
+    /// Sender-side: new (never-retransmitted) packets sent so far.
+    pub fn sent_new(&self) -> u64 {
+        match &self.inner {
+            Role::Sender(s) => s.sent_new(),
+            Role::Receiver(_) => 0,
+        }
+    }
+
+    /// Receiver-side: packets delivered to the application so far.
+    pub fn delivered_packets(&self) -> u64 {
+        match &self.inner {
+            Role::Receiver(r) => r.delivered_packets(),
+            Role::Sender(_) => 0,
+        }
+    }
+
+    /// Receiver-side: next expected in-order sequence.
+    pub fn cum_ack(&self) -> u64 {
+        match &self.inner {
+            Role::Receiver(r) => r.cum_ack(),
+            Role::Sender(_) => 0,
+        }
+    }
+}
+
+/// Mounted style: a `Session` is itself an [`Endpoint`], so every existing
+/// driver hosts it. Commands pass through in emission order — a
+/// `SimAgent<Session>` replays exactly like a `SimAgent<QtpSender>`.
+impl Endpoint for Session {
+    fn on_start(&mut self, out: &mut Outbox) {
+        if self.started || self.closed {
+            return;
+        }
+        self.started = true;
+        self.out.now = out.now;
+        self.inner.on_start(&mut self.out);
+        self.pump(Some(out));
+    }
+
+    fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
+        if self.closed {
+            return;
+        }
+        self.detect_rejected(header);
+        self.out.now = out.now;
+        self.inner.handle_datagram(&mut self.out, wire_size, header);
+        self.pump(Some(out));
+    }
+
+    fn on_timer(&mut self, out: &mut Outbox, token: u64) {
+        if self.closed {
+            return;
+        }
+        self.out.now = out.now;
+        self.inner.on_timer(&mut self.out, token);
+        self.pump(Some(out));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulator binding
+// ---------------------------------------------------------------------------
+
+/// Observation handles for one simulated connection attached with
+/// [`attach_pair`] (the sessions themselves move into the simulator).
+#[derive(Debug, Clone)]
+pub struct PairHandles {
+    /// Flow id of the data direction (throughput/goodput accounting).
+    pub data_flow: FlowId,
+    /// Flow id of the feedback direction.
+    pub fb_flow: FlowId,
+    /// Sender-side probe.
+    pub tx: Probe,
+    /// Receiver-side probe.
+    pub rx: Probe,
+    /// Sender-side session events.
+    pub tx_events: SessionEvents,
+    /// Receiver-side session events.
+    pub rx_events: SessionEvents,
+}
+
+/// Attach one planned connection to a simulated topology: a sending
+/// session at `sender_node`, a receiving session at `receiver_node`, two
+/// registered flows (`<name>` data, `<name>-fb` feedback).
+///
+/// This is the session-layer successor of the deprecated
+/// `attach_qtp`: same wiring, byte-identical fixed-seed behaviour, plus
+/// typed events.
+pub fn attach_pair(
+    sim: &mut Simulator,
+    sender_node: NodeId,
+    receiver_node: NodeId,
+    name: &str,
+    plan: &ConnectionPlan,
+) -> PairHandles {
+    let data_flow = sim.register_flow(name);
+    let fb_flow = sim.register_flow(&format!("{name}-fb"));
+    let tx = Session::sender(data_flow, receiver_node, plan);
+    let rx = Session::receiver(data_flow, fb_flow, sender_node, plan);
+    let handles = PairHandles {
+        data_flow,
+        fb_flow,
+        tx: tx.probe().clone(),
+        rx: rx.probe().clone(),
+        tx_events: tx.events(),
+        rx_events: rx.events(),
+    };
+    sim.attach_agent(sender_node, Box::new(SimAgent::new(tx)));
+    sim.attach_agent(receiver_node, Box::new(SimAgent::new(rx)));
+    handles
+}
+
+// ---------------------------------------------------------------------------
+// Backends
+// ---------------------------------------------------------------------------
+
+/// What one planned connection did by the end of a [`Backend::run`].
+#[derive(Debug, Clone)]
+pub struct ConnectionOutcome {
+    /// The plan's label (or the backend-generated one).
+    pub label: String,
+    /// The negotiated capability set, if the handshake completed.
+    pub negotiated: Option<CapabilitySet>,
+    /// Application bytes delivered at the receiver.
+    pub delivered_bytes: u64,
+    /// When the connection finished its job, seconds from scenario start
+    /// (virtual time on the simulator, wall time on socket backends);
+    /// `None` if the horizon passed first. Finite transfers complete when
+    /// fully delivered (reliable profiles) or fully transmitted
+    /// (unreliable/partial); open-ended apps never complete.
+    pub completion_s: Option<f64>,
+    /// Delivered bytes over the active period, bits/second.
+    pub goodput_bps: f64,
+    /// Sender-side session events, in order.
+    pub tx_events: Vec<SessionEvent>,
+    /// Receiver-side session events, in order.
+    pub rx_events: Vec<SessionEvent>,
+    /// Sender-side probe snapshot (rate/loss traces, retransmissions).
+    pub tx: ProbeData,
+    /// Receiver-side probe snapshot (per-packet cost, peak state).
+    pub rx: ProbeData,
+}
+
+/// The run-a-scenario seam: every backend takes the same
+/// [`ConnectionPlan`]s and reports per-connection [`ConnectionOutcome`]s,
+/// in plan order. Implementations: [`SimBackend`] (simulator),
+/// `qtp_io::backend::UdpBackend` (one blocking socket pair per
+/// connection) and `qtp_io::backend::MuxBackend` (all connections
+/// multiplexed over one socket pair).
+pub trait Backend {
+    /// Short backend tag for reports ("sim", "udp", "mux").
+    fn name(&self) -> &'static str;
+
+    /// Run every plan to completion or the backend's horizon.
+    fn run(&mut self, plans: &[ConnectionPlan]) -> std::io::Result<Vec<ConnectionOutcome>>;
+}
+
+/// Network shape a [`SimBackend`] builds.
+#[derive(Debug, Clone)]
+pub enum SimTopology {
+    /// Every connection gets its own duplex path with these properties
+    /// (loss applies in both directions, like the quickstart scenario).
+    Isolated {
+        /// Link rate.
+        rate: Rate,
+        /// One-way propagation delay.
+        one_way: Duration,
+        /// Bernoulli loss probability (0 disables loss).
+        loss: f64,
+    },
+    /// All connections share a dumbbell bottleneck; `pairs` is overridden
+    /// with the number of plans. (Boxed: the config dwarfs the other
+    /// variant.)
+    Dumbbell(Box<DumbbellConfig>),
+}
+
+/// The deterministic-simulator backend: same seed and plans ⇒
+/// byte-identical outcomes.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    /// Network shape.
+    pub topology: SimTopology,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Virtual-time bound.
+    pub horizon: Duration,
+    /// Completion-sampling granularity (completion times round up to
+    /// this, keeping the stepped run deterministic).
+    pub check_interval: Duration,
+}
+
+impl SimBackend {
+    /// Isolated per-connection paths (the quickstart shape).
+    pub fn isolated(rate: Rate, one_way: Duration, loss: f64) -> SimBackend {
+        SimBackend {
+            topology: SimTopology::Isolated {
+                rate,
+                one_way,
+                loss,
+            },
+            seed: 42,
+            horizon: Duration::from_secs(30),
+            check_interval: Duration::from_millis(250),
+        }
+    }
+
+    /// A shared-bottleneck dumbbell (`cfg.pairs` is overridden per run).
+    pub fn dumbbell(cfg: DumbbellConfig) -> SimBackend {
+        SimBackend {
+            topology: SimTopology::Dumbbell(Box::new(cfg)),
+            seed: 42,
+            horizon: Duration::from_secs(120),
+            check_interval: Duration::from_millis(250),
+        }
+    }
+
+    /// Set the seed.
+    pub fn seed(mut self, seed: u64) -> SimBackend {
+        self.seed = seed;
+        self
+    }
+
+    /// Set the horizon.
+    pub fn horizon(mut self, horizon: Duration) -> SimBackend {
+        self.horizon = horizon;
+        self
+    }
+}
+
+/// Whether a finite plan is done, by the simulator backend's
+/// receiver-side measure: full delivery when the
+/// [effective](ConnectionPlan::effective_reliability) reliability is
+/// `Full`, backlog fully transmitted otherwise (profiles that promise no
+/// delivery). Keying on the offer alone would make a policy-downgraded
+/// connection uncompletable under loss. The socket backends apply the
+/// same Full/not-Full split to their sender-side measure (`tx_complete`
+/// in `qtp_io::backend`).
+pub(crate) fn plan_complete(
+    plan: &ConnectionPlan,
+    negotiated: Option<CapabilitySet>,
+    delivered_bytes: u64,
+    tx: &Probe,
+) -> bool {
+    let Some(packets) = plan.finite_packets() else {
+        return false;
+    };
+    if plan.effective_reliability(negotiated) == ReliabilityMode::Full {
+        delivered_bytes >= packets * plan.payload as u64
+    } else {
+        tx.read(|d| d.tx_data_pkts - d.tx_retransmissions) >= packets
+    }
+}
+
+impl Backend for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run(&mut self, plans: &[ConnectionPlan]) -> std::io::Result<Vec<ConnectionOutcome>> {
+        // Build the topology: one (sender, receiver) node pair per plan.
+        let (mut sim, nodes): (Simulator, Vec<(NodeId, NodeId)>) = match &self.topology {
+            SimTopology::Isolated {
+                rate,
+                one_way,
+                loss,
+            } => {
+                let mut b = NetworkBuilder::new();
+                let mut nodes = Vec::with_capacity(plans.len());
+                for _ in plans {
+                    let s = b.host();
+                    let r = b.host();
+                    let mut link = LinkConfig::new(*rate, *one_way);
+                    if *loss > 0.0 {
+                        link = link.with_loss(LossModel::bernoulli(*loss));
+                    }
+                    b.duplex_link(s, r, link);
+                    nodes.push((s, r));
+                }
+                (b.build(self.seed), nodes)
+            }
+            SimTopology::Dumbbell(cfg) => {
+                let cfg = DumbbellConfig {
+                    pairs: plans.len(),
+                    ..(**cfg).clone()
+                };
+                let (sim, net) = Dumbbell::build(&cfg, self.seed);
+                let nodes = net
+                    .senders
+                    .iter()
+                    .copied()
+                    .zip(net.receivers.iter().copied())
+                    .collect();
+                (sim, nodes)
+            }
+        };
+
+        let labels: Vec<String> = plans
+            .iter()
+            .enumerate()
+            .map(|(i, p)| p.display_label(i))
+            .collect();
+        let handles: Vec<PairHandles> = plans
+            .iter()
+            .zip(&nodes)
+            .zip(&labels)
+            .map(|((plan, &(s, r)), label)| attach_pair(&mut sim, s, r, label, plan))
+            .collect();
+
+        // Stepped run: completion is sampled every check_interval, keeping
+        // the scan cost negligible and the result deterministic.
+        let mut completion: Vec<Option<SimTime>> = vec![None; plans.len()];
+        let horizon = SimTime::ZERO + self.horizon;
+        let mut t = SimTime::ZERO;
+        while t < horizon {
+            t = (t + self.check_interval).min(horizon);
+            sim.run_until(t);
+            let mut all_done = true;
+            for (i, (plan, h)) in plans.iter().zip(&handles).enumerate() {
+                if completion[i].is_some() {
+                    continue;
+                }
+                let delivered = sim.stats().flow(h.data_flow).bytes_app_delivered;
+                if plan_complete(plan, connected_caps(&h.tx_events), delivered, &h.tx) {
+                    completion[i] = Some(t);
+                } else {
+                    all_done = false;
+                }
+            }
+            if all_done {
+                break;
+            }
+        }
+
+        Ok(plans
+            .iter()
+            .zip(&handles)
+            .enumerate()
+            .map(|(i, (_, h))| {
+                let delivered = sim.stats().flow(h.data_flow).bytes_app_delivered;
+                let elapsed = completion[i].unwrap_or(horizon).as_secs_f64();
+                ConnectionOutcome {
+                    label: labels[i].clone(),
+                    negotiated: connected_caps(&h.tx_events),
+                    delivered_bytes: delivered,
+                    completion_s: completion[i].map(|c| c.as_secs_f64()),
+                    goodput_bps: if elapsed > 0.0 {
+                        delivered as f64 * 8.0 / elapsed
+                    } else {
+                        0.0
+                    },
+                    tx_events: h.tx_events.drain(),
+                    rx_events: h.rx_events.drain(),
+                    tx: h.tx.snapshot(),
+                    rx: h.rx.snapshot(),
+                }
+            })
+            .collect())
+    }
+}
+
+/// The negotiated set recorded in an event stream, if any (outcome
+/// extraction for sessions that moved into a simulator or driver).
+pub fn connected_caps(events: &SessionEvents) -> Option<CapabilitySet> {
+    events.inner.borrow().iter().find_map(|e| match e {
+        SessionEvent::Connected { negotiated } => Some(*negotiated),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_and_roundtrips() {
+        let p = Profile::new()
+            .reliability(Reliability::Ttl(Duration::from_millis(200)))
+            .feedback(FeedbackMode::SenderLoss)
+            .cc(CcKind::Tfrc)
+            .build()
+            .unwrap();
+        assert_eq!(Profile::try_from(p.caps()), Ok(p));
+
+        assert_eq!(
+            Profile::new()
+                .reliability(Reliability::Ttl(Duration::ZERO))
+                .build(),
+            Err(ProfileError::ZeroTtl)
+        );
+        assert_eq!(
+            Profile::new().reliability(Reliability::Budget(0)).build(),
+            Err(ProfileError::ZeroRetxBudget)
+        );
+        assert_eq!(
+            Profile::new()
+                .cc(CcKind::Fixed { rate: Rate::ZERO })
+                .build(),
+            Err(ProfileError::ZeroFixedRate)
+        );
+    }
+
+    #[test]
+    fn presets_match_capability_presets() {
+        assert_eq!(
+            Profile::qtp_af(Rate::from_mbps(2)).caps(),
+            CapabilitySet::qtp_af(Rate::from_mbps(2))
+        );
+        assert_eq!(Profile::qtp_light().caps(), CapabilitySet::qtp_light());
+        assert_eq!(Profile::tfrc().caps(), CapabilitySet::tfrc_standard());
+        let ttl = Duration::from_millis(150);
+        assert_eq!(
+            Profile::qtp_light_partial(ttl).unwrap().caps(),
+            CapabilitySet::qtp_light_partial(ttl)
+        );
+        assert_eq!(
+            Profile::qtp_light_partial(Duration::ZERO),
+            Err(ProfileError::ZeroTtl)
+        );
+    }
+
+    /// Drive a sender/receiver session pair purely through the poll-style
+    /// surface with a virtual clock and a loss-free in-memory "wire" — no
+    /// simulator, no sockets. This is the contract a hand-written event
+    /// loop programs against.
+    #[test]
+    fn poll_surface_completes_a_reliable_transfer() {
+        const PACKETS: u64 = 20;
+        let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500))).finite(PACKETS);
+        let mut tx = Session::sender(0, 1, &plan);
+        let mut rx = Session::receiver(0, 1, 0, &plan);
+
+        let mut now = SimTime::ZERO;
+        tx.start(now);
+        rx.start(now);
+        for _ in 0..100_000 {
+            // Shuttle datagrams until the wire is quiet.
+            loop {
+                let mut moved = false;
+                while let Some(t) = tx.poll_transmit() {
+                    rx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                while let Some(t) = rx.poll_transmit() {
+                    tx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                if !moved {
+                    break;
+                }
+            }
+            if rx.delivered_packets() >= PACKETS && tx.all_acked() {
+                break;
+            }
+            // Advance the virtual clock to the earliest armed deadline.
+            let next = match (tx.poll_timeout(), rx.poll_timeout()) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => panic!("deadlock: no timers and not done"),
+            };
+            now = now.max(next);
+            tx.on_timeout(now);
+            rx.on_timeout(now);
+        }
+        assert_eq!(rx.delivered_packets(), PACKETS);
+        assert!(tx.all_acked());
+        assert_eq!(rx.delivered_bytes(), PACKETS * 1000);
+
+        // Both sides observed the negotiation outcome as a typed event.
+        let expected = ServerPolicy::default().negotiate(plan.profile.caps());
+        assert_eq!(tx.negotiated(), Some(expected));
+        assert!(matches!(
+            tx.poll_event(),
+            Some(SessionEvent::Connected { negotiated }) if negotiated == expected
+        ));
+        let rx_events = rx.events().drain();
+        assert!(rx_events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Connected { .. })));
+        let delivered: Vec<u64> = rx_events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Delivered { bytes } => Some(*bytes),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(delivered.iter().sum::<u64>(), PACKETS * 1000);
+        // Nothing polled mid-run, so every delivery coalesced into the one
+        // event at the queue tail — the queue stays O(1), not O(ADUs).
+        assert_eq!(delivered.len(), 1, "adjacent deliveries coalesce");
+    }
+
+    #[test]
+    fn malformed_capability_offer_surfaces_as_rejected() {
+        let plan = ConnectionPlan::new(Profile::tfrc());
+        let mut rx = Session::receiver(0, 1, 0, &plan);
+        rx.start(SimTime::ZERO);
+
+        // A SYN whose reliability wire code (first capability byte after
+        // the type + timestamp) is garbage.
+        let mut syn = QtpPacket::Syn {
+            ts_nanos: 7,
+            offered: CapabilitySet::qtp_light(),
+        }
+        .encode();
+        syn[9] = 0xEE;
+        rx.handle_input(SimTime::ZERO, 64, &syn);
+        assert_eq!(
+            rx.poll_event(),
+            Some(SessionEvent::Rejected {
+                error: CapsError::BadReliability(0xEE)
+            })
+        );
+        // Nothing was negotiated and no SYNACK went out.
+        assert_eq!(rx.negotiated(), None);
+        assert!(rx.poll_transmit().is_none());
+
+        // Garbage that is not a capability problem stays silent.
+        rx.handle_input(SimTime::ZERO, 64, &[0xFF, 1, 2, 3]);
+        assert_eq!(rx.poll_event(), None);
+    }
+
+    #[test]
+    fn close_emits_closed_and_ignores_further_input() {
+        let plan = ConnectionPlan::new(Profile::qtp_light());
+        let mut tx = Session::sender(0, 1, &plan);
+        tx.start(SimTime::ZERO);
+        assert!(tx.poll_transmit().is_some(), "SYN emitted on start");
+        tx.close();
+        assert!(matches!(tx.poll_event(), Some(SessionEvent::Closed)));
+        assert!(tx.is_closed());
+        let syn_ack = QtpPacket::SynAck {
+            ts_echo_nanos: 0,
+            chosen: CapabilitySet::qtp_light(),
+        }
+        .encode();
+        tx.handle_input(SimTime::from_millis(1), 64, &syn_ack);
+        assert_eq!(tx.negotiated(), None, "input after close is ignored");
+        assert_eq!(tx.poll_timeout(), None, "timers cleared on close");
+    }
+
+    #[test]
+    fn sim_backend_runs_plans_to_completion() {
+        let plans = [
+            ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+                .label("af")
+                .finite(15),
+            ConnectionPlan::new(Profile::qtp_light())
+                .label("light")
+                .finite(15),
+        ];
+        let mut backend = SimBackend::isolated(Rate::from_mbps(10), Duration::from_millis(5), 0.0);
+        let outcomes = backend.run(&plans).unwrap();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].label, "af");
+        for o in &outcomes {
+            assert!(o.completion_s.is_some(), "{} completed", o.label);
+            assert!(o.negotiated.is_some(), "{} negotiated", o.label);
+            assert!(o.goodput_bps > 0.0);
+        }
+        assert_eq!(outcomes[0].delivered_bytes, 15 * 1000, "reliable delivery");
+        // Determinism: the same backend and plans reproduce the outcomes.
+        let again = backend.run(&plans).unwrap();
+        assert_eq!(outcomes[0].completion_s, again[0].completion_s);
+        assert_eq!(outcomes[1].goodput_bps, again[1].goodput_bps);
+    }
+
+    #[test]
+    fn downgraded_connection_still_completes_under_loss() {
+        // Offer Full reliability to a receiver that refuses reliability:
+        // the negotiated mode is None, nothing is ever retransmitted, and
+        // completion must therefore be judged by the *negotiated* mode
+        // (backlog transmitted), not the offer (full delivery, which loss
+        // makes unreachable).
+        let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+            .label("downgraded")
+            .finite(30)
+            .policy(ServerPolicy {
+                allow_reliability: false,
+                ..ServerPolicy::default()
+            });
+        let mut backend =
+            SimBackend::isolated(Rate::from_mbps(10), Duration::from_millis(10), 0.05)
+                .horizon(Duration::from_secs(20));
+        let o = &backend.run(std::slice::from_ref(&plan)).unwrap()[0];
+        let negotiated = o.negotiated.expect("handshake completed");
+        assert_eq!(negotiated.reliability, ReliabilityMode::None, "downgraded");
+        assert!(
+            o.completion_s.is_some(),
+            "downgraded connection completes once its backlog is transmitted"
+        );
+        // 5% loss: with reliability refused, full delivery is (almost
+        // surely) impossible — which is exactly why the offer must not be
+        // the completion criterion.
+        assert_eq!(o.tx.tx_retransmissions, 0);
+    }
+
+    #[test]
+    fn ttl_expiry_surfaces_as_session_events() {
+        // A TTL so tight on a rate so slow that some backlog must expire.
+        let plan =
+            ConnectionPlan::new(Profile::qtp_light_partial(Duration::from_millis(30)).unwrap())
+                .app(AppModel::cbr(Rate::from_kbps(800)))
+                .label("ttl");
+        let mut backend =
+            SimBackend::isolated(Rate::from_kbps(100), Duration::from_millis(40), 0.05)
+                .horizon(Duration::from_secs(10));
+        let outcomes = backend.run(std::slice::from_ref(&plan)).unwrap();
+        let expired: u64 = outcomes[0]
+            .tx_events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::TtlExpired { packets } => Some(*packets),
+                _ => None,
+            })
+            .sum();
+        assert!(expired > 0, "stale ADUs abandoned under TTL reliability");
+        assert_eq!(expired, outcomes[0].tx.tx_abandoned);
+    }
+}

@@ -16,10 +16,8 @@
 
 use crate::bufext::{Buf, BufMut};
 use qtp_sack::{ReliabilityMode, SeqRange};
-use qtp_simnet::time::Rate;
-use std::time::Duration;
 
-use crate::caps::{CapabilitySet, CcKind, FeedbackMode};
+use crate::caps::{self, CapabilitySet, CapsError, CcKind, FeedbackMode};
 
 /// Assumed IP-level overhead added to every QTP packet's wire size.
 pub const IP_OVERHEAD: u32 = 20;
@@ -78,7 +76,9 @@ pub enum QtpPacket {
 pub enum WireError {
     Truncated,
     BadType(u8),
-    BadCapability,
+    /// A capability field failed to decode; carries the axis and the
+    /// offending wire code (see [`CapsError`]).
+    BadCapability(CapsError),
     BadBlockCount(u8),
     BadBlock,
 }
@@ -113,31 +113,25 @@ fn get_caps(buf: &mut &[u8]) -> Result<CapabilitySet, WireError> {
     }
     let rel_code = buf.get_u8();
     let rel_param = buf.get_u64();
-    let reliability = match rel_code {
-        0 => ReliabilityMode::None,
-        1 => ReliabilityMode::Full,
-        2 => ReliabilityMode::PartialTtl(Duration::from_micros(rel_param)),
-        3 => ReliabilityMode::PartialRetx(rel_param as u32),
-        _ => return Err(WireError::BadCapability),
-    };
-    let feedback = FeedbackMode::from_wire(buf.get_u8()).ok_or(WireError::BadCapability)?;
+    let reliability =
+        caps::reliability_from_wire(rel_code, rel_param).map_err(WireError::BadCapability)?;
+    let feedback = FeedbackMode::from_wire(buf.get_u8()).map_err(WireError::BadCapability)?;
     let cc_code = buf.get_u8();
     let cc_param = buf.get_u64();
-    let cc = match cc_code {
-        0 => CcKind::Tfrc,
-        1 => CcKind::Gtfrc {
-            target: Rate::from_bps(cc_param),
-        },
-        2 => CcKind::Fixed {
-            rate: Rate::from_bps(cc_param),
-        },
-        _ => return Err(WireError::BadCapability),
-    };
+    let cc = caps::cc_from_wire(cc_code, cc_param).map_err(WireError::BadCapability)?;
     Ok(CapabilitySet {
         reliability,
         feedback,
         cc,
     })
+}
+
+/// Whether a header's packet type carries a capability set (SYN/SYNACK) —
+/// the only packets whose decode can fail with
+/// [`WireError::BadCapability`]. Lets drivers skip a speculative decode of
+/// the (much more frequent) data and feedback traffic.
+pub fn carries_capabilities(header: &[u8]) -> bool {
+    matches!(header.first(), Some(&T_SYN) | Some(&T_SYNACK))
 }
 
 impl QtpPacket {
@@ -303,6 +297,8 @@ pub fn ppb_to_p(ppb: u32) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use qtp_simnet::time::Rate;
+    use std::time::Duration;
 
     fn roundtrip(pkt: QtpPacket) {
         let bytes = pkt.encode();

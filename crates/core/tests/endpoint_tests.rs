@@ -1,5 +1,6 @@
 //! End-to-end tests of the composed QTP endpoints over simulated networks.
 
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile};
 use qtp_core::*;
 use qtp_simnet::prelude::*;
 use qtp_simnet::sim::Simulator;
@@ -42,13 +43,12 @@ fn handshake_negotiates_offered_profile() {
         QueueConfig::DropTailPkts(100),
         1,
     );
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         s,
         r,
         "conn",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     sim.run_until(SimTime::from_secs(2));
     // Data flowed, so the handshake happened.
@@ -65,13 +65,12 @@ fn loss_free_path_ramps_to_fill_bottleneck() {
         QueueConfig::DropTailPkts(100),
         2,
     );
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         s,
         r,
         "tfrc",
-        qtp_standard_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::tfrc()),
     );
     sim.run_until(SimTime::from_secs(30));
     let bps = goodput_bps(&sim, h.data_flow, 30);
@@ -92,13 +91,12 @@ fn tfrc_rate_tracks_equation_under_bernoulli_loss() {
         QueueConfig::DropTailPkts(1000),
         3,
     );
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         s,
         r,
         "tfrc",
-        qtp_standard_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::tfrc()),
     );
     sim.run_until(SimTime::from_secs(60));
     let measured = goodput_bps(&sim, h.data_flow, 60);
@@ -115,7 +113,7 @@ fn tfrc_rate_tracks_equation_under_bernoulli_loss() {
 fn qtplight_matches_standard_tfrc_rate() {
     // The E4 claim: moving the estimation to the sender does not change the
     // rate behaviour materially.
-    fn run(cfg: QtpSenderConfig, seed: u64) -> f64 {
+    fn run(profile: Profile, seed: u64) -> f64 {
         let (mut sim, s, r) = two_hosts(
             Rate::from_mbps(50),
             Duration::from_millis(30),
@@ -123,12 +121,12 @@ fn qtplight_matches_standard_tfrc_rate() {
             QueueConfig::DropTailPkts(1000),
             seed,
         );
-        let h = attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+        let h = attach_pair(&mut sim, s, r, "x", &ConnectionPlan::new(profile));
         sim.run_until(SimTime::from_secs(60));
         goodput_bps(&sim, h.data_flow, 60)
     }
-    let standard = run(qtp_standard_sender(), 4);
-    let light = run(qtp_light_sender(), 4);
+    let standard = run(Profile::tfrc(), 4);
+    let light = run(Profile::qtp_light(), 4);
     let ratio = light / standard;
     assert!(
         (0.6..1.67).contains(&ratio),
@@ -145,9 +143,8 @@ fn qtp_af_full_reliability_delivers_everything() {
         QueueConfig::DropTailPkts(200),
         5,
     );
-    let mut cfg = qtp_af_sender(Rate::from_mbps(1));
-    cfg.app = AppModel::Finite { packets: 1000 };
-    let h = attach_qtp(&mut sim, s, r, "af", cfg, QtpReceiverConfig::default());
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(1))).finite(1000);
+    let h = attach_pair(&mut sim, s, r, "af", &plan);
     sim.run_until(SimTime::from_secs(120));
     assert_eq!(
         sim.stats().flow(h.data_flow).bytes_app_delivered,
@@ -167,9 +164,10 @@ fn partial_ttl_abandons_stale_data_and_keeps_flowing() {
         6,
     );
     // TTL shorter than a retransmission round trip: most losses expire.
-    let mut cfg = qtp_light_partial_sender(Duration::from_millis(50));
-    cfg.app = AppModel::Greedy;
-    let h = attach_qtp(&mut sim, s, r, "pttl", cfg, QtpReceiverConfig::default());
+    let plan = ConnectionPlan::new(
+        Profile::qtp_light_partial(Duration::from_millis(50)).expect("nonzero TTL"),
+    );
+    let h = attach_pair(&mut sim, s, r, "pttl", &plan);
     sim.run_until(SimTime::from_secs(30));
     let d = h.tx.snapshot();
     assert!(d.tx_abandoned > 0, "stale losses must be abandoned");
@@ -185,7 +183,7 @@ fn partial_ttl_abandons_stale_data_and_keeps_flowing() {
 fn selfish_receiver_cheats_standard_tfrc_but_not_qtplight() {
     // E6: a receiver that divides its reported p by 10 inflates a standard
     // TFRC sender's rate; under QTPlight there is no p to falsify.
-    fn run(cfg: QtpSenderConfig, selfish: f64, seed: u64) -> f64 {
+    fn run(profile: Profile, selfish: f64, seed: u64) -> f64 {
         let (mut sim, s, r) = two_hosts(
             Rate::from_mbps(50),
             Duration::from_millis(30),
@@ -193,21 +191,18 @@ fn selfish_receiver_cheats_standard_tfrc_but_not_qtplight() {
             QueueConfig::DropTailPkts(1000),
             seed,
         );
-        let rcfg = QtpReceiverConfig {
-            selfish_factor: selfish,
-            ..QtpReceiverConfig::default()
-        };
-        let h = attach_qtp(&mut sim, s, r, "x", cfg, rcfg);
+        let plan = ConnectionPlan::new(profile).selfish_factor(selfish);
+        let h = attach_pair(&mut sim, s, r, "x", &plan);
         sim.run_until(SimTime::from_secs(60));
         // Selfishness inflates the *send* rate; measure at the network.
         sim.stats()
             .flow(h.data_flow)
             .throughput_bps(Duration::from_secs(60))
     }
-    let honest_std = run(qtp_standard_sender(), 1.0, 7);
-    let cheat_std = run(qtp_standard_sender(), 10.0, 7);
-    let honest_light = run(qtp_light_sender(), 1.0, 7);
-    let cheat_light = run(qtp_light_sender(), 10.0, 7);
+    let honest_std = run(Profile::tfrc(), 1.0, 7);
+    let cheat_std = run(Profile::tfrc(), 10.0, 7);
+    let honest_light = run(Profile::qtp_light(), 1.0, 7);
+    let cheat_light = run(Profile::qtp_light(), 10.0, 7);
     assert!(
         cheat_std > honest_std * 1.5,
         "standard TFRC must be cheatable: honest={honest_std:.0}, cheat={cheat_std:.0}"
@@ -222,7 +217,7 @@ fn selfish_receiver_cheats_standard_tfrc_but_not_qtplight() {
 #[test]
 fn qtplight_receiver_is_dramatically_cheaper() {
     // E5 in test form: ops/packet at the receiver.
-    fn run(cfg: QtpSenderConfig, seed: u64) -> (f64, usize) {
+    fn run(profile: Profile, seed: u64) -> (f64, usize) {
         let (mut sim, s, r) = two_hosts(
             Rate::from_mbps(10),
             Duration::from_millis(20),
@@ -230,15 +225,15 @@ fn qtplight_receiver_is_dramatically_cheaper() {
             QueueConfig::DropTailPkts(500),
             seed,
         );
-        let h = attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+        let h = attach_pair(&mut sim, s, r, "x", &ConnectionPlan::new(profile));
         sim.run_until(SimTime::from_secs(30));
         (
             h.rx.read(|d| d.rx_ops_per_packet()),
             h.rx.read(|d| d.rx_state_bytes_peak),
         )
     }
-    let (std_ops, std_state) = run(qtp_standard_sender(), 8);
-    let (light_ops, light_state) = run(qtp_light_sender(), 8);
+    let (std_ops, std_state) = run(Profile::tfrc(), 8);
+    let (light_ops, light_state) = run(Profile::qtp_light(), 8);
     assert!(
         std_ops > 2.0 * light_ops,
         "standard receiver ops/pkt {std_ops:.1} should dwarf QTPlight {light_ops:.1}"
@@ -258,15 +253,12 @@ fn server_policy_downgrade_is_respected_end_to_end() {
         QueueConfig::DropTailPkts(100),
         9,
     );
-    let rcfg = QtpReceiverConfig {
-        policy: ServerPolicy {
-            allow_sender_loss: false,
-            ..ServerPolicy::default()
-        },
-        ..QtpReceiverConfig::default()
-    };
     // Offer QTPlight; server refuses sender-side estimation.
-    let h = attach_qtp(&mut sim, s, r, "downgrade", qtp_light_sender(), rcfg);
+    let plan = ConnectionPlan::new(Profile::qtp_light()).policy(ServerPolicy {
+        allow_sender_loss: false,
+        ..ServerPolicy::default()
+    });
+    let h = attach_pair(&mut sim, s, r, "downgrade", &plan);
     sim.run_until(SimTime::from_secs(5));
     // The connection still works (data flows, feedback arrives with p).
     assert!(sim.stats().flow(h.data_flow).pkts_arrived > 50);
@@ -281,7 +273,7 @@ fn gtfrc_holds_target_under_loss_where_tfrc_collapses() {
     // Micro-version of E2/E3 without the AF network: pure Bernoulli loss.
     // gTFRC with a 2 Mbit/s target must hold it; plain TFRC collapses to
     // the equation rate.
-    fn run(cfg: QtpSenderConfig, seed: u64) -> f64 {
+    fn run(profile: Profile, seed: u64) -> f64 {
         let (mut sim, s, r) = two_hosts(
             Rate::from_mbps(10),
             Duration::from_millis(50),
@@ -289,14 +281,14 @@ fn gtfrc_holds_target_under_loss_where_tfrc_collapses() {
             QueueConfig::DropTailPkts(500),
             seed,
         );
-        let h = attach_qtp(&mut sim, s, r, "x", cfg, QtpReceiverConfig::default());
+        let h = attach_pair(&mut sim, s, r, "x", &ConnectionPlan::new(profile));
         sim.run_until(SimTime::from_secs(40));
         sim.stats()
             .flow(h.data_flow)
             .throughput_bps(Duration::from_secs(40))
     }
-    let tfrc = run(qtp_standard_sender(), 10);
-    let gtfrc = run(qtp_af_sender(Rate::from_mbps(2)), 10);
+    let tfrc = run(Profile::tfrc(), 10);
+    let gtfrc = run(Profile::qtp_af(Rate::from_mbps(2)), 10);
     assert!(
         tfrc < 1_500_000.0,
         "plain TFRC should collapse under 5% loss at 100ms RTT: {tfrc:.0}"
@@ -319,13 +311,12 @@ fn negotiated_mode_reported_by_handles() {
         QueueConfig::DropTailPkts(100),
         11,
     );
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         s,
         r,
         "clean",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     sim.run_until(SimTime::from_secs(10));
     assert_eq!(h.tx.read(|d| d.tx_retransmissions), 0);
@@ -347,13 +338,12 @@ fn deterministic_across_runs() {
             QueueConfig::DropTailPkts(100),
             42,
         );
-        let h = attach_qtp(
+        let h = attach_pair(
             &mut sim,
             s,
             r,
             "det",
-            qtp_light_sender(),
-            QtpReceiverConfig::default(),
+            &ConnectionPlan::new(Profile::qtp_light()),
         );
         sim.run_until(SimTime::from_secs(20));
         let f = sim.stats().flow(h.data_flow);

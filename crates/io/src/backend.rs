@@ -1,0 +1,316 @@
+//! Real-socket [`Backend`] bindings: the same [`ConnectionPlan`]s that run
+//! on the deterministic simulator (`qtp_core::session::SimBackend`) run
+//! here over actual UDP sockets on loopback — one blocking socket pair per
+//! connection ([`UdpBackend`]) or every connection multiplexed over a
+//! single socket pair ([`MuxBackend`]).
+//!
+//! Both backends mount [`Session`]s in the existing drivers (a `Session`
+//! implements the `Endpoint` seam), so the protocol behaviour is exactly
+//! the driver behaviour; what this module adds is plan wiring, a shared
+//! completion rule and outcome extraction. Times in the outcomes are
+//! wall-clock, so socket-backend reports are *not* byte-deterministic —
+//! the deterministic claims all live on the sim backend.
+
+use qtp_core::session::{Backend, ConnectionOutcome, ConnectionPlan, Session};
+use qtp_sack::ReliabilityMode;
+use std::io;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+use crate::driver::{annotate_side, UdpDriver};
+use crate::mux::{drive_mux_pair, Accepted, ConnId, MuxConfig, MuxDriver};
+
+/// Driver time slice used by both backends' event loops.
+const SLICE: Duration = Duration::from_micros(300);
+
+/// Client-side completion rule shared by the socket backends: a finite
+/// transfer is done when its backlog has been transmitted — and, when
+/// the [effective](ConnectionPlan::effective_reliability) reliability is
+/// `Full`, acknowledged. Keying on the negotiated mode (not the offer)
+/// matters: a policy-downgraded connection never retransmits, so one
+/// dropped datagram would leave `all_acked()` false forever and spin the
+/// loop to the deadline. Open-ended apps (greedy, CBR) run until the
+/// backend's deadline.
+fn tx_complete(plan: &ConnectionPlan, tx: &Session) -> bool {
+    let Some(packets) = plan.finite_packets() else {
+        return false;
+    };
+    let sent_all = tx.sent_new() >= packets;
+    if plan.effective_reliability(tx.negotiated()) == ReliabilityMode::Full {
+        sent_all && tx.all_acked()
+    } else {
+        sent_all
+    }
+}
+
+fn outcome(
+    label: String,
+    completion_s: Option<f64>,
+    horizon_s: f64,
+    tx: &Session,
+    rx: Option<&Session>,
+) -> ConnectionOutcome {
+    let delivered = rx.map(|r| r.delivered_bytes()).unwrap_or(0);
+    let elapsed = completion_s.unwrap_or(horizon_s);
+    ConnectionOutcome {
+        label,
+        negotiated: tx.negotiated(),
+        delivered_bytes: delivered,
+        completion_s,
+        goodput_bps: if elapsed > 0.0 {
+            delivered as f64 * 8.0 / elapsed
+        } else {
+            0.0
+        },
+        tx_events: tx.events().drain(),
+        rx_events: rx.map(|r| r.events().drain()).unwrap_or_default(),
+        tx: tx.probe().snapshot(),
+        rx: rx.map(|r| r.probe().snapshot()).unwrap_or_default(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// UdpBackend
+// ---------------------------------------------------------------------------
+
+/// One blocking UDP socket pair per connection, on 127.0.0.1 — the
+/// [`UdpDriver`] binding of the backend seam. All pairs are driven
+/// round-robin from one thread.
+#[derive(Debug, Clone)]
+pub struct UdpBackend {
+    /// Wall-clock bound for the whole run.
+    pub deadline: Duration,
+}
+
+impl UdpBackend {
+    /// A backend with the given wall-clock deadline.
+    pub fn new(deadline: Duration) -> UdpBackend {
+        UdpBackend { deadline }
+    }
+}
+
+impl Default for UdpBackend {
+    fn default() -> Self {
+        UdpBackend::new(Duration::from_secs(30))
+    }
+}
+
+impl Backend for UdpBackend {
+    fn name(&self) -> &'static str {
+        "udp"
+    }
+
+    fn run(&mut self, plans: &[ConnectionPlan]) -> io::Result<Vec<ConnectionOutcome>> {
+        // Data travels on flow 0, feedback on flow 1; each pair has its
+        // own sockets so the ids never collide across connections.
+        let mut pairs: Vec<(UdpDriver<Session>, UdpDriver<Session>)> = Vec::new();
+        for plan in plans {
+            let rx = UdpDriver::server(Session::receiver(0, 1, 0, plan), "127.0.0.1:0")?;
+            let peer = rx.local_addr()?;
+            let tx = UdpDriver::client(Session::sender(0, 1, plan), "127.0.0.1:0", peer)?;
+            pairs.push((tx, rx));
+        }
+
+        // Sweeps a pair is still driven after completing, so trailing
+        // in-flight datagrams (an unreliable flow's last packets, final
+        // feedback) drain before the pair stops being serviced. Without
+        // the skip, every completed pair would keep blocking in recv for
+        // up to 2×SLICE per sweep, throttling the still-active flows.
+        const DRAIN_SWEEPS: u32 = 3;
+        let start = Instant::now();
+        let mut completion: Vec<Option<f64>> = vec![None; plans.len()];
+        let mut drained: Vec<u32> = vec![0; plans.len()];
+        loop {
+            let mut all_done = true;
+            for (i, (tx, rx)) in pairs.iter_mut().enumerate() {
+                if completion[i].is_some() {
+                    if drained[i] >= DRAIN_SWEEPS {
+                        continue;
+                    }
+                    drained[i] += 1;
+                }
+                tx.drive_once(SLICE)
+                    .map_err(|e| annotate_side("sender side", e))?;
+                rx.drive_once(SLICE)
+                    .map_err(|e| annotate_side("receiver side", e))?;
+                if completion[i].is_none() && tx_complete(&plans[i], tx.endpoint()) {
+                    completion[i] = Some(start.elapsed().as_secs_f64());
+                }
+                // "Done" means completed AND drained — the last pair to
+                // complete gets its drain sweeps too.
+                if completion[i].is_none() || drained[i] < DRAIN_SWEEPS {
+                    all_done = false;
+                }
+            }
+            if all_done || start.elapsed() > self.deadline {
+                break;
+            }
+        }
+
+        let horizon_s = self.deadline.as_secs_f64();
+        Ok(plans
+            .iter()
+            .zip(&pairs)
+            .enumerate()
+            .map(|(i, (plan, (tx, rx)))| {
+                outcome(
+                    plan.display_label(i),
+                    completion[i],
+                    horizon_s,
+                    tx.endpoint(),
+                    Some(rx.endpoint()),
+                )
+            })
+            .collect())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MuxBackend
+// ---------------------------------------------------------------------------
+
+/// Every connection multiplexed over ONE client socket and ONE server
+/// socket — the [`MuxDriver`] binding of the backend seam. The server
+/// accepts each connection on its first frame; connection `i` owns data
+/// flow `2i` and feedback flow `2i + 1`.
+#[derive(Debug, Clone)]
+pub struct MuxBackend {
+    /// Wall-clock bound for the whole run.
+    pub deadline: Duration,
+    /// Mux tuning (the connection cap is raised to fit the plans).
+    pub mux: MuxConfig,
+}
+
+impl MuxBackend {
+    /// A backend with the given wall-clock deadline and default tuning.
+    pub fn new(deadline: Duration) -> MuxBackend {
+        MuxBackend {
+            deadline,
+            mux: MuxConfig::default(),
+        }
+    }
+}
+
+impl Default for MuxBackend {
+    fn default() -> Self {
+        MuxBackend::new(Duration::from_secs(60))
+    }
+}
+
+impl Backend for MuxBackend {
+    fn name(&self) -> &'static str {
+        "mux"
+    }
+
+    fn run(&mut self, plans: &[ConnectionPlan]) -> io::Result<Vec<ConnectionOutcome>> {
+        let mux_cfg = MuxConfig {
+            max_conns: (2 * plans.len()).max(self.mux.max_conns),
+            ..self.mux.clone()
+        };
+        let mut server: MuxDriver<Session> = MuxDriver::bind_with("127.0.0.1:0", mux_cfg.clone())?;
+        let accept_plans: Rc<Vec<ConnectionPlan>> = Rc::new(plans.to_vec());
+        server.set_acceptor(move |_, frame| {
+            if frame.flow % 2 != 0 {
+                return None;
+            }
+            let plan = accept_plans.get((frame.flow / 2) as usize)?;
+            Some(Accepted {
+                endpoint: Session::receiver(frame.flow, frame.flow + 1, 0, plan),
+                flows: vec![frame.flow, frame.flow + 1],
+            })
+        });
+        let server_addr = server.local_addr()?;
+
+        let mut client: MuxDriver<Session> = MuxDriver::bind_with("127.0.0.1:0", mux_cfg)?;
+        let mut conns: Vec<ConnId> = Vec::with_capacity(plans.len());
+        for (i, plan) in plans.iter().enumerate() {
+            let data = 2 * i as u32;
+            conns.push(client.add_connection(
+                server_addr,
+                vec![data, data + 1],
+                Session::sender(data, 0, plan),
+            )?);
+        }
+
+        let start = Instant::now();
+        let mut completion: Vec<Option<f64>> = vec![None; plans.len()];
+        drive_mux_pair(&mut client, &mut server, self.deadline, |c, _| {
+            let mut all_done = true;
+            for (i, (plan, id)) in plans.iter().zip(&conns).enumerate() {
+                if completion[i].is_some() {
+                    continue;
+                }
+                let tx = c.endpoint(*id).expect("client conn is live");
+                if tx_complete(plan, tx) {
+                    completion[i] = Some(start.elapsed().as_secs_f64());
+                } else {
+                    all_done = false;
+                }
+            }
+            all_done
+        })?;
+
+        let client_addr = client.local_addr()?;
+        let horizon_s = self.deadline.as_secs_f64();
+        Ok(plans
+            .iter()
+            .zip(&conns)
+            .enumerate()
+            .map(|(i, (plan, id))| {
+                let tx = client.endpoint(*id).expect("client conn is live");
+                let rx = server
+                    .route(client_addr, 2 * i as u32)
+                    .and_then(|rid| server.endpoint(rid));
+                outcome(plan.display_label(i), completion[i], horizon_s, tx, rx)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qtp_core::session::Profile;
+    use qtp_core::{CapabilitySet, ServerPolicy};
+    use qtp_simnet::time::Rate;
+
+    fn mixed_plans(packets: u64) -> Vec<ConnectionPlan> {
+        vec![
+            ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+                .label("af")
+                .finite(packets),
+            ConnectionPlan::new(Profile::qtp_light())
+                .label("light")
+                .finite(packets),
+        ]
+    }
+
+    #[test]
+    fn udp_backend_runs_mixed_plans() {
+        let plans = mixed_plans(12);
+        let outcomes = UdpBackend::default().run(&plans).expect("udp run");
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.completion_s.is_some(), "{} completed", o.label);
+        }
+        // The reliable connection delivered everything; negotiation
+        // matches the pure policy function.
+        assert_eq!(outcomes[0].delivered_bytes, 12 * 1000);
+        assert_eq!(
+            outcomes[0].negotiated,
+            Some(ServerPolicy::default().negotiate(CapabilitySet::qtp_af(Rate::from_kbps(500))))
+        );
+    }
+
+    #[test]
+    fn mux_backend_runs_mixed_plans_over_one_socket_pair() {
+        let plans = mixed_plans(10);
+        let outcomes = MuxBackend::default().run(&plans).expect("mux run");
+        assert_eq!(outcomes.len(), 2);
+        for o in &outcomes {
+            assert!(o.completion_s.is_some(), "{} completed", o.label);
+        }
+        assert_eq!(outcomes[0].delivered_bytes, 10 * 1000);
+        assert!(outcomes[1].negotiated.is_some());
+    }
+}

@@ -54,11 +54,13 @@
 //! assert_eq!(rx.delivered_bytes(), 20 * 1000);
 //! ```
 
+pub mod backend;
 pub mod clock;
 pub mod driver;
 pub mod frame;
 pub mod mux;
 
+pub use backend::{MuxBackend, UdpBackend};
 pub use clock::WallClock;
 pub use driver::{drive_pair, DriverStats, UdpDriver};
 pub use frame::{Frame, FrameError};

@@ -4,9 +4,9 @@
 //! *does* (same negotiated capabilities, same delivered ADU sequence) for
 //! a loss-free run.
 
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile};
 use qtp_core::{
-    attach_qtp, qtp_af_sender, qtp_light_sender, AppModel, CapabilitySet, Probe, QtpReceiver,
-    QtpReceiverConfig, QtpSender, QtpSenderConfig, ServerPolicy,
+    CapabilitySet, Probe, QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, ServerPolicy,
 };
 use qtp_io::{drive_pair, UdpDriver};
 use qtp_simnet::prelude::*;
@@ -43,8 +43,9 @@ fn run_loopback(
 
 #[test]
 fn reliable_transfer_over_loopback_completes() {
-    let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-    cfg.app = AppModel::Finite { packets: PACKETS };
+    let cfg = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+        .finite(PACKETS)
+        .sender_config();
     let (tx, rx) = run_loopback(cfg.clone(), true);
 
     // Handshake: both ends converged on the same negotiated profile, and it
@@ -71,8 +72,8 @@ fn reliable_transfer_over_loopback_completes() {
 /// negotiate the same `CapabilitySet` and deliver the same ADU sequence.
 #[test]
 fn sim_and_socket_backends_agree_loss_free() {
-    let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-    cfg.app = AppModel::Finite { packets: PACKETS };
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500))).finite(PACKETS);
+    let cfg = plan.sender_config();
 
     // --- simulator backend, loss-free path -----------------------------
     let mut b = NetworkBuilder::new();
@@ -84,14 +85,7 @@ fn sim_and_socket_backends_agree_loss_free() {
         LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(5)),
     );
     let mut sim = b.build(7);
-    let h = attach_qtp(
-        &mut sim,
-        s,
-        r,
-        "diff",
-        cfg.clone(),
-        QtpReceiverConfig::default(),
-    );
+    let h = attach_pair(&mut sim, s, r, "diff", &plan);
     sim.run_until(SimTime::from_secs(60));
     let sim_delivered_bytes = sim.stats().flow(h.data_flow).bytes_app_delivered;
     let sim_delivered_pkts = sim_delivered_bytes / PAYLOAD;
@@ -120,8 +114,9 @@ fn qtp_light_negotiates_identically_on_both_backends() {
     // (SenderLoss feedback, no reliability). Negotiation is the part that
     // must agree exactly; unreliable delivery counts are not compared
     // (raw UDP makes no ordering/loss promises).
-    let mut cfg = qtp_light_sender();
-    cfg.app = AppModel::Finite { packets: PACKETS };
+    let cfg = ConnectionPlan::new(Profile::qtp_light())
+        .finite(PACKETS)
+        .sender_config();
     let offered: CapabilitySet = cfg.offered;
 
     let (tx, rx) = run_loopback(cfg, false);

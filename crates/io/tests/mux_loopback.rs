@@ -3,9 +3,8 @@
 //! capability negotiation and fully-reliable transfer, with server-side
 //! connections created on first frame and torn down/reaped afterwards.
 
-use qtp_core::{
-    qtp_af_sender, AppModel, Probe, QtpReceiver, QtpReceiverConfig, QtpSender, ServerPolicy,
-};
+use qtp_core::session::{ConnectionPlan, Profile};
+use qtp_core::{CapabilitySet, Probe, QtpReceiver, QtpReceiverConfig, QtpSender, ServerPolicy};
 use qtp_io::mux::{drive_mux_pair, Accepted, ConnId, MuxDriver};
 use qtp_simnet::prelude::*;
 use std::time::Duration;
@@ -48,8 +47,9 @@ fn one_socket_carries_64_reliable_flows() {
     let mut conns: Vec<ConnId> = Vec::new();
     for i in 0..FLOWS {
         let (data, fb) = flow_pair(i);
-        let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-        cfg.app = AppModel::Finite { packets: PACKETS };
+        let cfg = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+            .finite(PACKETS)
+            .sender_config();
         let sender = QtpSender::new(data, 0, cfg, Probe::new());
         conns.push(
             client
@@ -76,7 +76,7 @@ fn one_socket_carries_64_reliable_flows() {
 
     // Every connection negotiated the same profile the pure policy yields,
     // and every byte of every flow was delivered exactly once.
-    let expected = ServerPolicy::default().negotiate(qtp_af_sender(Rate::from_kbps(500)).offered);
+    let expected = ServerPolicy::default().negotiate(CapabilitySet::qtp_af(Rate::from_kbps(500)));
     assert_eq!(
         server.conn_count(),
         FLOWS as usize,
@@ -140,8 +140,9 @@ fn mux_isolates_flows_from_foreign_traffic() {
     let server_addr = server.local_addr().unwrap();
 
     let mut client: MuxDriver<QtpSender> = MuxDriver::bind("127.0.0.1:0").unwrap();
-    let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-    cfg.app = AppModel::Finite { packets: PACKETS };
+    let cfg = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+        .finite(PACKETS)
+        .sender_config();
     let conn = client
         .add_connection(
             server_addr,

@@ -1,166 +1,82 @@
 //! Many QTP flows at once — the versatile-transport thesis at scale.
 //!
-//! Part 1 runs 64 concurrent fully-reliable QTP connections between ONE
-//! client UDP socket and ONE server UDP socket on loopback, using the
-//! connection multiplexer (`qtp_io::mux`): the server accepts each
-//! connection on its first frame, routes datagrams by `(peer, flow id)`,
-//! and reaps the connections once they fall idle.
+//! The same 64 mixed-capability `ConnectionPlan`s (reliable gTFRC, light,
+//! TTL-partial, plain TFRC) run twice through the one shared helper
+//! (`qtp::app::run_and_report`):
 //!
-//! Part 2 runs a mixed-capability 32-flow dumbbell in the deterministic
-//! simulator and reports per-profile goodput plus the Jain fairness index
-//! (the full parameterised scenario family, up to 1000 flows, lives in
-//! `qtp-bench`: `cargo run --release -p qtp-bench --bin manyflow`).
+//! * on the **mux backend** — 64 concurrent connections between ONE
+//!   client UDP socket and ONE server UDP socket on loopback, the server
+//!   accepting each connection on its first frame and routing datagrams
+//!   by `(peer, flow id)`;
+//! * on the **sim backend** — the same plans over a shared-bottleneck
+//!   dumbbell in the deterministic simulator (the full parameterised
+//!   scenario family, up to 1000 flows, lives in `qtp-bench`:
+//!   `cargo run --release -p qtp-bench --bin manyflow`).
 //!
 //! ```text
 //! cargo run --example many_flows
 //! ```
 
+use qtp::app::run_and_report;
 use qtp::prelude::*;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-const FLOWS: u32 = 64;
+const FLOWS: usize = 64;
 const PACKETS: u64 = 15;
 const PAYLOAD: u64 = 1000;
 
+/// Cycle the capability space: reliable gTFRC, light, TTL-partial, plain
+/// TFRC — the same mixed workload for every backend.
+fn plans() -> Vec<ConnectionPlan> {
+    (0..FLOWS)
+        .map(|i| {
+            let profile = match i % 4 {
+                0 => Profile::qtp_af(Rate::from_kbps(300)),
+                1 => Profile::qtp_light(),
+                2 => Profile::qtp_light_partial(Duration::from_millis(500)).expect("nonzero TTL"),
+                _ => Profile::tfrc(),
+            };
+            ConnectionPlan::new(profile)
+                .label(format!("flow{i:02}"))
+                .finite(PACKETS)
+        })
+        .collect()
+}
+
 fn main() -> std::io::Result<()> {
-    mux_part()?;
-    sim_part();
-    Ok(())
-}
+    let plans = plans();
 
-/// One socket pair, 64 reliable connections, accept-on-first-frame.
-fn mux_part() -> std::io::Result<()> {
-    let mut server: MuxDriver<QtpReceiver> = MuxDriver::bind("127.0.0.1:0")?;
-    server.set_acceptor(|peer, frame| {
-        // Convention: connection i owns data flow 2i and feedback 2i+1.
-        if frame.flow % 2 != 0 {
-            return None;
-        }
-        let _ = peer; // routing is per (peer, flow); any peer may connect
-        Some(Accepted {
-            endpoint: QtpReceiver::new(
-                frame.flow,
-                frame.flow + 1,
-                0,
-                QtpReceiverConfig::default(),
-                Probe::new(),
-            ),
-            flows: vec![frame.flow, frame.flow + 1],
-        })
-    });
-    let server_addr = server.local_addr()?;
-    println!("server mux listening on {server_addr}");
-
-    let mut client: MuxDriver<QtpSender> = MuxDriver::bind("127.0.0.1:0")?;
-    let mut conns = Vec::new();
-    for i in 0..FLOWS {
-        let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-        cfg.app = AppModel::Finite { packets: PACKETS };
-        let data = 2 * i;
-        let sender = QtpSender::new(data, 0, cfg, Probe::new());
-        conns.push(client.add_connection(server_addr, vec![data, data + 1], sender)?);
-    }
-    println!(
-        "client mux on {} carrying {} connections",
-        client.local_addr()?,
-        client.conn_count()
+    // One socket pair, 64 connections, accept-on-first-frame.
+    println!("{FLOWS} mixed-profile connections over ONE socket pair (mux backend)\n");
+    let mut mux = MuxBackend::default();
+    let mux_outcomes = run_and_report(&mut mux, &plans)?;
+    assert!(
+        mux_outcomes.iter().all(|o| o.completion_s.is_some()),
+        "64-flow mux transfer timed out"
     );
-
-    let t0 = Instant::now();
-    let done = drive_mux_pair(&mut client, &mut server, Duration::from_secs(60), |c, _| {
-        conns.iter().all(|id| {
-            let tx = c.endpoint(*id).unwrap();
-            tx.sent_new() == PACKETS && tx.all_acked()
-        })
-    })?;
-    assert!(done, "64-flow transfer timed out");
-    let elapsed = t0.elapsed();
-
-    let delivered: u64 = server
-        .conn_ids()
+    // Reliable flows delivered everything, over real sockets.
+    let af_delivered: u64 = mux_outcomes
         .iter()
-        .map(|id| server.conn_stats(*id).unwrap().delivered_bytes)
+        .step_by(4)
+        .map(|o| o.delivered_bytes)
         .sum();
-    println!(
-        "{} connections negotiated + delivered {} bytes reliably in {:.1} ms",
-        server.conn_count(),
-        delivered,
-        elapsed.as_secs_f64() * 1e3,
-    );
-    println!(
-        "server socket: {} datagrams in / {} out, {} accepts, {} timers",
-        server.stats().datagrams_received,
-        server.stats().datagrams_sent,
-        server.stats().conns_accepted,
-        server.stats().timers_fired,
-    );
-    assert_eq!(delivered, u64::from(FLOWS) * PACKETS * PAYLOAD);
+    assert_eq!(af_delivered, (FLOWS as u64 / 4) * PACKETS * PAYLOAD);
 
-    // Lifecycle tail: once idle, the reaper clears all server state.
-    std::thread::sleep(Duration::from_millis(20));
-    let reaped = server.reap_stale(Duration::from_millis(10));
-    println!(
-        "reaped {} idle connections; {} remain",
-        reaped.len(),
-        server.conn_count()
-    );
-    assert_eq!(server.conn_count(), 0);
-    Ok(())
-}
+    // The same plans across a simulated shared bottleneck.
+    println!("\nsame plans over a shared 10 Mbit/s dumbbell (sim backend)\n");
+    let mut sim = SimBackend::dumbbell(DumbbellConfig {
+        bottleneck_rate: Rate::from_mbps(10),
+        bottleneck_queue: QueueConfig::DropTailPkts(FLOWS.max(50)),
+        ..DumbbellConfig::default()
+    })
+    .horizon(Duration::from_secs(60));
+    let sim_outcomes = run_and_report(&mut sim, &plans)?;
+    assert!(sim_outcomes.iter().map(|o| o.delivered_bytes).sum::<u64>() > 0);
 
-/// Mixed-profile dumbbell in the simulator, with a fairness headline.
-fn sim_part() {
-    const N: usize = 32;
-    let (mut sim, net) = Dumbbell::build(
-        &DumbbellConfig {
-            pairs: N,
-            bottleneck_rate: Rate::from_mbps(10),
-            bottleneck_queue: QueueConfig::DropTailPkts(N.max(50)),
-            ..DumbbellConfig::default()
-        },
-        42,
-    );
-    let mut handles = Vec::new();
-    for i in 0..N {
-        // Cycle the capability space: reliable gTFRC, light, TTL-partial,
-        // plain TFRC — all sharing one bottleneck.
-        let mut cfg = match i % 4 {
-            0 => qtp_af_sender(Rate::from_kbps(300)),
-            1 => qtp_light_sender(),
-            2 => qtp_light_partial_sender(Duration::from_millis(500)),
-            _ => qtp_standard_sender(),
-        };
-        cfg.app = AppModel::Finite { packets: 40 };
-        handles.push(attach_qtp(
-            &mut sim,
-            net.senders[i],
-            net.receivers[i],
-            &format!("flow{i:02}"),
-            cfg,
-            QtpReceiverConfig::default(),
-        ));
+    // Whatever carried the bytes, the granted service per flow is the same.
+    for (a, b) in mux_outcomes.iter().zip(&sim_outcomes) {
+        assert_eq!(a.negotiated, b.negotiated, "{}: same service", a.label);
     }
-    let horizon = SimTime::from_secs(30);
-    sim.run_until(horizon);
-
-    let goodputs: Vec<f64> = handles
-        .iter()
-        .map(|h| {
-            sim.stats()
-                .flow(h.data_flow)
-                .goodput_bps(Duration::from_secs(30))
-        })
-        .collect();
-    let delivered: u64 = handles
-        .iter()
-        .map(|h| sim.stats().flow(h.data_flow).bytes_app_delivered)
-        .sum();
-    println!(
-        "\nsim dumbbell: {} mixed-profile flows delivered {} bytes, jain fairness {:.4}",
-        N,
-        delivered,
-        jain_index(&goodputs),
-    );
-    assert!(delivered > 0);
-    println!("OK: many-flow mux + sim scenario family complete");
+    println!("\nOK: many-flow mux + sim scenario family complete");
+    Ok(())
 }

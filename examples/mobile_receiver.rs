@@ -12,7 +12,7 @@ use std::time::Duration;
 
 const SECS: u64 = 30;
 
-fn run(light: bool, loss_p: f64) -> (QtpHandles, f64) {
+fn run(light: bool, loss_p: f64) -> (PairHandles, f64) {
     let mut b = NetworkBuilder::new();
     let server = b.host();
     let mobile = b.host();
@@ -30,18 +30,17 @@ fn run(light: bool, loss_p: f64) -> (QtpHandles, f64) {
             .with_loss(LossModel::bernoulli(loss_p)),
     );
     let mut sim = b.build(99);
-    let cfg = if light {
-        qtp_light_sender()
+    let profile = if light {
+        Profile::qtp_light()
     } else {
-        qtp_standard_sender()
+        Profile::tfrc()
     };
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         server,
         mobile,
         "video",
-        cfg,
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(profile),
     );
     sim.run_until(SimTime::from_secs(SECS));
     let goodput = sim

@@ -27,13 +27,12 @@ fn run(use_qtpaf: bool, g: Rate) -> Vec<f64> {
 
     // Pair 0: the flow under test, with an edge conditioner for g.
     let flow = if use_qtpaf {
-        attach_qtp(
+        attach_pair(
             &mut sim,
             net.senders[0],
             net.receivers[0],
             "guaranteed",
-            qtp_af_sender(g),
-            QtpReceiverConfig::default(),
+            &ConnectionPlan::new(Profile::qtp_af(g)),
         )
         .data_flow
     } else {

@@ -1,69 +1,50 @@
-//! Quickstart: open a QTP connection over a simulated lossy path and watch
-//! the negotiated transport work.
+//! Quickstart: describe a QTP connection once, run it on two different
+//! backends — the deterministic simulator and real UDP sockets — with the
+//! *same* application code (`qtp::app::run_and_report`).
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
+use qtp::app::run_and_report;
 use qtp::prelude::*;
 use std::time::Duration;
 
-fn main() {
-    // Build a simple path: server --(10 Mbit/s, 40 ms RTT, 1% loss)-- client.
-    let mut b = NetworkBuilder::new();
-    let server = b.host();
-    let client = b.host();
-    b.duplex_link(
-        server,
-        client,
-        LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20))
-            .with_loss(LossModel::bernoulli(0.01)),
-    );
-    let mut sim = b.build(42);
+fn main() -> std::io::Result<()> {
+    // The application's intent, backend-neutral: a QTPlight connection
+    // (sender-side loss estimation, light receiver) moving 200 packets,
+    // plus a fully-reliable QTPAF connection with a 500 kbit/s floor.
+    let plans = [
+        ConnectionPlan::new(Profile::qtp_light())
+            .label("stream")
+            .finite(200),
+        ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+            .label("bulk")
+            .finite(200),
+    ];
 
-    // Attach a QTPlight connection (the mobile-receiver profile) and run.
-    let h = attach_qtp(
-        &mut sim,
-        server,
-        client,
-        "stream",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
-    );
-    sim.set_sample_interval(Duration::from_secs(1));
-    sim.run_until(SimTime::from_secs(20));
+    // Backend 1: a simulated 10 Mbit/s, 40 ms RTT path with 1% loss.
+    println!("same plans, two backends\n");
+    let mut sim = SimBackend::isolated(Rate::from_mbps(10), Duration::from_millis(20), 0.01);
+    let sim_outcomes = run_and_report(&mut sim, &plans)?;
 
-    let f = sim.stats().flow(h.data_flow);
-    println!("QTPlight over a 10 Mbit/s, 40 ms RTT path with 1% loss");
-    println!("------------------------------------------------------");
-    println!(
-        "goodput:        {:.2} Mbit/s",
-        f.goodput_bps(Duration::from_secs(20)) / 1e6
-    );
-    println!(
-        "packets:        {} arrived, {} lost in the network",
-        f.pkts_arrived, f.pkts_dropped
-    );
-    println!(
-        "receiver load:  {:.1} ops/packet, peak state {} bytes",
-        h.rx.read(|d| d.rx_ops_per_packet()),
-        h.rx.read(|d| d.rx_state_bytes_peak)
-    );
-    println!(
-        "sender rtt est: {:.1} ms",
-        h.tx.read(|d| d.rtt_estimate_s) * 1e3
-    );
-    println!("\nthroughput per second (Mbit/s):");
-    for (i, bps) in f
-        .arrive_series_bps(Duration::from_secs(1))
-        .iter()
-        .enumerate()
-    {
-        println!(
-            "  t={:>2}s  {:>6.2}  {}",
-            i + 1,
-            bps / 1e6,
-            "#".repeat((bps / 4e5) as usize)
+    // Backend 2: real UDP sockets on loopback, blocking event loop.
+    println!();
+    let mut udp = UdpBackend::default();
+    let udp_outcomes = run_and_report(&mut udp, &plans)?;
+
+    // Negotiation is a pure function of offer × policy, so both backends
+    // granted the identical service.
+    for (a, b) in sim_outcomes.iter().zip(&udp_outcomes) {
+        assert_eq!(
+            a.negotiated, b.negotiated,
+            "{}: same service granted",
+            a.label
         );
     }
+    // The reliable connection delivered everything on both.
+    assert_eq!(sim_outcomes[1].delivered_bytes, 200 * 1000);
+    assert_eq!(udp_outcomes[1].delivered_bytes, 200 * 1000);
+    println!("\nOK: identical negotiated service and reliable delivery on both backends");
+    Ok(())
 }

@@ -29,16 +29,13 @@ fn run(light: bool, selfish_factor: f64) -> f64 {
         LinkConfig::new(Rate::from_mbps(50), Duration::from_millis(30)),
     );
     let mut sim = b.build(5);
-    let cfg = if light {
-        qtp_light_sender()
+    let profile = if light {
+        Profile::qtp_light()
     } else {
-        qtp_standard_sender()
+        Profile::tfrc()
     };
-    let rcfg = QtpReceiverConfig {
-        selfish_factor,
-        ..QtpReceiverConfig::default()
-    };
-    let h = attach_qtp(&mut sim, s, r, "x", cfg, rcfg);
+    let plan = ConnectionPlan::new(profile).selfish_factor(selfish_factor);
+    let h = attach_pair(&mut sim, s, r, "x", &plan);
     sim.run_until(SimTime::from_secs(SECS));
     sim.stats()
         .flow(h.data_flow)

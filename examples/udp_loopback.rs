@@ -1,16 +1,18 @@
 //! Run a QTP connection over *real* UDP sockets on loopback.
 //!
-//! The same `QtpSender`/`QtpReceiver` state machines that power the
-//! discrete-event experiments here negotiate a capability profile and
-//! complete a fully reliable transfer between two `std::net::UdpSocket`s
-//! on 127.0.0.1, driven by `qtp-io`'s blocking event loop:
+//! The same `ConnectionPlan` the simulator experiments use here
+//! negotiates a capability profile and completes a fully reliable
+//! transfer between two `std::net::UdpSocket`s on 127.0.0.1, driven by
+//! `qtp-io`'s blocking event loop behind the `UdpBackend` seam — through
+//! the same shared helper (`qtp::app::run_and_report`) as the quickstart
+//! and many-flows examples:
 //!
 //! ```text
 //! cargo run --example udp_loopback
 //! ```
 
+use qtp::app::run_and_report;
 use qtp::prelude::*;
-use std::time::{Duration, Instant};
 
 const PACKETS: u64 = 100;
 const PAYLOAD: u64 = 1000;
@@ -18,50 +20,31 @@ const PAYLOAD: u64 = 1000;
 fn main() -> std::io::Result<()> {
     // Offer the QTPAF profile (gTFRC with a 500 kbit/s floor, full
     // reliability, receiver-side loss estimation) and a finite backlog.
-    let mut cfg = qtp_af_sender(Rate::from_kbps(500));
-    cfg.app = AppModel::Finite { packets: PACKETS };
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_kbps(500)))
+        .label("af")
+        .finite(PACKETS);
 
-    // Receiver side: bind first so the sender knows where to SYN.
-    let receiver = QtpReceiver::new(0, 1, 0, QtpReceiverConfig::default(), Probe::new());
-    let mut rx = UdpDriver::server(receiver, "127.0.0.1:0")?;
-    let peer = rx.local_addr()?;
-    println!("receiver listening on {peer}");
+    let mut backend = UdpBackend::default();
+    let outcomes = run_and_report(&mut backend, std::slice::from_ref(&plan))?;
+    let o = &outcomes[0];
 
-    // Sender side. Keep a probe handle to read endpoint-internal
-    // measurements after the run, exactly as the simulator experiments do.
-    let tx_probe = Probe::new();
-    let sender = QtpSender::new(0, 1, cfg, tx_probe.clone());
-    let mut tx = UdpDriver::client(sender, "127.0.0.1:0", peer)?;
-    println!("sender bound on {}", tx.local_addr()?);
-
-    // Both ends in one thread: alternate short blocking slices until the
-    // transfer is complete (every ADU delivered, every ack seen).
-    let t0 = Instant::now();
-    let done = drive_pair(&mut tx, &mut rx, Duration::from_secs(30), |tx, rx| {
-        rx.endpoint().delivered_packets() >= PACKETS && tx.endpoint().all_acked()
-    })?;
-    assert!(done, "transfer timed out");
-    let elapsed = t0.elapsed();
-
-    let chosen = tx
-        .endpoint()
-        .negotiated()
+    assert!(o.completion_s.is_some(), "transfer timed out");
+    let chosen = o
+        .negotiated
         .expect("handshake completed, so a profile was chosen");
-    println!("negotiated profile: {chosen:?}");
+    println!("\nnegotiated profile: {chosen:?}");
     println!(
-        "delivered {} ADUs ({} bytes) in {:.1} ms",
-        rx.endpoint().delivered_packets(),
-        rx.delivered_bytes(),
-        elapsed.as_secs_f64() * 1e3,
+        "retransmissions: {}; rtt estimate: {:.3} ms; feedback pkts: {}",
+        o.tx.tx_retransmissions,
+        o.tx.rtt_estimate_s * 1e3,
+        o.rx.rx_feedback_sent,
     );
-    println!(
-        "datagrams: {} sent / {} feedback; retransmissions: {}; rtt estimate: {:.3} ms",
-        tx.stats().datagrams_sent,
-        rx.stats().datagrams_sent,
-        tx_probe.read(|d| d.tx_retransmissions),
-        tx_probe.read(|d| d.rtt_estimate_s) * 1e3,
-    );
-    assert_eq!(rx.delivered_bytes(), PACKETS * PAYLOAD);
+    assert_eq!(o.delivered_bytes, PACKETS * PAYLOAD);
+    // Typed events replace probe-poking for the application-visible facts.
+    assert!(o
+        .tx_events
+        .iter()
+        .any(|e| matches!(e, SessionEvent::Connected { .. })));
     println!("OK: reliable transfer over real UDP sockets complete");
     Ok(())
 }

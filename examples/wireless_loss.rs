@@ -51,13 +51,12 @@ fn main() {
 
     // QTPlight unreliable stream.
     let (mut sim, s, r) = path(11);
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         s,
         r,
         "light",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     sim.run_until(SimTime::from_secs(SECS));
     let light_goodput = sim
@@ -67,13 +66,14 @@ fn main() {
 
     // QTPlight with 200 ms partial reliability: late frames are abandoned.
     let (mut sim, s, r) = path(11);
-    let hp = attach_qtp(
+    let hp = attach_pair(
         &mut sim,
         s,
         r,
         "partial",
-        qtp_light_partial_sender(Duration::from_millis(200)),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(
+            Profile::qtp_light_partial(Duration::from_millis(200)).expect("nonzero TTL"),
+        ),
     );
     sim.run_until(SimTime::from_secs(SECS));
     let partial_goodput = sim

@@ -19,39 +19,59 @@
 //! | [`tfrc`] | RFC 3448 sender/receiver, throughput equation, loss-interval history, gTFRC |
 //! | [`sack`] | range sets, reassembly + SACK block generation, scoreboard, reliability policies |
 //! | [`tcp`] | TCP NewReno / SACK baseline agents |
-//! | [`core`] | the composed QTP endpoints (sans-io, behind the `Endpoint` driver seam), wire formats, capability negotiation, named instances |
-//! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop, multi-flow connection mux |
+//! | [`core`] | the composed QTP endpoints (sans-io, behind the `Endpoint` driver seam), wire formats, capability negotiation, and the **session layer** ([`core::session`]): fluent `Profile`s, poll-style `Session`s, the backend seam |
+//! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop, multi-flow connection mux, and the `UdpBackend`/`MuxBackend` bindings |
 //! | [`metrics`] | deterministic processing-cost accounting |
 //!
 //! ## Quickstart
 //!
+//! Describe a connection once — the service profile to negotiate and the
+//! traffic to send — then run it on any backend. The same plan runs
+//! unchanged on the deterministic simulator, on one blocking UDP socket
+//! pair (`UdpBackend`), or multiplexed with hundreds of other flows over
+//! a single socket (`MuxBackend`):
+//!
 //! ```
-//! use std::time::Duration;
 //! use qtp::prelude::*;
+//! use std::time::Duration;
 //!
-//! // A 10 Mbit/s, 40 ms RTT path with 1% random loss.
-//! let mut b = NetworkBuilder::new();
-//! let server = b.host();
-//! let mobile = b.host();
-//! b.duplex_link(server, mobile,
-//!     LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20))
-//!         .with_loss(LossModel::bernoulli(0.01)));
-//! let mut sim = b.build(42);
+//! // A QTPlight connection (sender-side loss estimation, light
+//! // receiver), 40 packets of 1000 B.
+//! let plan = ConnectionPlan::new(Profile::qtp_light())
+//!     .label("stream")
+//!     .finite(40);
 //!
-//! // A QTPlight connection: sender-side loss estimation, light receiver.
-//! let h = attach_qtp(&mut sim, server, mobile, "stream",
-//!     qtp_light_sender(), QtpReceiverConfig::default());
-//! sim.run_until(SimTime::from_secs(10));
+//! // Run it over a simulated 10 Mbit/s, 40 ms RTT path with 1% loss.
+//! let mut backend =
+//!     SimBackend::isolated(Rate::from_mbps(10), Duration::from_millis(20), 0.01);
+//! let outcome = &backend.run(std::slice::from_ref(&plan)).unwrap()[0];
 //!
-//! let stats = sim.stats().flow(h.data_flow);
-//! assert!(stats.bytes_app_delivered > 0);
-//! // The receiver did almost no work per packet:
-//! assert!(h.rx.read(|d| d.rx_ops_per_packet()) < 20.0);
+//! // The application observes negotiation and delivery as typed data —
+//! // no reaching into endpoint internals.
+//! assert!(outcome.negotiated.is_some(), "handshake completed");
+//! assert!(outcome.delivered_bytes > 0);
+//! // The receiver did almost no work per packet (the QTPlight claim):
+//! assert!(outcome.rx.rx_ops_per_packet() < 20.0);
 //! ```
 //!
-//! See `DESIGN.md` for the architecture and the experiment index, and run
-//! `cargo run -p qtp-bench --release --bin expt -- all` to regenerate
-//! every evaluation result.
+//! Custom compositions use the fluent builder —
+//! `Profile::new().reliability(Reliability::Ttl(..)).feedback(..).cc(..).build()?`
+//! — and hand-written event loops can drive a [`core::session::Session`]
+//! directly through its poll-style surface (`handle_input` /
+//! `poll_transmit` / `poll_timeout` / `on_timeout` / `poll_event`).
+//!
+//! See `docs/ARCHITECTURE.md` for the architecture and the experiment
+//! index, and run `cargo run -p qtp-bench --release --bin expt -- all` to
+//! regenerate every evaluation result.
+//!
+//! ## Deprecation path
+//!
+//! The pre-session free functions (`attach_qtp`, `qtp_af_sender`,
+//! `qtp_light_sender`, `qtp_light_partial_sender`, `qtp_standard_sender`,
+//! `cbr_app`) remain as deprecated shims; replace them with
+//! [`core::session::Profile`] presets, [`core::session::ConnectionPlan`]
+//! and [`core::session::attach_pair`]. Everything in this repository
+//! builds with `-D deprecated`.
 
 pub use qtp_core as core;
 pub use qtp_io as io;
@@ -61,15 +81,24 @@ pub use qtp_simnet as simnet;
 pub use qtp_tcp as tcp;
 pub use qtp_tfrc as tfrc;
 
+pub mod app;
+
 /// Everything a simulation driver typically needs.
 pub mod prelude {
     pub use qtp_core::{
+        attach_pair, AppModel, Backend, CapabilitySet, CapsError, CcKind, ConnectionOutcome,
+        ConnectionPlan, FeedbackMode, PairHandles, Probe, Profile, ProfileBuilder, ProfileError,
+        QtpHandles, QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, Reliability,
+        ServerPolicy, Session, SessionEvent, SessionEvents, SimBackend, SimTopology,
+    };
+    #[allow(deprecated)]
+    pub use qtp_core::{
         attach_qtp, cbr_app, qtp_af_sender, qtp_light_partial_sender, qtp_light_sender,
-        qtp_standard_sender, AppModel, CapabilitySet, CcKind, FeedbackMode, Probe, QtpHandles,
-        QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, ServerPolicy,
+        qtp_standard_sender,
     };
     pub use qtp_io::{
-        drive_mux_pair, drive_pair, Accepted, ConnId, MuxConfig, MuxDriver, UdpDriver,
+        drive_mux_pair, drive_pair, Accepted, ConnId, MuxBackend, MuxConfig, MuxDriver, UdpBackend,
+        UdpDriver,
     };
     pub use qtp_sack::ReliabilityMode;
     pub use qtp_simnet::prelude::*;

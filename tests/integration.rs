@@ -50,13 +50,12 @@ fn qtpaf_achieves_negotiated_qos_where_tcp_fails() {
 
     // QTPAF run.
     let (mut sim, net) = af_scenario(1);
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         net.senders[0],
         net.receivers[0],
         "qtpaf",
-        qtp_af_sender(g),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_af(g)),
     );
     sim.set_marker(
         net.sender_access[0],
@@ -129,9 +128,8 @@ fn qtpaf_is_reliable_end_to_end() {
         LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)),
     );
     let mut sim = b.build(3);
-    let mut cfg = qtp_af_sender(Rate::from_mbps(1));
-    cfg.app = AppModel::Finite { packets: 2000 };
-    let h = attach_qtp(&mut sim, s, r, "rel", cfg, QtpReceiverConfig::default());
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(1))).finite(2000);
+    let h = attach_pair(&mut sim, s, r, "rel", &plan);
     sim.run_until(SimTime::from_secs(120));
     assert_eq!(
         sim.stats().flow(h.data_flow).bytes_app_delivered,
@@ -152,22 +150,12 @@ fn negotiation_downgrade_full_stack() {
         LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(10)),
     );
     let mut sim = b.build(4);
-    let rcfg = QtpReceiverConfig {
-        policy: ServerPolicy {
-            allow_reliability: false,
-            ..ServerPolicy::default()
-        },
-        ..QtpReceiverConfig::default()
-    };
     // Offer QTPAF (Full reliability); server refuses reliability.
-    let h = attach_qtp(
-        &mut sim,
-        s,
-        r,
-        "dg",
-        qtp_af_sender(Rate::from_mbps(2)),
-        rcfg,
-    );
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(2))).policy(ServerPolicy {
+        allow_reliability: false,
+        ..ServerPolicy::default()
+    });
+    let h = attach_pair(&mut sim, s, r, "dg", &plan);
     sim.run_until(SimTime::from_secs(10));
     // Data still flows and nothing is ever retransmitted.
     assert!(sim.stats().flow(h.data_flow).pkts_arrived > 100);
@@ -186,21 +174,19 @@ fn two_tfrc_flows_share_fairly() {
         ..DumbbellConfig::default()
     };
     let (mut sim, net) = Dumbbell::build(&cfg, 5);
-    let h1 = attach_qtp(
+    let h1 = attach_pair(
         &mut sim,
         net.senders[0],
         net.receivers[0],
         "a",
-        qtp_standard_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::tfrc()),
     );
-    let h2 = attach_qtp(
+    let h2 = attach_pair(
         &mut sim,
         net.senders[1],
         net.receivers[1],
         "b",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     sim.run_until(SimTime::from_secs(SECS));
     let r1 = sim
@@ -235,13 +221,12 @@ fn facade_quickstart_shape() {
             .with_loss(LossModel::bernoulli(0.01)),
     );
     let mut sim = b.build(42);
-    let h = attach_qtp(
+    let h = attach_pair(
         &mut sim,
         server,
         mobile,
         "stream",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     sim.run_until(SimTime::from_secs(10));
     let stats = sim.stats().flow(h.data_flow);

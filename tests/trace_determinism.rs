@@ -25,13 +25,12 @@ fn traced_run(seed: u64) -> Vec<TraceEvent> {
 
     // A QTPlight connection plus a Poisson background flow: exercises
     // endpoints, RED randomness and source randomness together.
-    let _h = attach_qtp(
+    let _h = attach_pair(
         &mut sim,
         net.senders[0],
         net.receivers[0],
         "qtp",
-        qtp_light_sender(),
-        QtpReceiverConfig::default(),
+        &ConnectionPlan::new(Profile::qtp_light()),
     );
     let bg = sim.register_flow("bg");
     sim.attach_agent(
