@@ -35,11 +35,14 @@ fn bench_queues(c: &mut Criterion) {
         let mut uid = 0u64;
         b.iter(|| {
             uid += 1;
-            let mut p = Packet::new(uid, 0, 0, 1, 1000, SimTime::ZERO, Vec::new());
-            p.color = if uid % 2 == 0 {
-                Color::Green
-            } else {
-                Color::Red
+            let p = QueuedPacket {
+                id: PacketId::from_raw(uid as u32),
+                wire_size: 1000,
+                color: if uid % 2 == 0 {
+                    Color::Green
+                } else {
+                    Color::Red
+                },
             };
             let _ = q.enqueue(SimTime::from_micros(uid), p, &mut rng);
             q.dequeue(SimTime::from_micros(uid))
@@ -51,7 +54,11 @@ fn bench_queues(c: &mut Criterion) {
         let mut uid = 0u64;
         b.iter(|| {
             uid += 1;
-            let p = Packet::new(uid, 0, 0, 1, 1000, SimTime::ZERO, Vec::new());
+            let p = QueuedPacket {
+                id: PacketId::from_raw(uid as u32),
+                wire_size: 1000,
+                color: Color::Green,
+            };
             let _ = q.enqueue(SimTime::from_micros(uid), p, &mut rng);
             q.dequeue(SimTime::from_micros(uid))
         })

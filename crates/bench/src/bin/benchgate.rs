@@ -1,0 +1,286 @@
+//! `benchgate` — gate criterion micro-bench medians against a committed
+//! baseline.
+//!
+//! The vendored criterion harness prints one line per bench:
+//!
+//! ```text
+//! simnet/dumbbell_cbr_1s                             time:    1234567.0 ns/iter (162 iters)
+//! ```
+//!
+//! `benchgate` parses those lines from captured bench output and either
+//! records them as a baseline or checks them against one:
+//!
+//! ```text
+//! cargo bench -p qtp-bench --bench simnet_micro | tee out.txt
+//! benchgate --record BENCH_criterion.json out.txt        # write baseline
+//! benchgate --check BENCH_criterion.json out.txt         # gate (default band 1.0)
+//! benchgate --check BENCH_criterion.json --band 0.6 out.txt
+//! ```
+//!
+//! The gate is a *noise-aware relative band*: a bench fails only when its
+//! fresh time exceeds `baseline * (1 + band)`. Absolute nanosecond numbers
+//! are machine-dependent (the committed baseline records one reference
+//! machine), so the default band is deliberately wide (1.0 — i.e. fail on
+//! a >2× regression): wide enough to absorb runner-to-runner variance,
+//! tight enough to catch an accidental algorithmic regression (the
+//! BTreeMap→slab and heap→calendar swaps this repo gates were each >2×
+//! on their hot paths). The nightly job tightens the band on a quieter,
+//! longer measurement.
+//!
+//! Benches present on only one side are reported but never fail the gate
+//! (CI runs a subset of the suites); zero overlap is an error, because it
+//! means the gate silently checked nothing.
+
+use qtp_bench::json;
+
+const SCHEMA: &str = "criterion-bench/v1";
+
+/// Parse `id ... time: <ns> ns/iter` lines from criterion output.
+fn parse_criterion(text: &str) -> Vec<(String, f64)> {
+    let mut out: Vec<(String, f64)> = Vec::new();
+    for line in text.lines() {
+        let Some(tpos) = line.find(" time: ") else {
+            continue;
+        };
+        let rest = &line[tpos + " time: ".len()..];
+        let Some(npos) = rest.find(" ns/iter") else {
+            continue;
+        };
+        let Ok(ns) = rest[..npos].trim().parse::<f64>() else {
+            continue;
+        };
+        let id = line[..tpos].trim_end().to_string();
+        if id.is_empty() || !ns.is_finite() || ns <= 0.0 {
+            continue;
+        }
+        // Last occurrence wins, so re-runs in one capture self-override.
+        match out.iter_mut().find(|(i, _)| *i == id) {
+            Some(slot) => slot.1 = ns,
+            None => out.push((id, ns)),
+        }
+    }
+    out
+}
+
+fn render_baseline(benches: &[(String, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"schema\": \"{SCHEMA}\",");
+    let _ = writeln!(out, "  \"benches\": [");
+    for (i, (id, ns)) in benches.iter().enumerate() {
+        let comma = if i + 1 < benches.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{ \"id\": \"{id}\", \"ns_per_iter\": {ns:.1} }}{comma}"
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+fn load_baseline(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(SCHEMA) {
+        return Err(format!("{path}: unexpected schema"));
+    }
+    let arr = doc
+        .get("benches")
+        .and_then(|b| b.as_arr())
+        .ok_or_else(|| format!("{path}: missing benches array"))?;
+    arr.iter()
+        .map(|b| {
+            let id = b
+                .get("id")
+                .and_then(|v| v.as_str())
+                .ok_or_else(|| format!("{path}: bench entry without id"))?;
+            let ns = b
+                .get("ns_per_iter")
+                .and_then(|v| v.as_f64())
+                .filter(|x| x.is_finite() && *x > 0.0)
+                .ok_or_else(|| format!("{path}: bench {id:?} without ns_per_iter"))?;
+            Ok((id.to_string(), ns))
+        })
+        .collect()
+}
+
+/// Compare fresh medians against the baseline. Returns the number of
+/// benches that regressed beyond the band.
+fn check(baseline: &[(String, f64)], fresh: &[(String, f64)], band: f64) -> usize {
+    let mut failures = 0;
+    let mut compared = 0;
+    for (id, base_ns) in baseline {
+        let Some((_, got_ns)) = fresh.iter().find(|(i, _)| i == id) else {
+            println!("skip {id}: not in this run");
+            continue;
+        };
+        compared += 1;
+        let ratio = got_ns / base_ns;
+        if ratio > 1.0 + band {
+            println!(
+                "FAIL {id}: {got_ns:.1} ns/iter vs baseline {base_ns:.1} ({ratio:.2}x, band {:.2}x)",
+                1.0 + band
+            );
+            failures += 1;
+        } else {
+            println!("ok   {id}: {got_ns:.1} ns/iter vs baseline {base_ns:.1} ({ratio:.2}x)");
+        }
+    }
+    for (id, _) in fresh {
+        if !baseline.iter().any(|(i, _)| i == id) {
+            println!("note {id}: not in the baseline (re-record to start gating it)");
+        }
+    }
+    if compared == 0 {
+        eprintln!("benchgate: no bench in this run overlaps the baseline — gate checked nothing");
+        std::process::exit(2);
+    }
+    failures
+}
+
+fn main() {
+    let mut record: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut band = 1.0f64;
+    let mut inputs: Vec<String> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    let usage = "usage: benchgate (--record BASE | --check BASE [--band X]) FILE...";
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().ok_or(format!("missing value for {flag}"));
+        let r = match flag.as_str() {
+            "--record" => val().map(|v| record = Some(v)),
+            "--check" => val().map(|v| check_path = Some(v)),
+            "--band" => val().and_then(|v| {
+                v.parse()
+                    .map(|b| band = b)
+                    .map_err(|e| format!("--band: {e}"))
+            }),
+            "--help" | "-h" => Err(usage.to_string()),
+            other if other.starts_with('-') => Err(format!("unknown flag {other} (try --help)")),
+            other => {
+                inputs.push(other.to_string());
+                Ok(())
+            }
+        };
+        if let Err(msg) = r {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+    if record.is_some() == check_path.is_some() {
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+    if !(0.0..100.0).contains(&band) {
+        eprintln!("--band must be a non-negative fraction (e.g. 0.6 = fail beyond 1.6x)");
+        std::process::exit(2);
+    }
+
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    if inputs.is_empty() {
+        eprintln!("benchgate: no input files named ({usage})");
+        std::process::exit(2);
+    }
+    for path in &inputs {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for (id, ns) in parse_criterion(&text) {
+                    match fresh.iter_mut().find(|(i, _)| *i == id) {
+                        Some(slot) => slot.1 = ns,
+                        None => fresh.push((id, ns)),
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    if fresh.is_empty() {
+        eprintln!("benchgate: no `time: ... ns/iter` lines found in the input");
+        std::process::exit(2);
+    }
+
+    if let Some(out) = record {
+        let doc = render_baseline(&fresh);
+        if let Err(e) = std::fs::write(&out, doc) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+        println!("recorded {} bench(es) to {out}", fresh.len());
+        return;
+    }
+
+    let base = match load_baseline(check_path.as_deref().unwrap()) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("benchgate: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let failures = check(&base, &fresh, band);
+    if failures > 0 {
+        eprintln!("benchgate: {failures} bench(es) regressed beyond the band");
+        std::process::exit(1);
+    }
+    println!("benchgate: all compared benches within the band");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+Benchmarking simnet/dumbbell_cbr_1s
+simnet/dumbbell_cbr_1s                             time:    1234567.0 ns/iter (162 iters)
+simnet/rio_enqueue_dequeue                         time:         42.5 ns/iter (4700000 iters)
+not a bench line
+simnet/rio_enqueue_dequeue                         time:         40.0 ns/iter (4700000 iters)
+";
+
+    #[test]
+    fn parses_criterion_lines_last_wins() {
+        let parsed = parse_criterion(SAMPLE);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "simnet/dumbbell_cbr_1s");
+        assert_eq!(parsed[0].1, 1234567.0);
+        // Duplicate id: the later measurement overrides the earlier one.
+        assert_eq!(parsed[1], ("simnet/rio_enqueue_dequeue".to_string(), 40.0));
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let benches = parse_criterion(SAMPLE);
+        let doc = render_baseline(&benches);
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        let arr = parsed.get("benches").and_then(|b| b.as_arr()).unwrap();
+        assert_eq!(arr.len(), 2);
+        assert_eq!(
+            arr[1].get("ns_per_iter").and_then(|v| v.as_f64()),
+            Some(40.0)
+        );
+    }
+
+    #[test]
+    fn band_gates_only_regressions_beyond_threshold() {
+        let base = vec![("a".to_string(), 100.0), ("b".to_string(), 100.0)];
+        // 1.5x with band 1.0 passes; 2.5x fails; speedups always pass.
+        assert_eq!(
+            check(&base, &[("a".into(), 150.0), ("b".into(), 10.0)], 1.0),
+            0
+        );
+        assert_eq!(
+            check(&base, &[("a".into(), 250.0), ("b".into(), 99.0)], 1.0),
+            1
+        );
+        // Tightened band: 1.5x now fails.
+        assert_eq!(
+            check(&base, &[("a".into(), 150.0), ("b".into(), 100.0)], 0.4),
+            1
+        );
+    }
+}

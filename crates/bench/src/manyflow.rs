@@ -22,7 +22,7 @@
 //! for the others (which promise no delivery).
 
 use qtp_core::session::{
-    Backend, ConnectionOutcome, ConnectionPlan, Profile, SimBackend, SimTopology,
+    Backend, ConnectionOutcome, ConnectionPlan, Profile, SimBackend, SimRunMetrics, SimTopology,
 };
 use qtp_io::backend::MuxBackend;
 use qtp_simnet::prelude::*;
@@ -359,6 +359,12 @@ fn report_from(
 /// session layer's [`SimBackend`]. Same config + seed ⇒ byte-identical
 /// report.
 pub fn run_sim(cfg: &ManyFlowConfig) -> ManyFlowReport {
+    run_sim_instrumented(cfg).0
+}
+
+/// [`run_sim`], additionally reporting the simulator's engine counters
+/// (event count, packet-pool high-water mark) for the scaling benchmarks.
+pub fn run_sim_instrumented(cfg: &ManyFlowConfig) -> (ManyFlowReport, SimRunMetrics) {
     let delays: Vec<Duration> = (0..cfg.flows).map(|i| cfg.access_delay(i)).collect();
     let dcfg = DumbbellConfig {
         pairs: cfg.flows,
@@ -379,8 +385,10 @@ pub fn run_sim(cfg: &ManyFlowConfig) -> ManyFlowReport {
         check_interval: cfg.check_interval,
     };
     let plans: Vec<ConnectionPlan> = (0..cfg.flows).map(|i| cfg.plan(i)).collect();
-    let outcomes = backend.run(&plans).expect("sim backend cannot fail");
-    report_from(cfg, "sim", outcomes)
+    let (outcomes, metrics) = backend
+        .run_instrumented(&plans)
+        .expect("sim backend cannot fail");
+    (report_from(cfg, "sim", outcomes), metrics)
 }
 
 /// Run the same workload over the real-socket connection multiplexer on

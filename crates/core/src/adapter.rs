@@ -60,7 +60,7 @@ impl<E: Endpoint> Agent for SimAgent<E> {
         self.flush(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: &Packet) {
         self.out.now = ctx.now;
         self.ep
             .handle_datagram(&mut self.out, pkt.wire_size, &pkt.header);

@@ -1087,12 +1087,34 @@ pub(crate) fn plan_complete(
     }
 }
 
+/// Engine-level counters from one simulator-backend run, for the scaling
+/// benchmarks. `events_processed` and `packet_pool_high_water` are
+/// deterministic (pure functions of plans + seed); `events_processed`
+/// divided by wall-clock time is the events/s throughput metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimRunMetrics {
+    /// Events the simulator dispatched.
+    pub events_processed: u64,
+    /// Peak number of concurrently live packets in the arena.
+    pub packet_pool_high_water: usize,
+}
+
 impl Backend for SimBackend {
     fn name(&self) -> &'static str {
         "sim"
     }
 
     fn run(&mut self, plans: &[ConnectionPlan]) -> std::io::Result<Vec<ConnectionOutcome>> {
+        self.run_instrumented(plans).map(|(outcomes, _)| outcomes)
+    }
+}
+
+impl SimBackend {
+    /// [`Backend::run`], additionally reporting engine counters.
+    pub fn run_instrumented(
+        &mut self,
+        plans: &[ConnectionPlan],
+    ) -> std::io::Result<(Vec<ConnectionOutcome>, SimRunMetrics)> {
         // Build the topology: one (sender, receiver) node pair per plan.
         let (mut sim, nodes): (Simulator, Vec<(NodeId, NodeId)>) = match &self.topology {
             SimTopology::Isolated {
@@ -1167,7 +1189,7 @@ impl Backend for SimBackend {
             }
         }
 
-        Ok(plans
+        let outcomes = plans
             .iter()
             .zip(&handles)
             .enumerate()
@@ -1190,7 +1212,12 @@ impl Backend for SimBackend {
                     rx: h.rx.snapshot(),
                 }
             })
-            .collect())
+            .collect();
+        let metrics = SimRunMetrics {
+            events_processed: sim.events_processed(),
+            packet_pool_high_water: sim.packet_pool_high_water(),
+        };
+        Ok((outcomes, metrics))
     }
 }
 

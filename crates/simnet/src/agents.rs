@@ -175,7 +175,7 @@ impl Agent for OnOffSource {
 pub struct Sink;
 
 impl Agent for Sink {
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: &Packet) {
         ctx.stats.app_deliver(pkt.flow, pkt.wire_size as u64);
     }
 }

@@ -42,6 +42,8 @@
 //! ```
 
 pub mod agents;
+pub mod arena;
+pub mod calendar;
 pub mod link;
 pub mod loss;
 pub mod marker;
@@ -57,10 +59,12 @@ pub mod trace;
 /// One-stop imports for simulation drivers.
 pub mod prelude {
     pub use crate::agents::{CbrSource, OnOffSource, PoissonSource, Sink};
+    pub use crate::arena::{PacketArena, PacketId};
+    pub use crate::calendar::CalendarQueue;
     pub use crate::link::LinkConfig;
     pub use crate::loss::LossModel;
     pub use crate::marker::{Marker, SrTcm, TokenBucketMarker, TrTcm};
-    pub use crate::packet::{Color, FlowId, LinkId, NodeId, Packet};
+    pub use crate::packet::{Color, FlowId, LinkId, NodeId, Packet, QueuedPacket};
     pub use crate::queue::{DropReason, QueueConfig, RedParams, RioParams};
     pub use crate::rng::DetRng;
     pub use crate::sim::{Agent, Ctx, NetworkBuilder, Simulator};

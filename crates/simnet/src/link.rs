@@ -5,15 +5,65 @@
 //! loss model applied to packets in flight. Timing is orchestrated by the
 //! simulator; the link only holds state.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use crate::loss::LossModel;
 use crate::marker::Marker;
-use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::packet::{FlowId, LinkId, NodeId, QueuedPacket};
 use crate::queue::{AqmQueue, QueueConfig};
 use crate::rng::DetRng;
 use crate::time::Rate;
+
+/// Per-flow traffic conditioners for one link, stored densely.
+///
+/// Flow ids are small integers, so a link's markers live in a `Vec` indexed
+/// by `flow - base` instead of a `BTreeMap`: lookup on the forwarding hot
+/// path is a bounds check and an `Option` load. `base` is the smallest
+/// marked flow id, so the common shapes stay compact — most links have no
+/// markers (empty vec), an access link conditions exactly its own flow
+/// (one slot regardless of the flow id's magnitude), and a core link
+/// conditioning every flow gets one dense table.
+#[derive(Debug, Default)]
+pub(crate) struct MarkerBank {
+    base: FlowId,
+    slots: Vec<Option<Marker>>,
+}
+
+impl MarkerBank {
+    /// Install (or replace) the conditioner for `flow`.
+    pub(crate) fn set(&mut self, flow: FlowId, marker: Marker) {
+        if self.slots.is_empty() {
+            self.base = flow;
+        } else if flow < self.base {
+            // Grow downward: shift existing slots up. Rare (setup only).
+            let shift = (self.base - flow) as usize;
+            let mut grown: Vec<Option<Marker>> = Vec::with_capacity(self.slots.len() + shift);
+            grown.resize_with(shift, || None);
+            grown.append(&mut self.slots);
+            self.slots = grown;
+            self.base = flow;
+        }
+        let i = (flow - self.base) as usize;
+        if self.slots.len() <= i {
+            self.slots.resize_with(i + 1, || None);
+        }
+        self.slots[i] = Some(marker);
+    }
+
+    /// The conditioner for `flow`, if one is installed.
+    #[inline]
+    pub(crate) fn get_mut(&mut self, flow: FlowId) -> Option<&mut Marker> {
+        let i = flow.checked_sub(self.base)? as usize;
+        self.slots.get_mut(i)?.as_mut()
+    }
+
+    /// Whether `flow` has a conditioner.
+    pub(crate) fn contains(&self, flow: FlowId) -> bool {
+        flow.checked_sub(self.base)
+            .and_then(|i| self.slots.get(i as usize))
+            .is_some_and(Option::is_some)
+    }
+}
 
 /// Static description of a simplex link.
 #[derive(Debug, Clone)]
@@ -70,11 +120,11 @@ pub struct Link {
     /// Loss process for packets in flight.
     pub(crate) loss: LossModel,
     /// Per-flow traffic conditioners applied at enqueue.
-    pub(crate) markers: BTreeMap<FlowId, Marker>,
+    pub(crate) markers: MarkerBank,
     /// Whether a packet is currently being serialized.
     pub(crate) transmitting: bool,
     /// The packet on the wire (being serialized), if any.
-    pub(crate) in_flight: Option<Packet>,
+    pub(crate) in_flight: Option<QueuedPacket>,
     /// Private randomness for AQM and loss decisions.
     pub(crate) rng: DetRng,
 }
@@ -89,7 +139,7 @@ impl Link {
             delay: cfg.delay,
             queue: cfg.queue.build(),
             loss: cfg.loss.clone(),
-            markers: BTreeMap::new(),
+            markers: MarkerBank::default(),
             transmitting: false,
             in_flight: None,
             rng: DetRng::stream(seed, 0x11AC ^ id as u64),
@@ -98,7 +148,12 @@ impl Link {
 
     /// Attach a traffic conditioner for one flow at this link's ingress.
     pub fn set_marker(&mut self, flow: FlowId, marker: Marker) {
-        self.markers.insert(flow, marker);
+        self.markers.set(flow, marker);
+    }
+
+    /// Whether a conditioner is installed for `flow`.
+    pub fn has_marker(&self, flow: FlowId) -> bool {
+        self.markers.contains(flow)
     }
 
     /// Packets currently queued (excluding the one being serialized).
@@ -151,7 +206,26 @@ mod tests {
             3,
             Marker::TokenBucket(TokenBucketMarker::new(Rate::from_kbps(500), 3000)),
         );
-        assert!(link.markers.contains_key(&3));
-        assert!(!link.markers.contains_key(&4));
+        assert!(link.has_marker(3));
+        assert!(!link.has_marker(4));
+        assert!(!link.has_marker(2), "below-base lookups are misses");
+    }
+
+    #[test]
+    fn marker_bank_grows_in_both_directions() {
+        let cfg = LinkConfig::new(Rate::from_mbps(1), Duration::ZERO);
+        let mut link = Link::new(0, 0, 1, &cfg, 1);
+        let tb = || Marker::TokenBucket(TokenBucketMarker::new(Rate::from_kbps(500), 3000));
+        link.set_marker(100, tb());
+        link.set_marker(3, tb()); // below base: shifts the table down
+        link.set_marker(50, tb());
+        for f in [3, 50, 100] {
+            assert!(link.has_marker(f), "flow {f}");
+            assert!(link.markers.get_mut(f).is_some(), "flow {f}");
+        }
+        for f in [0, 2, 4, 49, 51, 99, 101] {
+            assert!(!link.has_marker(f), "flow {f}");
+            assert!(link.markers.get_mut(f).is_none(), "flow {f}");
+        }
     }
 }

@@ -100,6 +100,23 @@ impl Packet {
     }
 }
 
+/// The slice of a packet that queues and links work with while the full
+/// packet sits in the [`crate::arena::PacketArena`]: enough to compute
+/// occupancy (`wire_size`), AQM decisions (`color`) and serialization time,
+/// without touching the arena from inside a queue.
+///
+/// `color` is a snapshot taken after the link's marker ran; the arena copy
+/// is updated in the same step, so the two never disagree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedPacket {
+    /// Handle to the full packet in the arena.
+    pub id: crate::arena::PacketId,
+    /// Total on-wire size in bytes.
+    pub wire_size: u32,
+    /// Drop precedence at enqueue time (post-marking).
+    pub color: Color,
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,7 +17,7 @@
 
 use std::collections::VecDeque;
 
-use crate::packet::{Color, Packet};
+use crate::packet::{Color, QueuedPacket};
 use crate::rng::DetRng;
 use crate::time::SimTime;
 
@@ -36,8 +36,8 @@ pub enum DropReason {
 }
 
 /// Result of an enqueue attempt: the packet comes back on rejection so the
-/// caller can trace it.
-pub type EnqueueResult = Result<(), (Packet, DropReason)>;
+/// caller can trace it and release its arena slot.
+pub type EnqueueResult = Result<(), (QueuedPacket, DropReason)>;
 
 /// Configuration for any of the supported queue disciplines.
 #[derive(Debug, Clone)]
@@ -75,7 +75,7 @@ pub enum AqmQueue {
 
 impl AqmQueue {
     /// Offer a packet to the queue.
-    pub fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+    pub fn enqueue(&mut self, now: SimTime, pkt: QueuedPacket, rng: &mut DetRng) -> EnqueueResult {
         match self {
             AqmQueue::DropTail(q) => q.enqueue(pkt),
             AqmQueue::Red(q) => q.enqueue(now, pkt, rng),
@@ -84,7 +84,7 @@ impl AqmQueue {
     }
 
     /// Remove the next packet to transmit.
-    pub fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    pub fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
         match self {
             AqmQueue::DropTail(q) => q.dequeue(),
             AqmQueue::Red(q) => q.dequeue(now),
@@ -119,7 +119,7 @@ impl AqmQueue {
 /// Plain FIFO with a hard limit.
 #[derive(Debug)]
 pub struct DropTailQueue {
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<QueuedPacket>,
     bytes: usize,
     limit_pkts: usize,
     limit_bytes: usize,
@@ -146,7 +146,7 @@ impl DropTailQueue {
         }
     }
 
-    fn enqueue(&mut self, pkt: Packet) -> EnqueueResult {
+    fn enqueue(&mut self, pkt: QueuedPacket) -> EnqueueResult {
         if self.fifo.len() + 1 > self.limit_pkts
             || self.bytes + pkt.wire_size as usize > self.limit_bytes
         {
@@ -157,7 +157,7 @@ impl DropTailQueue {
         Ok(())
     }
 
-    fn dequeue(&mut self) -> Option<Packet> {
+    fn dequeue(&mut self) -> Option<QueuedPacket> {
         let pkt = self.fifo.pop_front()?;
         self.bytes -= pkt.wire_size as usize;
         Some(pkt)
@@ -269,7 +269,7 @@ impl RedVar {
 pub struct RedQueue {
     params: RedParams,
     var: RedVar,
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<QueuedPacket>,
     bytes: usize,
     /// Time the queue went idle, if currently empty.
     idle_since: Option<SimTime>,
@@ -291,7 +291,7 @@ impl RedQueue {
         self.var.avg
     }
 
-    fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+    fn enqueue(&mut self, now: SimTime, pkt: QueuedPacket, rng: &mut DetRng) -> EnqueueResult {
         let idle = self
             .idle_since
             .take()
@@ -313,7 +313,7 @@ impl RedQueue {
         Ok(())
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
         let pkt = self.fifo.pop_front()?;
         self.bytes -= pkt.wire_size as usize;
         if self.fifo.is_empty() {
@@ -371,7 +371,7 @@ pub struct RioQueue {
     params: RioParams,
     in_var: RedVar,
     total_var: RedVar,
-    fifo: VecDeque<Packet>,
+    fifo: VecDeque<QueuedPacket>,
     bytes: usize,
     in_pkts: usize,
     idle_since: Option<SimTime>,
@@ -395,7 +395,7 @@ impl RioQueue {
         (self.in_var.avg, self.total_var.avg)
     }
 
-    fn enqueue(&mut self, now: SimTime, pkt: Packet, rng: &mut DetRng) -> EnqueueResult {
+    fn enqueue(&mut self, now: SimTime, pkt: QueuedPacket, rng: &mut DetRng) -> EnqueueResult {
         let idle = self
             .idle_since
             .take()
@@ -441,7 +441,7 @@ impl RioQueue {
         Ok(())
     }
 
-    fn dequeue(&mut self, now: SimTime) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime) -> Option<QueuedPacket> {
         let pkt = self.fifo.pop_front()?;
         self.bytes -= pkt.wire_size as usize;
         if pkt.color == Color::Green {
@@ -459,10 +459,12 @@ mod tests {
     use super::*;
     use crate::time::SimTime;
 
-    fn pkt(uid: u64, size: u32, color: Color) -> Packet {
-        let mut p = Packet::new(uid, 0, 0, 1, size, SimTime::ZERO, Vec::new());
-        p.color = color;
-        p
+    fn pkt(uid: u64, size: u32, color: Color) -> QueuedPacket {
+        QueuedPacket {
+            id: crate::arena::PacketId::from_raw(uid as u32),
+            wire_size: size,
+            color,
+        }
     }
 
     #[test]
@@ -479,7 +481,7 @@ mod tests {
             .enqueue(SimTime::ZERO, pkt(3, 100, Color::Green), &mut rng)
             .unwrap_err();
         assert_eq!(err.1, DropReason::QueueFull);
-        assert_eq!(err.0.uid, 3);
+        assert_eq!(err.0.id.index(), 3);
         assert_eq!(q.len_pkts(), 2);
     }
 
@@ -508,7 +510,7 @@ mod tests {
                 .unwrap();
         }
         for i in 0..5 {
-            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().uid, i);
+            assert_eq!(q.dequeue(SimTime::ZERO).unwrap().id.index(), i as u32);
         }
         assert!(q.dequeue(SimTime::ZERO).is_none());
         assert!(q.is_empty());

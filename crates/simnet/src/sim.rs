@@ -13,6 +13,23 @@
 //! master seed, so a simulation is a pure function of (topology, agents,
 //! seed) — the property test in `tests/determinism.rs` checks exactly this.
 //!
+//! # Scaling design
+//!
+//! The hot path is built for 10^5-flow runs:
+//!
+//! * Packets live in a [`PacketArena`]; events, queues and links pass 4-byte
+//!   [`PacketId`]s. A packet's slot (and its header buffer) is recycled at
+//!   delivery, drop, or routing failure.
+//! * The scheduler is a [`CalendarQueue`] — amortized O(1) push/pop instead
+//!   of an O(log n) global heap — popping in exactly the same `(time, seq)`
+//!   order, so fixed-seed outputs are byte-identical to the old heap.
+//! * Routes use pendant compression: hosts that hang off a single router
+//!   (every host in a dumbbell) share their router's routing row, so route
+//!   construction and storage are near-linear in nodes + links instead of
+//!   the O(V·E) per destination a dense table costs. The compression is
+//!   exact — `routes_match_reference_bfs` checks it against the plain
+//!   per-destination BFS on randomized topologies.
+//!
 //! # Timers
 //!
 //! Timers are fire-and-forget: `set_timer_in(d, token)` schedules a wakeup
@@ -22,12 +39,12 @@
 //! it as `qtp_core::driver::TimerGens`, which encodes `kind | (gen << 2)`
 //! tokens and rejects superseded generations).
 
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::time::Duration;
 
+use crate::arena::{PacketArena, PacketId};
+use crate::calendar::CalendarQueue;
 use crate::link::{Link, LinkConfig};
-use crate::packet::{FlowId, LinkId, NodeId, Packet};
+use crate::packet::{FlowId, LinkId, NodeId, Packet, QueuedPacket};
 use crate::queue::DropReason;
 use crate::rng::DetRng;
 use crate::stats::Stats;
@@ -50,8 +67,182 @@ pub struct Node {
     pub id: NodeId,
     /// Host or router.
     pub kind: NodeKind,
-    /// `next_hop[dst]` is the outgoing link toward `dst`, if reachable.
-    pub(crate) next_hop: Vec<Option<LinkId>>,
+}
+
+/// Static routing tables, stored compressed.
+///
+/// A **pendant** is a node all of whose links (in and out) connect to one
+/// neighbor, its *representative*. Pendants never transit traffic — any
+/// walk through one goes representative → pendant → representative and can
+/// be shortened — so shortest-path routing only needs real tables for the
+/// **core** (every non-pendant node):
+///
+/// * `route(n, pendant d)` = `route(n, rep(d))`, and at `rep(d)` the next
+///   hop is the lowest-id direct link to `d`.
+/// * `route(pendant h, t)` = `h`'s lowest-id uplink, iff `t` is reachable
+///   from `rep(h)`.
+///
+/// When two nodes are *only* connected to each other, each qualifies as the
+/// other's pendant; the higher id becomes the pendant so the pair still has
+/// a core member. In a dumbbell with 10^5 host pairs the core is just the
+/// two routers: building routes is one scan of the links plus a BFS over a
+/// 2-node core graph, versus the old dense table's O(V·E) per destination.
+///
+/// Tie-breaking matches the reference BFS exactly: among links leaving `n`
+/// toward any node one hop closer to the destination, the lowest link id
+/// wins (checked property-style in the tests).
+pub(crate) struct Routes {
+    /// Core representative per node (self for core nodes).
+    rep: Vec<NodeId>,
+    /// Pendant → lowest-id link to its representative.
+    uplink: Vec<Option<LinkId>>,
+    /// Pendant → lowest-id link *from* its representative.
+    downlink: Vec<Option<LinkId>>,
+    /// Dense index into the core tables (`u32::MAX` for pendants).
+    core_index: Vec<u32>,
+    core_count: usize,
+    /// `core_next[i * core_count + j]`: next link from core `i` toward
+    /// core `j` (`None` when unreachable or `i == j`).
+    core_next: Vec<Option<LinkId>>,
+}
+
+impl Routes {
+    fn build(n: usize, links: &[(NodeId, NodeId, LinkConfig)]) -> Routes {
+        // Pass 1: one-distinct-neighbor summary per node.
+        let mut nbr: Vec<Option<NodeId>> = vec![None; n];
+        let mut multi = vec![false; n];
+        let note =
+            |x: usize, y: usize, nbr: &mut Vec<Option<NodeId>>, multi: &mut Vec<bool>| match nbr[x]
+            {
+                None => nbr[x] = Some(y),
+                Some(p) if p != y => multi[x] = true,
+                _ => {}
+            };
+        for &(a, b, _) in links {
+            note(a, b, &mut nbr, &mut multi);
+            note(b, a, &mut nbr, &mut multi);
+        }
+        // Pass 2: classify. For a mutually-exclusive pair (two nodes linked
+        // only to each other) the higher id is the pendant.
+        let mut rep: Vec<NodeId> = (0..n).collect();
+        for h in 0..n {
+            if multi[h] {
+                continue;
+            }
+            let Some(r) = nbr[h] else { continue };
+            let mutual = !multi[r] && nbr[r] == Some(h);
+            if !mutual || h > r {
+                rep[h] = r;
+            }
+        }
+        // Pass 3: pendant up/down links and the core node list.
+        let mut uplink: Vec<Option<LinkId>> = vec![None; n];
+        let mut downlink: Vec<Option<LinkId>> = vec![None; n];
+        for (id, &(a, b, _)) in links.iter().enumerate() {
+            if rep[a] != a && b == rep[a] && uplink[a].is_none() {
+                uplink[a] = Some(id); // first hit is the lowest id
+            }
+            if rep[b] != b && a == rep[b] && downlink[b].is_none() {
+                downlink[b] = Some(id);
+            }
+        }
+        let core: Vec<NodeId> = (0..n).filter(|&x| rep[x] == x).collect();
+        let mut core_index = vec![u32::MAX; n];
+        for (i, &c) in core.iter().enumerate() {
+            core_index[c] = i as u32;
+        }
+        let c = core.len();
+        // Core-only adjacency, forward (for next-hop selection) and reversed
+        // (for the per-destination BFS).
+        let mut cadj: Vec<Vec<(LinkId, u32)>> = vec![Vec::new(); c];
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); c];
+        for (id, &(a, b, _)) in links.iter().enumerate() {
+            if rep[a] == a && rep[b] == b {
+                let (ia, ib) = (core_index[a], core_index[b]);
+                cadj[ia as usize].push((id, ib));
+                radj[ib as usize].push(ia);
+            }
+        }
+        // BFS from each core destination over reversed edges, then pick the
+        // lowest link id among links to any predecessor-level node — the
+        // same rule the reference per-destination BFS applies.
+        let mut core_next: Vec<Option<LinkId>> = vec![None; c * c];
+        let mut dist = vec![u32::MAX; c];
+        let mut frontier = std::collections::VecDeque::new();
+        for j in 0..c {
+            dist.iter_mut().for_each(|d| *d = u32::MAX);
+            dist[j] = 0;
+            frontier.clear();
+            frontier.push_back(j as u32);
+            while let Some(v) = frontier.pop_front() {
+                for &u in &radj[v as usize] {
+                    if dist[u as usize] == u32::MAX {
+                        dist[u as usize] = dist[v as usize] + 1;
+                        frontier.push_back(u);
+                    }
+                }
+            }
+            for (i, out) in cadj.iter().enumerate() {
+                if i == j || dist[i] == u32::MAX {
+                    continue;
+                }
+                let hop = out
+                    .iter()
+                    .filter(|&&(_, b)| dist[b as usize] == dist[i] - 1)
+                    .map(|&(id, _)| id)
+                    .min();
+                core_next[i * c + j] = hop;
+            }
+        }
+        Routes {
+            rep,
+            uplink,
+            downlink,
+            core_index,
+            core_count: c,
+            core_next,
+        }
+    }
+
+    #[inline]
+    fn core_hop(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
+        let i = self.core_index[a] as usize;
+        let j = self.core_index[b] as usize;
+        self.core_next[i * self.core_count + j]
+    }
+
+    /// The outgoing link `n` uses toward `dst` (`n != dst`), if reachable.
+    #[inline]
+    pub(crate) fn next_hop(&self, n: NodeId, dst: NodeId) -> Option<LinkId> {
+        debug_assert_ne!(n, dst);
+        let rd = self.rep[dst];
+        let rn = self.rep[n];
+        if rn != n {
+            // Pendant: the only exit is the uplink, valid iff dst is
+            // actually reachable from the representative.
+            let up = self.uplink[n]?;
+            if dst == rn {
+                return Some(up);
+            }
+            if dst != rd && self.downlink[dst].is_none() {
+                return None;
+            }
+            if rd != rn && self.core_hop(rn, rd).is_none() {
+                return None;
+            }
+            return Some(up);
+        }
+        if dst == rd {
+            // Core to core.
+            return self.core_hop(n, dst);
+        }
+        // Core to pendant: descend at the destination's representative.
+        let down = self.downlink[dst]?;
+        if rd == n {
+            return Some(down);
+        }
+        self.core_hop(n, rd)
+    }
 }
 
 /// The execution context handed to agents. Commands are buffered and applied
@@ -117,41 +308,22 @@ impl<'a> Ctx<'a> {
 pub trait Agent {
     /// Called once when the simulation starts.
     fn on_start(&mut self, _ctx: &mut Ctx) {}
-    /// Called when a packet addressed to this node arrives.
-    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: Packet) {}
+    /// Called when a packet addressed to this node arrives. The packet is
+    /// borrowed from the simulator's arena; copy out what must outlive the
+    /// callback.
+    fn on_packet(&mut self, _ctx: &mut Ctx, _pkt: &Packet) {}
     /// Called when a timer set by this agent fires.
     fn on_timer(&mut self, _ctx: &mut Ctx, _token: u64) {}
 }
 
+/// Scheduled work. Compact by design: packets are referenced by arena id,
+/// never embedded, so the scheduler moves fixed 24-ish-byte payloads.
 #[derive(Debug)]
 enum EventKind {
-    Arrival { node: NodeId, pkt: Packet },
+    Arrival { node: NodeId, pkt: PacketId },
     TxComplete { link: LinkId },
     Timer { node: NodeId, token: u64 },
     Sample,
-}
-
-struct Event {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Builds a topology, then turns it into a runnable [`Simulator`].
@@ -198,49 +370,18 @@ impl NetworkBuilder {
 
     /// Finalize: compute routes and produce a simulator.
     ///
-    /// Routes are shortest-path by hop count (BFS per destination), with the
-    /// lowest-numbered link breaking ties, so routing is deterministic.
+    /// Routes are shortest-path by hop count, with the lowest-numbered link
+    /// breaking ties, so routing is deterministic. See [`Routes`] for how
+    /// the tables stay near-linear in the topology size.
     pub fn build(self, master_seed: u64) -> Simulator {
         let n = self.nodes.len();
-        // adjacency: for each node, outgoing (link, to) in insertion order.
-        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); n];
-        for (id, (a, b, _)) in self.links.iter().enumerate() {
-            adj[*a].push((id, *b));
-        }
-        let mut nodes: Vec<Node> = self
+        let routes = Routes::build(n, &self.links);
+        let nodes: Vec<Node> = self
             .nodes
             .iter()
             .enumerate()
-            .map(|(id, kind)| Node {
-                id,
-                kind: *kind,
-                next_hop: vec![None; n],
-            })
+            .map(|(id, kind)| Node { id, kind: *kind })
             .collect();
-        // BFS from each destination over reversed edges to fill next_hop.
-        for dst in 0..n {
-            let mut dist = vec![usize::MAX; n];
-            dist[dst] = 0;
-            let mut frontier = std::collections::VecDeque::new();
-            frontier.push_back(dst);
-            while let Some(v) = frontier.pop_front() {
-                // For each link u -> v, u can reach dst through it.
-                for (id, (a, b, _)) in self.links.iter().enumerate() {
-                    if *b == v && dist[*a] == usize::MAX {
-                        dist[*a] = dist[v] + 1;
-                        nodes[*a].next_hop[dst] = Some(id);
-                        frontier.push_back(*a);
-                    } else if *b == v && dist[*a] == dist[v] + 1 {
-                        // Tie: keep the lowest link id for determinism.
-                        if let Some(cur) = nodes[*a].next_hop[dst] {
-                            if id < cur {
-                                nodes[*a].next_hop[dst] = Some(id);
-                            }
-                        }
-                    }
-                }
-            }
-        }
         let mut stats = Stats::new();
         let links: Vec<Link> = self
             .links
@@ -258,7 +399,11 @@ impl NetworkBuilder {
         Simulator {
             now: SimTime::ZERO,
             seq: 0,
-            events: BinaryHeap::new(),
+            events: CalendarQueue::new(),
+            events_processed: 0,
+            arena: PacketArena::new(),
+            cmd_pool: Vec::new(),
+            routes,
             nodes,
             links,
             agents,
@@ -282,7 +427,14 @@ impl Default for NetworkBuilder {
 pub struct Simulator {
     now: SimTime,
     seq: u64,
-    events: BinaryHeap<Reverse<Event>>,
+    events: CalendarQueue<EventKind>,
+    events_processed: u64,
+    arena: PacketArena,
+    /// Recycled command buffers for agent callbacks (a stack, so nested
+    /// callbacks — e.g. loopback delivery during command application — each
+    /// get their own buffer without allocating).
+    cmd_pool: Vec<Vec<Cmd>>,
+    routes: Routes,
     nodes: Vec<Node>,
     links: Vec<Link>,
     agents: Vec<Option<Box<dyn Agent>>>,
@@ -308,6 +460,18 @@ impl Simulator {
     /// Mutable access to measurements (e.g. to reset between phases).
     pub fn stats_mut(&mut self) -> &mut Stats {
         &mut self.stats
+    }
+
+    /// Total events dispatched so far — the denominator of the events/s
+    /// throughput metric the scaling benchmarks report.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// High-water mark of concurrently live packets (arena slots created).
+    /// A deterministic memory-footprint proxy.
+    pub fn packet_pool_high_water(&self) -> usize {
+        self.arena.capacity()
     }
 
     /// Register a flow for statistics; returns the id packets must carry.
@@ -348,11 +512,7 @@ impl Simulator {
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Event {
-            at,
-            seq: self.seq,
-            kind,
-        }));
+        self.events.push(at.as_nanos(), self.seq, kind);
     }
 
     fn trace_emit(&mut self, ev: TraceEvent) {
@@ -375,17 +535,23 @@ impl Simulator {
             stats: &mut self.stats,
             rng: &mut self.node_rngs[node],
             uid_counter: &mut self.uid_counter,
-            cmds: Vec::new(),
+            cmds: self.cmd_pool.pop().unwrap_or_default(),
         };
         f(agent.as_mut(), &mut ctx);
-        let cmds = std::mem::take(&mut ctx.cmds);
+        let cmds = ctx.cmds;
         self.agents[node] = Some(agent);
-        for cmd in cmds {
+        self.apply_cmds(node, cmds);
+    }
+
+    /// Apply buffered commands, then return the buffer to the pool.
+    fn apply_cmds(&mut self, node: NodeId, mut cmds: Vec<Cmd>) {
+        for cmd in cmds.drain(..) {
             match cmd {
                 Cmd::Send(pkt) => self.inject(node, pkt),
                 Cmd::Timer { at, token } => self.push_event(at, EventKind::Timer { node, token }),
             }
         }
+        self.cmd_pool.push(cmds);
     }
 
     /// A source node hands a packet to the network.
@@ -398,55 +564,65 @@ impl Simulator {
             uid: pkt.uid,
             size: pkt.wire_size,
         });
-        self.forward(node, pkt);
+        let id = self.arena.alloc(pkt);
+        self.forward(node, id);
     }
 
     /// Route a packet from `node` one hop toward its destination.
-    fn forward(&mut self, node: NodeId, pkt: Packet) {
-        if pkt.dst == node {
+    fn forward(&mut self, node: NodeId, id: PacketId) {
+        let dst = self.arena.get(id).dst;
+        if dst == node {
             // Degenerate loopback: deliver immediately.
-            self.deliver(node, pkt);
+            self.deliver(node, id);
             return;
         }
-        match self.nodes[node].next_hop[pkt.dst] {
-            Some(link) => self.transmit_on(link, pkt),
-            None => self.stats.on_no_route(pkt.flow),
+        match self.routes.next_hop(node, dst) {
+            Some(link) => self.transmit_on(link, id),
+            None => {
+                self.stats.on_no_route(self.arena.get(id).flow);
+                self.arena.release(id);
+            }
         }
     }
 
     /// Offer a packet to a link's conditioner + queue, and kick the
     /// serializer if idle.
-    fn transmit_on(&mut self, link_id: LinkId, mut pkt: Packet) {
+    fn transmit_on(&mut self, link_id: LinkId, id: PacketId) {
         let now = self.now;
         let link = &mut self.links[link_id];
-        if let Some(marker) = link.markers.get_mut(&pkt.flow) {
-            marker.mark(now, &mut pkt);
+        let pkt = self.arena.get_mut(id);
+        if let Some(marker) = link.markers.get_mut(pkt.flow) {
+            marker.mark(now, pkt);
         }
-        let color = pkt.color;
-        let flow = pkt.flow;
-        let uid = pkt.uid;
-        let wire_size = pkt.wire_size;
-        match link.queue.enqueue(now, pkt, &mut link.rng) {
+        let qp = QueuedPacket {
+            id,
+            wire_size: pkt.wire_size,
+            color: pkt.color,
+        };
+        let (flow, uid) = (pkt.flow, pkt.uid);
+        match link.queue.enqueue(now, qp, &mut link.rng) {
             Err((dropped, reason)) => {
-                self.stats.on_drop(link_id, &dropped, reason);
+                self.stats
+                    .on_drop(link_id, self.arena.get(dropped.id), reason);
                 self.trace_emit(TraceEvent::Drop {
                     at: now,
                     link: link_id,
                     flow,
                     uid,
-                    color,
+                    color: dropped.color,
                     reason,
                 });
+                self.arena.release(dropped.id);
             }
             Ok(()) => {
                 let qlen = self.links[link_id].queue.len_pkts();
-                self.stats.on_enqueue(link_id, color, wire_size);
+                self.stats.on_enqueue(link_id, qp.color, qp.wire_size);
                 self.trace_emit(TraceEvent::Enqueue {
                     at: now,
                     link: link_id,
                     flow,
                     uid,
-                    color,
+                    color: qp.color,
                     queue_len: qlen,
                 });
                 if !self.links[link_id].transmitting {
@@ -460,13 +636,13 @@ impl Simulator {
     fn start_tx(&mut self, link_id: LinkId) {
         let now = self.now;
         let link = &mut self.links[link_id];
-        let Some(pkt) = link.queue.dequeue(now) else {
+        let Some(qp) = link.queue.dequeue(now) else {
             link.transmitting = false;
             return;
         };
-        let tx = link.rate.tx_time(pkt.wire_size);
+        let tx = link.rate.tx_time(qp.wire_size);
         link.transmitting = true;
-        link.in_flight = Some(pkt);
+        link.in_flight = Some(qp);
         self.push_event(now + tx, EventKind::TxComplete { link: link_id });
     }
 
@@ -474,7 +650,7 @@ impl Simulator {
     /// the loss model eats it) and start the next transmission.
     fn on_tx_complete(&mut self, link_id: LinkId) {
         let link = &mut self.links[link_id];
-        let pkt = link
+        let qp = link
             .in_flight
             .take()
             .expect("TxComplete without in-flight packet");
@@ -483,41 +659,77 @@ impl Simulator {
         let to = link.to;
         self.stats.on_transmit(link_id);
         if lost {
-            let (flow, uid, color) = (pkt.flow, pkt.uid, pkt.color);
-            self.stats.on_drop(link_id, &pkt, DropReason::LinkLoss);
+            let (flow, uid) = {
+                let pkt = self.arena.get(qp.id);
+                (pkt.flow, pkt.uid)
+            };
+            self.stats
+                .on_drop(link_id, self.arena.get(qp.id), DropReason::LinkLoss);
             self.trace_emit(TraceEvent::Drop {
                 at: self.now,
                 link: link_id,
                 flow,
                 uid,
-                color,
+                color: qp.color,
                 reason: DropReason::LinkLoss,
             });
+            self.arena.release(qp.id);
         } else {
             let at = self.now + delay;
-            self.push_event(at, EventKind::Arrival { node: to, pkt });
+            self.push_event(
+                at,
+                EventKind::Arrival {
+                    node: to,
+                    pkt: qp.id,
+                },
+            );
         }
         self.start_tx(link_id);
     }
 
     /// A packet arrived at `node` after propagation.
-    fn on_arrival(&mut self, node: NodeId, pkt: Packet) {
-        if pkt.dst == node {
-            self.deliver(node, pkt);
+    fn on_arrival(&mut self, node: NodeId, id: PacketId) {
+        if self.arena.get(id).dst == node {
+            self.deliver(node, id);
         } else {
-            self.forward(node, pkt);
+            self.forward(node, id);
         }
     }
 
-    fn deliver(&mut self, node: NodeId, pkt: Packet) {
-        self.stats.on_arrive(self.now, &pkt);
+    /// Hand a packet to the agent on its destination node, then release it.
+    ///
+    /// Open-coded rather than going through [`Simulator::with_agent`] so the
+    /// agent can borrow the packet from the arena while the `Ctx` borrows
+    /// the (disjoint) stats/rng fields.
+    fn deliver(&mut self, node: NodeId, id: PacketId) {
+        self.stats.on_arrive(self.now, self.arena.get(id));
+        let (flow, uid) = {
+            let pkt = self.arena.get(id);
+            (pkt.flow, pkt.uid)
+        };
         self.trace_emit(TraceEvent::Deliver {
             at: self.now,
             node,
-            flow: pkt.flow,
-            uid: pkt.uid,
+            flow,
+            uid,
         });
-        self.with_agent(node, |agent, ctx| agent.on_packet(ctx, pkt));
+        let Some(mut agent) = self.agents[node].take() else {
+            self.arena.release(id);
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            node,
+            stats: &mut self.stats,
+            rng: &mut self.node_rngs[node],
+            uid_counter: &mut self.uid_counter,
+            cmds: self.cmd_pool.pop().unwrap_or_default(),
+        };
+        agent.on_packet(&mut ctx, self.arena.get(id));
+        let cmds = ctx.cmds;
+        self.arena.release(id);
+        self.agents[node] = Some(agent);
+        self.apply_cmds(node, cmds);
     }
 
     fn start_if_needed(&mut self) {
@@ -536,14 +748,18 @@ impl Simulator {
     /// Run until virtual time `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: SimTime) {
         self.start_if_needed();
-        while let Some(Reverse(ev)) = self.events.peek() {
-            if ev.at > t {
+        while let Some((at_ns, seq, kind)) = self.events.pop() {
+            let at = SimTime::from_nanos(at_ns);
+            if at > t {
+                // Past the horizon: put it back under its original sequence
+                // number so a later run_until resumes in exact order.
+                self.events.push(at_ns, seq, kind);
                 break;
             }
-            let Reverse(ev) = self.events.pop().unwrap();
-            debug_assert!(ev.at >= self.now, "event time went backwards");
-            self.now = ev.at;
-            match ev.kind {
+            debug_assert!(at >= self.now, "event time went backwards");
+            self.now = at;
+            self.events_processed += 1;
+            match kind {
                 EventKind::Arrival { node, pkt } => self.on_arrival(node, pkt),
                 EventKind::TxComplete { link } => self.on_tx_complete(link),
                 EventKind::Timer { node, token } => {
@@ -602,7 +818,7 @@ mod tests {
     }
 
     impl Agent for Recorder {
-        fn on_packet(&mut self, ctx: &mut Ctx, _pkt: Packet) {
+        fn on_packet(&mut self, ctx: &mut Ctx, _pkt: &Packet) {
             self.arrivals.borrow_mut().push(ctx.now);
         }
     }
@@ -641,6 +857,7 @@ mod tests {
         // 1250 B at 10 Mbit/s = 1 ms tx, + 5 ms prop = 6 ms.
         assert_eq!(arrivals.borrow().as_slice(), &[SimTime::from_millis(6)]);
         assert_eq!(sim.stats().flow(flow).pkts_arrived, 1);
+        assert!(sim.events_processed() > 0);
     }
 
     #[test]
@@ -747,6 +964,9 @@ mod tests {
         // 1 in flight + 5 queued survive the burst of 50.
         assert_eq!(f.pkts_arrived, 6);
         assert_eq!(f.pkts_dropped, 44);
+        // Every packet's arena slot was released (delivered or dropped):
+        // the pool high-water mark tracks peak concurrency, not volume.
+        assert!(sim.packet_pool_high_water() <= 7);
     }
 
     #[test]
@@ -840,6 +1060,38 @@ mod tests {
     }
 
     #[test]
+    fn run_until_resumes_across_horizons() {
+        // The event loop re-queues the first past-horizon event; a split run
+        // must behave exactly like a single long run.
+        fn run(split: bool) -> (u64, u64) {
+            let (mut sim, a, c) = two_hosts(Rate::from_mbps(10), Duration::from_millis(5));
+            let flow = sim.register_flow("f");
+            sim.attach_agent(
+                a,
+                Box::new(Blaster {
+                    flow,
+                    dst: c,
+                    n: 200,
+                    size: 1250,
+                    gap: Duration::from_millis(7),
+                    sent: 0,
+                }),
+            );
+            sim.attach_agent(c, Box::new(crate::agents::Sink));
+            if split {
+                for ms in 1..=2000 {
+                    sim.run_until(SimTime::from_millis(ms));
+                }
+            } else {
+                sim.run_until(SimTime::from_secs(2));
+            }
+            let f = sim.stats().flow(flow);
+            (f.pkts_arrived, sim.events_processed())
+        }
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
     #[should_panic(expected = "agents attach to hosts")]
     fn cannot_attach_agent_to_router() {
         let mut b = NetworkBuilder::new();
@@ -852,5 +1104,95 @@ mod tests {
         struct Noop;
         impl Agent for Noop {}
         sim.attach_agent(r, Box::new(Noop));
+    }
+
+    /// The dense per-destination BFS the compressed routes replaced; kept as
+    /// the reference oracle for equivalence testing.
+    fn reference_routes(
+        n: usize,
+        links: &[(NodeId, NodeId, LinkConfig)],
+    ) -> Vec<Vec<Option<LinkId>>> {
+        let mut next_hop = vec![vec![None; n]; n];
+        for dst in 0..n {
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            let mut frontier = std::collections::VecDeque::new();
+            frontier.push_back(dst);
+            while let Some(v) = frontier.pop_front() {
+                for (id, (a, b, _)) in links.iter().enumerate() {
+                    if *b == v && dist[*a] == usize::MAX {
+                        dist[*a] = dist[v] + 1;
+                        next_hop[*a][dst] = Some(id);
+                        frontier.push_back(*a);
+                    } else if *b == v && dist[*a] == dist[v] + 1 {
+                        if let Some(cur) = next_hop[*a][dst] {
+                            if id < cur {
+                                next_hop[*a][dst] = Some(id);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        next_hop
+    }
+
+    #[test]
+    fn routes_match_reference_bfs() {
+        let cfg = || LinkConfig::new(Rate::from_mbps(1), Duration::from_millis(1));
+        // Randomized topologies: a small router mesh, pendant hosts (some
+        // duplex, some send-only, some receive-only), a mutual pair, and an
+        // isolated node. Seeded, so failures reproduce.
+        let mut rng = DetRng::new(0x0075_0F75);
+        for round in 0..40 {
+            let routers = 1 + (rng.next_u64() % 5) as usize;
+            let hosts = (rng.next_u64() % 12) as usize;
+            let n = routers + hosts + 3; // + mutual pair + isolated node
+            let mut links: Vec<(NodeId, NodeId, LinkConfig)> = Vec::new();
+            // Random router mesh (simplex edges, possibly asymmetric).
+            for _ in 0..(routers * 2) {
+                let a = (rng.next_u64() % routers as u64) as usize;
+                let b = (rng.next_u64() % routers as u64) as usize;
+                if a != b {
+                    links.push((a, b, cfg()));
+                }
+            }
+            // Pendant hosts off random routers.
+            for h in 0..hosts {
+                let host = routers + h;
+                let r = (rng.next_u64() % routers as u64) as usize;
+                match rng.next_u64() % 3 {
+                    0 => {
+                        links.push((host, r, cfg()));
+                        links.push((r, host, cfg()));
+                    }
+                    1 => links.push((host, r, cfg())),
+                    _ => links.push((r, host, cfg())),
+                }
+                // Occasionally a second parallel link (tie-break coverage).
+                if rng.next_u64() % 4 == 0 {
+                    links.push((host, r, cfg()));
+                }
+            }
+            // A mutual pair: two nodes linked only to each other.
+            let (m1, m2) = (n - 3, n - 2);
+            links.push((m1, m2, cfg()));
+            links.push((m2, m1, cfg()));
+            // n-1 is isolated.
+            let reference = reference_routes(n, &links);
+            let routes = Routes::build(n, &links);
+            for (a, ref_row) in reference.iter().enumerate() {
+                for (dst, &ref_hop) in ref_row.iter().enumerate() {
+                    if a == dst {
+                        continue;
+                    }
+                    assert_eq!(
+                        routes.next_hop(a, dst),
+                        ref_hop,
+                        "round {round}: route {a} -> {dst} diverged ({links:?})"
+                    );
+                }
+            }
+        }
     }
 }

@@ -46,7 +46,7 @@ impl TcpReceiver {
 }
 
 impl Agent for TcpReceiver {
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: &Packet) {
         let Ok(h) = TcpHeader::decode(&pkt.header) else {
             return; // corrupt header: drop silently
         };
@@ -95,7 +95,7 @@ mod tests {
                 ctx.send_new(self.data_flow, self.receiver_node, 1040, h.encode());
             }
         }
-        fn on_packet(&mut self, _ctx: &mut Ctx, pkt: Packet) {
+        fn on_packet(&mut self, _ctx: &mut Ctx, pkt: &Packet) {
             self.acks
                 .borrow_mut()
                 .push(TcpHeader::decode(&pkt.header).unwrap());

@@ -312,7 +312,7 @@ impl Agent for TcpSender {
         self.try_send(ctx);
     }
 
-    fn on_packet(&mut self, ctx: &mut Ctx, pkt: Packet) {
+    fn on_packet(&mut self, ctx: &mut Ctx, pkt: &Packet) {
         let Ok(h) = TcpHeader::decode(&pkt.header) else {
             return;
         };

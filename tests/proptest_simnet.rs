@@ -1,9 +1,12 @@
 //! Property tests for the simulator: determinism (the foundation of every
-//! experiment's reproducibility), packet conservation, and queue-bound
-//! respect under randomized workloads.
+//! experiment's reproducibility), packet conservation, queue-bound respect
+//! under randomized workloads, and scheduler exactness (the calendar queue
+//! is an order-preserving drop-in for the binary heap it replaced).
 
 use proptest::prelude::*;
 use qtp::simnet::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::time::Duration;
 
 /// Run a two-pair dumbbell with CBR + Poisson load; return the full flow
@@ -100,10 +103,59 @@ proptest! {
         let mut q = QueueConfig::DropTailPkts(limit).build();
         let mut rng = DetRng::new(1);
         for (i, size) in arrivals.iter().enumerate() {
-            let p = Packet::new(i as u64, 0, 0, 1, *size, SimTime::ZERO, Vec::new());
+            let p = QueuedPacket {
+                id: PacketId::from_raw(i as u32),
+                wire_size: *size,
+                color: Color::Green,
+            };
             let _ = q.enqueue(SimTime::ZERO, p, &mut rng);
             prop_assert!(q.len_pkts() <= limit);
         }
+    }
+
+    /// The calendar queue pops exactly what a `BinaryHeap` keyed by
+    /// `(time, seq)` would, under arbitrary interleavings of pushes and
+    /// pops — including pushes behind the calendar's current day, bursts
+    /// of equal timestamps (which must come back in insertion order, since
+    /// `seq` increases monotonically), and far-future outliers that force
+    /// the direct-scan day jump.
+    #[test]
+    fn calendar_queue_is_a_drop_in_for_binary_heap(
+        ops in prop::collection::vec((0u32..13, 0u64..5_000_000), 1..600),
+    ) {
+        let mut cal = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for (sel, raw) in ops {
+            // Weighted toward pushes so the queue grows through resize
+            // thresholds; timestamps mix three scales (same-tick bursts,
+            // short horizons, wide spreads) plus a far-future outlier, so
+            // bucket widths from 1 to millions all get exercised.
+            let at = match sel {
+                0..=2 => Some(raw % 50),
+                3..=5 => Some(raw % 5_000),
+                6..=7 => Some(raw),
+                8 => Some(u64::MAX - 1),
+                _ => None, // pop
+            };
+            match at {
+                Some(at) => {
+                    seq += 1;
+                    cal.push(at, seq, seq);
+                    heap.push(Reverse((at, seq)));
+                }
+                None => {
+                    let want = heap.pop().map(|Reverse((at, s))| (at, s, s));
+                    prop_assert_eq!(cal.pop(), want);
+                }
+            }
+            prop_assert_eq!(cal.len(), heap.len());
+        }
+        // Drain: remaining contents must agree in full pop order.
+        while let Some(Reverse((at, s))) = heap.pop() {
+            prop_assert_eq!(cal.pop(), Some((at, s, s)));
+        }
+        prop_assert!(cal.is_empty());
     }
 
     /// Gilbert–Elliott long-run loss tracks its analytic stationary value.
