@@ -1,0 +1,47 @@
+//! `appscen` — the application scenario families as a standalone tool.
+//!
+//! ```text
+//! appscen            # A1–A3 at the fixed seeds, markdown on stdout
+//! appscen --sweep    # deadline-miss rate vs loss (the nightly artifact)
+//! appscen --mux      # replay A1/A2 over real loopback sockets
+//! ```
+//!
+//! The default mode is a pure function of the code — CI diffs its output
+//! against `crates/bench/golden/appscen.md`, so any change to the stream
+//! data plane that shifts an application-visible number shows up as a
+//! golden diff in review rather than as silent drift.
+
+use std::process::ExitCode;
+
+use qtp_bench::scenarios;
+
+/// Loss rates of the nightly deadline sweep.
+const SWEEP_LOSSES: [f64; 4] = [0.01, 0.02, 0.03, 0.05];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: appscen [--sweep | --mux]");
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--sweep") {
+        print!("{}", scenarios::deadline_sweep(&SWEEP_LOSSES).to_markdown());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--mux") {
+        return match scenarios::scenarios_mux() {
+            Ok(t) => {
+                print!("{}", t.to_markdown());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("mux replay failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    for table in [scenarios::a1(), scenarios::a2(), scenarios::a3()] {
+        print!("{}", table.to_markdown());
+    }
+    ExitCode::SUCCESS
+}

@@ -110,7 +110,7 @@ fn run_selected(args: &[String]) -> ExitCode {
 /// `--report`: run the full ledger and write the committed artifact pair.
 fn report(out: PathBuf, with_mux: bool) -> ExitCode {
     let t0 = Instant::now();
-    eprintln!("running the full claims ledger (12 experiments + fairness sweep)…");
+    eprintln!("running the full claims ledger (12 experiments + app scenarios + fairness sweep)…");
     let ledger_run = ledger::run_full();
     let mut extras = Vec::new();
     if with_mux {
@@ -119,6 +119,14 @@ fn report(out: PathBuf, with_mux: bool) -> ExitCode {
             Ok(t) => extras.push(t),
             Err(e) => {
                 eprintln!("mux sweep failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("replaying app scenarios over the mux (informational)…");
+        match qtp_bench::scenarios::scenarios_mux() {
+            Ok(t) => extras.push(t),
+            Err(e) => {
+                eprintln!("mux scenario replay failed: {e}");
                 return ExitCode::FAILURE;
             }
         }

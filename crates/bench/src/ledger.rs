@@ -3,7 +3,9 @@
 //!
 //! The paper's evaluation is twelve textual claims; each is reproduced by
 //! one experiment (E1–E12, see [`crate::experiments_a`] /
-//! [`crate::experiments_b`] / [`crate::experiments_c`]) and extended at
+//! [`crate::experiments_b`] / [`crate::experiments_c`]), extended to the
+//! application data plane by the scenario families (A1–A3, see
+//! [`crate::scenarios`]) and extended at
 //! scale by the many-flow fairness sweep (F1, Jain index vs N). This
 //! module turns those runs into a **committed artifact pair** —
 //! `EXPERIMENTS.md` (human) and `experiments.json` (machine baseline) —
@@ -473,6 +475,39 @@ pub fn assertions() -> Vec<OrderingCheck> {
             Metric("f1.tfrc_goodput_n1000".into()),
             "the QTPAF reservation keeps its class ahead of TFRC at N = 1000",
         ),
+        // A1 — the stream data plane composes the floor with reliability.
+        OrderingCheck::ge(
+            "a1.qtpaf_goodput_mbps",
+            Metric("a1.tfrc_goodput_mbps".into()),
+            "floor + full reliability beats the plain-TFRC datagram copy on bulk goodput",
+        ),
+        OrderingCheck::ge(
+            "a1.qtpaf_byte_exact",
+            Const(1.0),
+            "the reliable stream reproduces the file byte-exact under loss",
+        ),
+        // A2 — interactive traffic completes and the tail stays bounded.
+        OrderingCheck::ge(
+            "a2.completed",
+            Const(100.0),
+            "every closed-loop exchange completes under loss",
+        ),
+        OrderingCheck::le(
+            "a2.p99_ms",
+            Const(1_000.0),
+            "the response-time tail is one tail-loss recovery, not a stall",
+        ),
+        // A3 — TTL-partial reliability beats full on deadline misses.
+        OrderingCheck::le(
+            "a3.partial_miss_rate",
+            Metric("a3.full_miss_rate".into()),
+            "TTL-bounded delivery misses fewer playout deadlines than full reliability",
+        ),
+        OrderingCheck::ge(
+            "a3.partial_ttl_dropped",
+            Const(1.0),
+            "the receiver-side TTL drop path fires on stale retransmissions",
+        ),
     ]
 }
 
@@ -525,9 +560,10 @@ pub fn render_markdown(ledger: &Ledger, extras: &[Table]) -> String {
     out.push_str(
         "Machine-regenerated reproduction of every evaluation claim in\n\
          *Towards a Versatile Transport Protocol* (Jourjon, Lochin, Sénac —\n\
-         CoNEXT 2006), plus the many-flow fairness sweep. Every number comes\n\
-         from the deterministic simulator at fixed seeds: the same commit\n\
-         regenerates this file byte-identically.\n\n\
+         CoNEXT 2006), plus the application scenario families (A1–A3, over\n\
+         the stream data plane) and the many-flow fairness sweep. Every\n\
+         number comes from the deterministic simulator at fixed seeds: the\n\
+         same commit regenerates this file byte-identically.\n\n\
          - Regenerate: `cargo run --release -p qtp-bench --bin expt -- --report`\n\
          - Regression gate: `cargo run --release -p qtp-bench --bin expt -- --check`\n\n\
          `--check` re-runs everything and fails if any **gated metric**\n\

@@ -31,13 +31,15 @@ pub mod experiments_c;
 pub mod json;
 pub mod ledger;
 pub mod manyflow;
+pub mod scenarios;
 pub mod table;
 
 use table::Table;
 
-/// All experiment ids in order.
-pub const ALL_IDS: [&str; 12] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12",
+/// All experiment ids in order: the twelve paper claims, then the
+/// application scenario families over the stream data plane.
+pub const ALL_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
 ];
 
 /// Run one experiment by id.
@@ -55,6 +57,9 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "e10" => Some(experiments_b::e10()),
         "e11" => Some(experiments_c::e11()),
         "e12" => Some(experiments_c::e12()),
+        "a1" => Some(scenarios::a1()),
+        "a2" => Some(scenarios::a2()),
+        "a3" => Some(scenarios::a3()),
         _ => None,
     }
 }

@@ -1,0 +1,858 @@
+//! Application scenario families A1–A3: the stream data plane under
+//! realistic application workloads.
+//!
+//! Where E1–E12 reproduce the paper's rate/fairness claims with synthetic
+//! greedy or CBR sources, these scenarios exercise the **application data
+//! plane** end to end — `SendStream::send` → negotiated transport →
+//! `RecvStream::recv` — and measure what an application would measure:
+//!
+//! * **A1 — bulk file transfer**: a fixed file pushed through the stream
+//!   with backpressure over a lossy path; goodput and byte-exactness,
+//!   QTPAF (full reliability + gTFRC floor) vs the plain-TFRC datagram
+//!   baseline.
+//! * **A2 — interactive request/response**: a closed-loop chat over two
+//!   stream connections; response-time percentiles (p50/p95/p99 from
+//!   [`qtp_metrics::agg`]) including the retransmission tail.
+//! * **A3 — deadline-driven streaming**: timestamped frames with a playout
+//!   deadline under loss; full reliability pays for recovery in
+//!   head-of-line lateness, TTL-bounded partial reliability drops stale
+//!   retransmissions at the receiver and misses fewer deadlines.
+//!
+//! Every scenario is a parameterised family (`*Params` structs) running on
+//! the deterministic simulator; fixed seeds make each table a pure
+//! function of the code, so A1–A3 are gated in the claims ledger alongside
+//! E1–E12. [`scenarios_mux`] replays A1/A2 over real loopback sockets
+//! through the connection mux (wall-clock, informational).
+
+use qtp_core::session::{attach_pair, attach_pairs, ConnectionPlan, Profile, Reliability};
+use qtp_core::stream::{RecvStream, SendStream, StreamConfig, StreamError};
+use qtp_core::{CcKind, FeedbackMode};
+use qtp_metrics::agg;
+use qtp_simnet::prelude::*;
+use std::time::Duration;
+
+use crate::common::lossy_path;
+use crate::table::{ratio, Table, Tolerance};
+
+/// Deterministic position-dependent payload: any reordering, loss, or
+/// duplication of delivered bytes breaks the byte-exact comparison.
+fn pattern_bytes(len: usize, salt: u64) -> Vec<u8> {
+    (0..len as u64)
+        .map(|i| ((i ^ salt).wrapping_mul(2654435761) >> 7) as u8)
+        .collect()
+}
+
+/// Push as much of `data` into the stream as the send buffer accepts.
+fn feed(send: &SendStream, data: &[u8], offset: &mut usize, msg: usize) {
+    while *offset < data.len() {
+        let end = (*offset + msg).min(data.len());
+        match send.send(&data[*offset..end]) {
+            Ok(()) => *offset = end,
+            Err(StreamError::Full) => break,
+            Err(e) => panic!("scenario send failed: {e}"),
+        }
+    }
+}
+
+fn drain(recv: &RecvStream, into: &mut Vec<u8>) {
+    while let Some(m) = recv.recv() {
+        into.extend(m);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A1 — bulk file transfer
+// ---------------------------------------------------------------------------
+
+/// Parameters of the bulk-transfer family.
+#[derive(Debug, Clone)]
+pub struct BulkParams {
+    /// File size in KiB.
+    pub file_kib: usize,
+    /// Path rate in Mbit/s.
+    pub rate_mbps: u64,
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Bernoulli loss probability on the data direction.
+    pub loss: f64,
+    /// gTFRC floor for the QTPAF variant, Mbit/s.
+    pub floor_mbps: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for BulkParams {
+    fn default() -> Self {
+        BulkParams {
+            file_kib: 512,
+            rate_mbps: 10,
+            one_way: Duration::from_millis(20),
+            loss: 0.02,
+            floor_mbps: 6,
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of one bulk transfer run.
+#[derive(Debug, Clone)]
+pub struct BulkRun {
+    /// Profile label.
+    pub label: String,
+    /// Application goodput over the active period, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Seconds until the receive stream finished (horizon if it never did).
+    pub completion_s: f64,
+    /// Application bytes delivered.
+    pub delivered_bytes: u64,
+    /// Delivered bytes reproduce the file exactly, in order.
+    pub byte_exact: bool,
+}
+
+/// Run one bulk file transfer through the stream data plane on the
+/// deterministic simulator.
+pub fn bulk(params: &BulkParams, profile: Profile, label: &str) -> BulkRun {
+    let (mut sim, s, r) = lossy_path(
+        params.rate_mbps,
+        params.one_way,
+        LossModel::bernoulli(params.loss),
+        params.seed,
+    );
+    let plan = ConnectionPlan::new(profile)
+        .label(label)
+        .stream(StreamConfig::with_send_buf(64 * 1024));
+    let h = attach_pair(&mut sim, s, r, label, &plan);
+    let tx = h.tx_stream.clone().expect("stream plan has a send stream");
+    let rx = h.rx_stream.clone().expect("stream plan has a recv stream");
+
+    let file = pattern_bytes(params.file_kib * 1024, params.seed);
+    let step = Duration::from_millis(50);
+    let horizon = SimTime::ZERO + Duration::from_secs(60);
+    let mut t = SimTime::ZERO;
+    let mut offset = 0usize;
+    let mut received = Vec::with_capacity(file.len());
+    let mut completion = None;
+    while t < horizon {
+        t = (t + step).min(horizon);
+        feed(&tx, &file, &mut offset, 1000);
+        if offset == file.len() && !tx.is_finished() {
+            tx.finish();
+        }
+        sim.run_until(t);
+        drain(&rx, &mut received);
+        if rx.is_finished() {
+            completion = Some(t);
+            break;
+        }
+    }
+    let elapsed = completion.unwrap_or(horizon).as_secs_f64();
+    BulkRun {
+        label: label.to_string(),
+        goodput_mbps: rx.bytes_received() as f64 * 8.0 / elapsed / 1e6,
+        completion_s: elapsed,
+        delivered_bytes: rx.bytes_received(),
+        byte_exact: received == file,
+    }
+}
+
+/// A1 — bulk file transfer: QTPAF vs the plain-TFRC datagram baseline on
+/// the same 2%-loss path.
+pub fn a1() -> Table {
+    let mut t = Table::new(
+        "A1",
+        "App scenario: bulk file transfer over the stream data plane",
+        "application extension of §4: full reliability over the gTFRC floor moves a file byte-exact at the reserved rate under loss, while the datagram baseline collapses to the TFRC equation and delivers holes",
+        &[
+            "profile",
+            "goodput (Mbit/s)",
+            "completion (s)",
+            "delivered (KiB)",
+            "byte-exact",
+        ],
+    );
+    let params = BulkParams::default();
+    let af = bulk(
+        &params,
+        Profile::qtp_af(Rate::from_mbps(params.floor_mbps)),
+        "qtp_af",
+    );
+    let tfrc = bulk(&params, Profile::tfrc(), "tfrc");
+    for run in [&af, &tfrc] {
+        t.row(vec![
+            run.label.clone(),
+            format!("{:.2}", run.goodput_mbps),
+            format!("{:.2}", run.completion_s),
+            format!("{}", run.delivered_bytes / 1024),
+            format!("{}", run.byte_exact),
+        ]);
+    }
+    t.verdict = format!(
+        "QTPAF finishes the {} KiB file byte-exact in {:.2} s ({:.2} Mbit/s); plain TFRC needs {:.2} s for a lossy copy ({:.2} Mbit/s) — the floor and the reliability compose for applications, not just for rate traces.",
+        params.file_kib, af.completion_s, af.goodput_mbps, tfrc.completion_s, tfrc.goodput_mbps,
+    );
+    t.metric(
+        "qtpaf_goodput_mbps",
+        af.goodput_mbps,
+        "Mbit/s",
+        Tolerance::Rel(0.25),
+    );
+    t.metric(
+        "tfrc_goodput_mbps",
+        tfrc.goodput_mbps,
+        "Mbit/s",
+        Tolerance::Rel(0.30),
+    );
+    t.metric("qtpaf_byte_exact", af.byte_exact, "flag", Tolerance::Exact);
+    t.metric(
+        "qtpaf_completion_s",
+        af.completion_s,
+        "s",
+        Tolerance::Rel(0.30),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// A2 — interactive request/response
+// ---------------------------------------------------------------------------
+
+/// Parameters of the request/response family.
+#[derive(Debug, Clone)]
+pub struct ChatParams {
+    /// Closed-loop requests to complete.
+    pub requests: usize,
+    /// Request size, bytes.
+    pub req_bytes: usize,
+    /// Response size, bytes.
+    pub rsp_bytes: usize,
+    /// Path rate in Mbit/s.
+    pub rate_mbps: u64,
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Bernoulli loss probability on the request direction.
+    pub loss: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ChatParams {
+    fn default() -> Self {
+        ChatParams {
+            requests: 100,
+            req_bytes: 200,
+            rsp_bytes: 1000,
+            rate_mbps: 10,
+            one_way: Duration::from_millis(10),
+            loss: 0.10,
+            seed: 7,
+        }
+    }
+}
+
+/// Outcome of one chat run.
+#[derive(Debug, Clone)]
+pub struct ChatRun {
+    /// Request/response exchanges completed.
+    pub completed: usize,
+    /// Median response time, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile response time, ms.
+    pub p99_ms: f64,
+}
+
+/// Run the closed-loop request/response scenario: requests ride one stream
+/// connection client→server (lossy direction), responses a second one
+/// server→client. A lost tail request has nothing behind it to reveal the
+/// gap, so the tail-loss timer sets the p99 — exactly the latency anatomy
+/// a real RPC client sees.
+pub fn chat(params: &ChatParams) -> ChatRun {
+    let (mut sim, c, s) = lossy_path(
+        params.rate_mbps,
+        params.one_way,
+        LossModel::bernoulli(params.loss),
+        params.seed,
+    );
+    let plan = |label: &str| {
+        ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(2)))
+            .label(label)
+            .stream(StreamConfig::with_send_buf(64 * 1024))
+    };
+    // Both connections terminate on both nodes (requests one way,
+    // responses the other), so they must share per-node agents.
+    let mut pairs = attach_pairs(
+        &mut sim,
+        &[
+            (c, s, "a2-req", plan("a2-req")),
+            (s, c, "a2-rsp", plan("a2-rsp")),
+        ],
+    );
+    let rsp = pairs.pop().expect("two pairs attached");
+    let req = pairs.pop().expect("two pairs attached");
+    let req_tx = req.tx_stream.clone().expect("stream plan");
+    let req_rx = req.rx_stream.clone().expect("stream plan");
+    let rsp_tx = rsp.tx_stream.clone().expect("stream plan");
+    let rsp_rx = rsp.rx_stream.clone().expect("stream plan");
+
+    let request = pattern_bytes(params.req_bytes, params.seed);
+    let response = pattern_bytes(params.rsp_bytes, params.seed + 1);
+    let step = Duration::from_millis(1);
+    let warmup = SimTime::ZERO + Duration::from_millis(500);
+    let horizon = SimTime::ZERO + Duration::from_secs(120);
+    let mut t = SimTime::ZERO;
+    sim.run_until(warmup);
+    t = t.max(warmup);
+
+    let mut sent = 0usize;
+    let mut inflight: Option<SimTime> = None;
+    let mut rts_ms: Vec<f64> = Vec::with_capacity(params.requests);
+    while rts_ms.len() < params.requests && t < horizon {
+        // Server: every complete request gets one response.
+        while req_rx.recv().is_some() {
+            rsp_tx.send(&response).expect("response fits the buffer");
+        }
+        // Client: a response completes the exchange in flight.
+        while rsp_rx.recv().is_some() {
+            if let Some(at) = inflight.take() {
+                rts_ms.push(t.saturating_since(at).as_secs_f64() * 1e3);
+            }
+        }
+        if inflight.is_none() && sent < params.requests {
+            req_tx.send(&request).expect("request fits the buffer");
+            inflight = Some(t);
+            sent += 1;
+        }
+        t = (t + step).min(horizon);
+        sim.run_until(t);
+    }
+    ChatRun {
+        completed: rts_ms.len(),
+        p50_ms: agg::p50(&rts_ms),
+        p95_ms: agg::p95(&rts_ms),
+        p99_ms: agg::p99(&rts_ms),
+    }
+}
+
+/// A2 — interactive request/response latency percentiles.
+pub fn a2() -> Table {
+    let mut t = Table::new(
+        "A2",
+        "App scenario: closed-loop request/response over two stream connections",
+        "application extension of §3: the stream data plane serves interactive traffic — median response time tracks the RTT plus pacing, and the only heavy tail is the tail-loss recovery of a lost request",
+        &["exchanges", "p50 (ms)", "p95 (ms)", "p99 (ms)"],
+    );
+    let params = ChatParams::default();
+    let run = chat(&params);
+    t.row(vec![
+        format!("{}", run.completed),
+        format!("{:.1}", run.p50_ms),
+        format!("{:.1}", run.p95_ms),
+        format!("{:.1}", run.p99_ms),
+    ]);
+    t.verdict = format!(
+        "{} of {} exchanges completed; p50 {:.1} ms over a {} ms RTT, p99 {:.1} ms — the tail is the tail-loss timer recovering a lost request, not queueing.",
+        run.completed,
+        params.requests,
+        run.p50_ms,
+        2 * params.one_way.as_millis(),
+        run.p99_ms,
+    );
+    t.metric("completed", run.completed, "exchanges", Tolerance::Exact);
+    t.metric("p50_ms", run.p50_ms, "ms", Tolerance::AbsOrRel(3.0, 0.35));
+    t.metric("p95_ms", run.p95_ms, "ms", Tolerance::AbsOrRel(5.0, 0.40));
+    t.metric("p99_ms", run.p99_ms, "ms", Tolerance::AbsOrRel(10.0, 0.50));
+    t
+}
+
+// ---------------------------------------------------------------------------
+// A3 — deadline-driven streaming
+// ---------------------------------------------------------------------------
+
+/// Parameters of the deadline-streaming family.
+#[derive(Debug, Clone)]
+pub struct DeadlineParams {
+    /// Frames to stream.
+    pub frames: usize,
+    /// Frame size, bytes (one message per frame).
+    pub frame_bytes: usize,
+    /// Frame interval (CBR cadence).
+    pub interval: Duration,
+    /// Playout deadline: a frame older than this on delivery is missed.
+    pub deadline: Duration,
+    /// Per-message TTL for the partial-reliability variant. Set below the
+    /// minimum retransmission round trip so every arriving retransmission
+    /// is provably stale — the receiver, not the sender, drops it.
+    pub msg_ttl: Duration,
+    /// Connection-level TTL offered by the partial profile (kept well
+    /// above `msg_ttl` so the sender still retransmits and the receiver
+    /// exercises its drop path).
+    pub policy_ttl: Duration,
+    /// Path rate in Mbit/s.
+    pub rate_mbps: u64,
+    /// gTFRC floor in Mbit/s, identical in both variants so the
+    /// comparison isolates the reliability axis.
+    pub floor_mbps: u64,
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Bernoulli loss probability on the data direction.
+    pub loss: f64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for DeadlineParams {
+    fn default() -> Self {
+        DeadlineParams {
+            frames: 600,
+            frame_bytes: 500,
+            interval: Duration::from_millis(20),
+            deadline: Duration::from_millis(120),
+            msg_ttl: Duration::from_millis(110),
+            policy_ttl: Duration::from_millis(400),
+            rate_mbps: 4,
+            floor_mbps: 1,
+            one_way: Duration::from_millis(40),
+            loss: 0.03,
+            seed: 9,
+        }
+    }
+}
+
+/// The two A3 profiles: full reliability vs TTL-partial, with the *same*
+/// congestion control (gTFRC at the same floor) so reliability is the
+/// only axis that differs. `qtp_light_partial` would swap the whole
+/// capability set at once and confound the deadline comparison with a
+/// rate change.
+fn deadline_profiles(params: &DeadlineParams) -> (Profile, Profile) {
+    let floor = Rate::from_mbps(params.floor_mbps);
+    let full = Profile::qtp_af(floor);
+    let partial = Profile::new()
+        .reliability(Reliability::Ttl(params.policy_ttl))
+        .feedback(FeedbackMode::ReceiverLoss)
+        .cc(CcKind::Gtfrc { target: floor })
+        .build()
+        .expect("non-zero TTL");
+    (full, partial)
+}
+
+/// Outcome of one deadline-streaming run.
+#[derive(Debug, Clone)]
+pub struct DeadlineRun {
+    /// Variant label.
+    pub label: String,
+    /// Frames delivered within the deadline.
+    pub on_time: usize,
+    /// Frames delivered after the deadline.
+    pub late: usize,
+    /// Frames never delivered.
+    pub never: usize,
+    /// (late + never) / frames.
+    pub miss_rate: f64,
+    /// Stale retransmissions dropped by the receiver's TTL check.
+    pub ttl_dropped: u64,
+}
+
+/// Stream timestamped CBR frames through one profile and score each frame
+/// against the playout deadline.
+pub fn deadline(
+    params: &DeadlineParams,
+    profile: Profile,
+    tag_ttl: bool,
+    label: &str,
+) -> DeadlineRun {
+    let (mut sim, s, r) = lossy_path(
+        params.rate_mbps,
+        params.one_way,
+        LossModel::bernoulli(params.loss),
+        params.seed,
+    );
+    let plan = ConnectionPlan::new(profile)
+        .label(label)
+        .payload(params.frame_bytes as u32)
+        .stream(StreamConfig::default());
+    let h = attach_pair(&mut sim, s, r, label, &plan);
+    let tx = h.tx_stream.clone().expect("stream plan");
+    let rx = h.rx_stream.clone().expect("stream plan");
+
+    let ttl_micros = if tag_ttl {
+        params.msg_ttl.as_micros() as u32
+    } else {
+        0
+    };
+    let pad = pattern_bytes(params.frame_bytes, params.seed);
+    let step = Duration::from_millis(5);
+    let warmup = SimTime::ZERO + Duration::from_secs(1);
+    let horizon = SimTime::ZERO + Duration::from_secs(30) + params.interval * params.frames as u32;
+    let mut t = SimTime::ZERO;
+    sim.run_until(warmup);
+    t = t.max(warmup);
+
+    let mut sent = 0usize;
+    let mut delivered = vec![false; params.frames];
+    let mut on_time = 0usize;
+    let mut late = 0usize;
+    while t < horizon {
+        while sent < params.frames && t >= warmup + params.interval * sent as u32 {
+            let mut frame = pad.clone();
+            frame[..4].copy_from_slice(&(sent as u32).to_be_bytes());
+            frame[4..12].copy_from_slice(&t.as_nanos().to_be_bytes());
+            tx.send_with_ttl(&frame, ttl_micros)
+                .expect("frame fits the buffer");
+            sent += 1;
+        }
+        if sent == params.frames && !tx.is_finished() {
+            tx.finish();
+        }
+        t = (t + step).min(horizon);
+        sim.run_until(t);
+        while let Some(frame) = rx.recv() {
+            let mut idx = [0u8; 4];
+            idx.copy_from_slice(&frame[..4]);
+            let idx = u32::from_be_bytes(idx) as usize;
+            let mut ts = [0u8; 8];
+            ts.copy_from_slice(&frame[4..12]);
+            let sent_at = SimTime::from_nanos(u64::from_be_bytes(ts));
+            if delivered[idx] {
+                continue;
+            }
+            delivered[idx] = true;
+            if t.saturating_since(sent_at) <= params.deadline {
+                on_time += 1;
+            } else {
+                late += 1;
+            }
+        }
+        if rx.is_finished() && sent == params.frames {
+            break;
+        }
+    }
+    let never = delivered.iter().filter(|d| !**d).count();
+    DeadlineRun {
+        label: label.to_string(),
+        on_time,
+        late,
+        never,
+        miss_rate: (late + never) as f64 / params.frames as f64,
+        ttl_dropped: rx.ttl_dropped(),
+    }
+}
+
+/// A3 — deadline-driven streaming: full reliability vs TTL-bounded partial
+/// reliability under 3% loss.
+pub fn a3() -> Table {
+    let mut t = Table::new(
+        "A3",
+        "App scenario: deadline streaming — full vs TTL-partial reliability",
+        "§3's partial-reliability by-product, measured at the application: under loss, full reliability recovers every frame but behind the playout deadline (head-of-line lateness), while TTL-partial delivery drops stale retransmissions at the receiver and misses fewer deadlines",
+        &[
+            "variant",
+            "frames",
+            "on-time",
+            "late",
+            "never",
+            "miss rate",
+            "ttl dropped",
+        ],
+    );
+    let params = DeadlineParams::default();
+    let (full_profile, partial_profile) = deadline_profiles(&params);
+    let full = deadline(&params, full_profile, false, "full");
+    let partial = deadline(&params, partial_profile, true, "ttl-partial");
+    for run in [&full, &partial] {
+        t.row(vec![
+            run.label.clone(),
+            format!("{}", params.frames),
+            format!("{}", run.on_time),
+            format!("{}", run.late),
+            format!("{}", run.never),
+            ratio(run.miss_rate),
+            format!("{}", run.ttl_dropped),
+        ]);
+    }
+    t.verdict = format!(
+        "with a {} ms deadline over an {} ms RTT, full reliability misses {:.1}% of frames (every recovered frame arrives stale and delays the frames queued behind it); TTL-partial delivery misses {:.1}% — the lost frames themselves — and the receiver discarded {} stale retransmissions.",
+        params.deadline.as_millis(),
+        2 * params.one_way.as_millis(),
+        full.miss_rate * 100.0,
+        partial.miss_rate * 100.0,
+        partial.ttl_dropped,
+    );
+    t.metric(
+        "full_miss_rate",
+        full.miss_rate,
+        "ratio",
+        Tolerance::AbsOrRel(0.02, 0.5),
+    );
+    t.metric(
+        "partial_miss_rate",
+        partial.miss_rate,
+        "ratio",
+        Tolerance::AbsOrRel(0.02, 0.5),
+    );
+    t.metric(
+        "partial_ttl_dropped",
+        partial.ttl_dropped,
+        "frames",
+        Tolerance::AbsOrRel(10.0, 1.0),
+    );
+    t.metric(
+        "partial_on_time",
+        partial.on_time,
+        "frames",
+        Tolerance::AbsOrRel(20.0, 0.10),
+    );
+    t
+}
+
+/// Sweep the deadline-miss rate across loss rates for both reliability
+/// variants (the nightly artifact; each cell is a full scenario run).
+pub fn deadline_sweep(losses: &[f64]) -> Table {
+    let mut t = Table::new(
+        "A3-SWEEP",
+        "Deadline-miss rate vs loss: full vs TTL-partial reliability",
+        "the A3 ordering holds across the loss range, not just at the gated point",
+        &["loss", "full miss rate", "partial miss rate", "ttl dropped"],
+    );
+    for &loss in losses {
+        let params = DeadlineParams {
+            loss,
+            seed: 9 + (loss * 1000.0) as u64,
+            ..DeadlineParams::default()
+        };
+        let (full_profile, partial_profile) = deadline_profiles(&params);
+        let full = deadline(&params, full_profile, false, "full");
+        let partial = deadline(&params, partial_profile, true, "ttl-partial");
+        t.row(vec![
+            format!("{loss}"),
+            ratio(full.miss_rate),
+            ratio(partial.miss_rate),
+            format!("{}", partial.ttl_dropped),
+        ]);
+        t.metric(
+            &format!("full_miss_l{}", (loss * 1000.0) as u64),
+            full.miss_rate,
+            "ratio",
+            Tolerance::Info,
+        );
+        t.metric(
+            &format!("partial_miss_l{}", (loss * 1000.0) as u64),
+            partial.miss_rate,
+            "ratio",
+            Tolerance::Info,
+        );
+    }
+    t.verdict = "partial ≤ full at every loss rate".into();
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Mux replay (real sockets, informational)
+// ---------------------------------------------------------------------------
+
+/// Replay A1 (bulk) and A2 (chat) over real loopback sockets through the
+/// connection mux: the client registers its connections, the server side
+/// materialises sessions from a plan template via
+/// [`accept_sessions`](qtp_io::accept_sessions). Loopback has no loss and
+/// wall-clock timing, so every metric is informational — the value is the
+/// end-to-end path: stream → mux framing → UDP → accept → stream.
+pub fn scenarios_mux() -> std::io::Result<Table> {
+    use qtp_core::session::Session;
+    use qtp_io::{accept_sessions, drive_mux_pair, MuxDriver};
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "A-MUX",
+        "App scenarios over the connection mux (real sockets, informational)",
+        "the same stream applications run unchanged over the multiplexed UDP driver with plan-template accept",
+        &["scenario", "result", "wall time"],
+    );
+
+    // --- bulk: 512 KiB byte-exact with wire close --------------------------
+    let file = pattern_bytes(512 * 1024, 3);
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(200)))
+        .stream(StreamConfig::with_send_buf(256 * 1024));
+    let mut server: MuxDriver<Session> = MuxDriver::bind("127.0.0.1:0")?;
+    let accepts = accept_sessions(&mut server, plan.clone());
+    let server_addr = server.local_addr()?;
+    let mut client: MuxDriver<Session> = MuxDriver::bind("127.0.0.1:0")?;
+    let tx_sess = Session::sender(0, 0, &plan);
+    let send = tx_sess.send_stream().expect("stream plan");
+    let tx_id = client.add_connection(server_addr, vec![0, 1], tx_sess)?;
+
+    let t0 = Instant::now();
+    let mut offset = 0usize;
+    let mut received = Vec::with_capacity(file.len());
+    let mut recv: Option<RecvStream> = None;
+    let ok = drive_mux_pair(&mut client, &mut server, Duration::from_secs(60), |c, s| {
+        feed(&send, &file, &mut offset, 8 * 1024);
+        if offset == file.len() && !send.is_finished() {
+            send.finish();
+        }
+        if recv.is_none() {
+            if let Some(ev) = accepts.pop() {
+                let id = s.route(ev.peer, ev.data_flow).expect("accepted conn");
+                recv = s.endpoint(id).and_then(|sess| sess.recv_stream());
+            }
+        }
+        let Some(r) = &recv else { return false };
+        drain(r, &mut received);
+        r.is_finished() && c.endpoint(tx_id).is_some_and(|sess| sess.is_closed())
+    })?;
+    let bulk_wall = t0.elapsed().as_secs_f64();
+    let byte_exact = ok && received == file;
+    let bulk_mbps = received.len() as f64 * 8.0 / bulk_wall.max(1e-9) / 1e6;
+    t.row(vec![
+        "bulk 512 KiB".into(),
+        format!("byte-exact: {byte_exact}, {bulk_mbps:.0} Mbit/s"),
+        format!("{bulk_wall:.2} s"),
+    ]);
+    t.metric("bulk_byte_exact", byte_exact, "flag", Tolerance::Info);
+    t.metric("bulk_goodput_mbps", bulk_mbps, "Mbit/s", Tolerance::Info);
+
+    // --- chat: closed-loop request/response with template accept -----------
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(2)))
+        .stream(StreamConfig::with_send_buf(64 * 1024));
+    let mut server: MuxDriver<Session> = MuxDriver::bind("127.0.0.1:0")?;
+    let srv_accepts = accept_sessions(&mut server, plan.clone());
+    let server_addr = server.local_addr()?;
+    let mut client: MuxDriver<Session> = MuxDriver::bind("127.0.0.1:0")?;
+    let cli_accepts = accept_sessions(&mut client, plan.clone());
+    let req_sess = Session::sender(0, 0, &plan);
+    let req_tx = req_sess.send_stream().expect("stream plan");
+    client.add_connection(server_addr, vec![0, 1], req_sess)?;
+
+    const EXCHANGES: usize = 50;
+    let request = pattern_bytes(200, 11);
+    let response = pattern_bytes(1000, 12);
+    let t0 = Instant::now();
+    let mut req_rx: Option<RecvStream> = None;
+    let mut rsp_tx: Option<SendStream> = None;
+    let mut rsp_rx: Option<RecvStream> = None;
+    let mut sent = 0usize;
+    let mut inflight: Option<Instant> = None;
+    let mut rts_ms: Vec<f64> = Vec::with_capacity(EXCHANGES);
+    // Manual drive loop: the server must `add_connection` (a `&mut`
+    // operation) mid-flight when it opens the response connection, which
+    // `drive_mux_pair`'s read-only closure cannot express.
+    let slice = Duration::from_micros(300);
+    while rts_ms.len() < EXCHANGES && t0.elapsed() < Duration::from_secs(60) {
+        client.drive_once(slice)?;
+        server.drive_once(slice)?;
+        // Server: accept the request connection, then open the response
+        // connection back to the client (who accepts it from the template).
+        if req_rx.is_none() {
+            if let Some(ev) = srv_accepts.pop() {
+                let id = server.route(ev.peer, ev.data_flow).expect("accepted conn");
+                req_rx = server.endpoint(id).and_then(|sess| sess.recv_stream());
+                let rsp_sess = Session::sender(2, 0, &plan);
+                rsp_tx = rsp_sess.send_stream();
+                server
+                    .add_connection(ev.peer, vec![2, 3], rsp_sess)
+                    .expect("response connection");
+            }
+        }
+        if rsp_rx.is_none() {
+            if let Some(ev) = cli_accepts.pop() {
+                let id = client.route(ev.peer, ev.data_flow).expect("accepted conn");
+                rsp_rx = client.endpoint(id).and_then(|sess| sess.recv_stream());
+            }
+        }
+        if let (Some(rx), Some(tx)) = (&req_rx, &rsp_tx) {
+            while rx.recv().is_some() {
+                tx.send(&response).expect("response fits");
+            }
+        }
+        if let Some(rx) = &rsp_rx {
+            while rx.recv().is_some() {
+                if let Some(at) = inflight.take() {
+                    rts_ms.push(at.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+        }
+        if inflight.is_none() && sent < EXCHANGES {
+            req_tx.send(&request).expect("request fits");
+            inflight = Some(Instant::now());
+            sent += 1;
+        }
+    }
+    let chat_wall = t0.elapsed().as_secs_f64();
+    t.row(vec![
+        format!("chat {EXCHANGES} exchanges"),
+        format!(
+            "completed: {}, p50 {:.1} ms, p99 {:.1} ms",
+            rts_ms.len(),
+            agg::p50(&rts_ms),
+            agg::p99(&rts_ms),
+        ),
+        format!("{chat_wall:.2} s"),
+    ]);
+    t.metric("chat_completed", rts_ms.len(), "exchanges", Tolerance::Info);
+    t.metric("chat_p50_ms", agg::p50(&rts_ms), "ms", Tolerance::Info);
+    t.metric("chat_p99_ms", agg::p99(&rts_ms), "ms", Tolerance::Info);
+    let _ = ok;
+    t.verdict = format!(
+        "bulk byte-exact: {byte_exact}; chat {}/{EXCHANGES} exchanges — stream applications are backend-neutral down to the socket.",
+        rts_ms.len(),
+    );
+    Ok(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bulk_qtpaf_is_byte_exact_and_beats_tfrc() {
+        let params = BulkParams {
+            file_kib: 96,
+            ..BulkParams::default()
+        };
+        let af = bulk(&params, Profile::qtp_af(Rate::from_mbps(6)), "af");
+        let tfrc = bulk(&params, Profile::tfrc(), "tfrc");
+        assert!(af.byte_exact, "full reliability reproduces the file");
+        assert_eq!(af.delivered_bytes, 96 * 1024);
+        assert!(
+            af.goodput_mbps >= tfrc.goodput_mbps,
+            "floor+reliability ≥ TFRC baseline ({:.2} vs {:.2})",
+            af.goodput_mbps,
+            tfrc.goodput_mbps
+        );
+        assert!(!tfrc.byte_exact, "2% loss must hole the datagram copy");
+    }
+
+    #[test]
+    fn chat_completes_with_sane_percentiles() {
+        let params = ChatParams {
+            requests: 30,
+            ..ChatParams::default()
+        };
+        let run = chat(&params);
+        assert_eq!(run.completed, 30);
+        assert!(run.p50_ms >= 2.0 * params.one_way.as_millis() as f64 * 0.9);
+        assert!(run.p50_ms <= run.p95_ms && run.p95_ms <= run.p99_ms);
+        assert!(run.p99_ms < 2_000.0, "tail bounded by tail-loss recovery");
+    }
+
+    #[test]
+    fn deadline_partial_beats_full_and_drops_stale_retx() {
+        let params = DeadlineParams {
+            frames: 300,
+            ..DeadlineParams::default()
+        };
+        let (full_profile, partial_profile) = deadline_profiles(&params);
+        let full = deadline(&params, full_profile, false, "full");
+        let partial = deadline(&params, partial_profile, true, "partial");
+        assert!(
+            partial.miss_rate <= full.miss_rate,
+            "TTL-partial misses fewer deadlines ({:.3} vs {:.3})",
+            partial.miss_rate,
+            full.miss_rate
+        );
+        assert!(
+            partial.ttl_dropped >= 1,
+            "the receiver-side TTL drop path must fire"
+        );
+        assert!(full.on_time > 0 && partial.on_time > 0);
+    }
+}

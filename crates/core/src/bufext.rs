@@ -6,6 +6,7 @@
 
 pub(crate) trait BufMut {
     fn put_u8(&mut self, v: u8);
+    fn put_u16(&mut self, v: u16);
     fn put_u32(&mut self, v: u32);
     fn put_u64(&mut self, v: u64);
 }
@@ -13,6 +14,10 @@ pub(crate) trait BufMut {
 impl BufMut for Vec<u8> {
     fn put_u8(&mut self, v: u8) {
         self.push(v);
+    }
+
+    fn put_u16(&mut self, v: u16) {
+        self.extend_from_slice(&v.to_be_bytes());
     }
 
     fn put_u32(&mut self, v: u32) {
@@ -30,6 +35,7 @@ impl BufMut for Vec<u8> {
 pub(crate) trait Buf {
     fn remaining(&self) -> usize;
     fn get_u8(&mut self) -> u8;
+    fn get_u16(&mut self) -> u16;
     fn get_u32(&mut self) -> u32;
     fn get_u64(&mut self) -> u64;
 }
@@ -43,6 +49,12 @@ impl Buf for &[u8] {
         let v = self[0];
         *self = &self[1..];
         v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        let (head, rest) = self.split_at(2);
+        *self = rest;
+        u16::from_be_bytes(head.try_into().unwrap())
     }
 
     fn get_u32(&mut self) -> u32 {
@@ -66,11 +78,13 @@ mod tests {
     fn roundtrip_all_widths() {
         let mut out = Vec::new();
         out.put_u8(7);
+        out.put_u16(0xBEEF);
         out.put_u32(0xDEAD_BEEF);
         out.put_u64(u64::MAX - 1);
         let mut buf: &[u8] = &out;
-        assert_eq!(buf.remaining(), 13);
+        assert_eq!(buf.remaining(), 15);
         assert_eq!(buf.get_u8(), 7);
+        assert_eq!(buf.get_u16(), 0xBEEF);
         assert_eq!(buf.get_u32(), 0xDEAD_BEEF);
         assert_eq!(buf.get_u64(), u64::MAX - 1);
         assert_eq!(buf.remaining(), 0);

@@ -36,9 +36,10 @@ pub mod probe;
 pub mod receiver;
 pub mod sender;
 pub mod session;
+pub mod stream;
 pub mod wire;
 
-pub use adapter::SimAgent;
+pub use adapter::{SimAgent, SimHost};
 pub use caps::{CapabilitySet, CapsError, CcKind, FeedbackMode, ServerPolicy};
 pub use cc::CcMachine;
 pub use driver::{Command, Endpoint, Outbox, TimerGens, Transmit};
@@ -53,7 +54,9 @@ pub use probe::{Probe, ProbeData};
 pub use receiver::{QtpReceiver, QtpReceiverConfig};
 pub use sender::{AppModel, QtpSender, QtpSenderConfig};
 pub use session::{
-    attach_pair, Backend, ConnectionOutcome, ConnectionPlan, PairHandles, Profile, ProfileBuilder,
-    ProfileError, Reliability, Session, SessionEvent, SessionEvents, SimBackend, SimTopology,
+    attach_pair, attach_pairs, Backend, ConnectionOutcome, ConnectionPlan, PairHandles, Profile,
+    ProfileBuilder, ProfileError, Reliability, Session, SessionEvent, SessionEvents, SimBackend,
+    SimTopology,
 };
+pub use stream::{RecvStream, SendStream, StreamConfig, StreamError};
 pub use wire::{QtpPacket, WireError};

@@ -34,6 +34,7 @@ use std::time::Duration;
 use crate::caps::{CapabilitySet, FeedbackMode, ServerPolicy};
 use crate::driver::{Endpoint, Outbox, TimerGens};
 use crate::probe::Probe;
+use crate::stream::{RecvStream, StreamConfig, StreamRx};
 use crate::wire::{p_to_ppb, QtpPacket};
 
 /// Receiver configuration.
@@ -44,6 +45,9 @@ pub struct QtpReceiverConfig {
     /// Selfish-receiver attack factor (1.0 = honest). Under ReceiverLoss
     /// the reported `p` is divided by this and `x_recv` multiplied by it.
     pub selfish_factor: f64,
+    /// Application data plane: when set, stream payloads are reassembled
+    /// into messages surfaced through a [`RecvStream`].
+    pub stream: Option<StreamConfig>,
 }
 
 impl Default for QtpReceiverConfig {
@@ -51,6 +55,7 @@ impl Default for QtpReceiverConfig {
         QtpReceiverConfig {
             policy: ServerPolicy::default(),
             selfish_factor: 1.0,
+            stream: None,
         }
     }
 }
@@ -92,6 +97,10 @@ pub struct QtpReceiver {
     own_ops: u64,
     gens: TimerGens<1>,
     probe: Probe,
+    /// Stream data plane reassembler (message extraction + TTL drops).
+    stream: Option<StreamRx>,
+    /// A FIN was processed (close handshake seen from the peer).
+    fin_seen: bool,
 }
 
 impl QtpReceiver {
@@ -102,6 +111,8 @@ impl QtpReceiver {
         cfg: QtpReceiverConfig,
         probe: Probe,
     ) -> Self {
+        // Delivery mode is re-locked at negotiation time (`on_syn`).
+        let stream = cfg.stream.as_ref().map(|_| StreamRx::new(true));
         QtpReceiver {
             data_flow,
             fb_flow,
@@ -120,6 +131,29 @@ impl QtpReceiver {
             own_ops: 0,
             gens: TimerGens::new(),
             probe,
+            stream,
+            fin_seen: false,
+        }
+    }
+
+    /// App-facing handle for the stream data plane (if configured).
+    pub fn recv_stream(&self) -> Option<RecvStream> {
+        self.stream.as_ref().map(|s| s.handle())
+    }
+
+    /// Shared receiver-side stream state, for `Session` event polling.
+    pub(crate) fn stream_shared(
+        &self,
+    ) -> Option<std::rc::Rc<std::cell::RefCell<crate::stream::RecvShared>>> {
+        self.stream.as_ref().map(|s| s.shared())
+    }
+
+    /// True once the peer's close handshake reached this endpoint and every
+    /// deliverable byte was surfaced.
+    pub fn finished(&self) -> bool {
+        match &self.stream {
+            Some(s) => s.is_finished(),
+            None => self.fin_seen,
         }
     }
 
@@ -151,6 +185,12 @@ impl QtpReceiver {
             self.chosen = Some(chosen);
             if chosen.feedback == FeedbackMode::ReceiverLoss {
                 self.tfrc_rx = Some(TfrcReceiver::new(self.payload_bytes, self.rtt_hint));
+            }
+            // Stream delivery mode follows the negotiated reliability: full
+            // reliability reassembles an ordered byte stream, everything
+            // else delivers one message per packet as they arrive.
+            if let Some(srx) = self.stream.as_mut() {
+                srx.set_ordered(matches!(chosen.reliability, ReliabilityMode::Full));
             }
         }
         let pkt = QtpPacket::SynAck {
@@ -259,6 +299,119 @@ impl QtpReceiver {
         self.update_probe_costs();
     }
 
+    /// Stream-mode data path: explicit payload bytes, receiver-side TTL
+    /// enforcement, and message reassembly via [`StreamRx`].
+    #[allow(clippy::too_many_arguments)]
+    fn on_stream_data(
+        &mut self,
+        out: &mut Outbox,
+        seq: u64,
+        ts_nanos: u64,
+        adu_ts_nanos: u64,
+        rtt_hint_micros: u32,
+        is_retx: bool,
+        ttl_micros: u32,
+        payload: Vec<u8>,
+    ) {
+        let Some(chosen) = self.chosen else {
+            return; // data before handshake: drop
+        };
+        if rtt_hint_micros > 0 {
+            self.rtt_hint = Duration::from_micros(rtt_hint_micros as u64);
+        }
+        let sender_ts = SimTime::from_nanos(ts_nanos);
+        self.last_pkt = Some((sender_ts, out.now));
+        self.bytes_since_fb += payload.len() as u64;
+        if self.round_started.is_none() {
+            self.round_started = Some(out.now);
+            let at = out.now + self.feedback_interval();
+            self.arm_fb(out, at);
+        }
+        self.own_ops += 3;
+
+        let new_gap = match self.highest_seen {
+            Some(h) => seq > h + 1,
+            None => false,
+        };
+        self.highest_seen = Some(self.highest_seen.map_or(seq, |h| h.max(seq)));
+
+        let mut loss_event_fb = false;
+        if let Some(tfrc) = self.tfrc_rx.as_mut() {
+            let action = tfrc.on_data(out.now, seq, sender_ts, self.rtt_hint, payload.len() as u32);
+            loss_event_fb = action.feedback_now;
+        }
+
+        // Receiver-side TTL enforcement: both timestamps are sender-clock,
+        // so the age of this copy is backend-independent. Originals have
+        // age 0 — only retransmissions can expire.
+        let ttl_eff_micros = if ttl_micros > 0 {
+            ttl_micros as u64
+        } else {
+            match chosen.reliability {
+                ReliabilityMode::PartialTtl(ttl) => ttl.as_micros() as u64,
+                _ => u64::MAX,
+            }
+        };
+        let age_micros = ts_nanos.saturating_sub(adu_ts_nanos) / 1_000;
+        let expired = is_retx && ttl_eff_micros != u64::MAX && age_micros > ttl_eff_micros;
+
+        if expired {
+            if matches!(self.buf.on_expired(seq), qtp_sack::Arrival::New { .. }) {
+                if let Some(srx) = self.stream.as_mut() {
+                    srx.on_ttl_drop();
+                }
+            }
+        } else {
+            match self.buf.on_packet(seq) {
+                qtp_sack::Arrival::Duplicate => {}
+                qtp_sack::Arrival::New { .. } => {
+                    out.app_deliver(self.data_flow, payload.len() as u64);
+                    let lat = (out.now.as_secs_f64() - adu_ts_nanos as f64 / 1e9).max(0.0);
+                    self.probe.update(|d| {
+                        d.latency_sum_s += lat;
+                        d.latency_samples += 1;
+                    });
+                    if let Some(srx) = self.stream.as_mut() {
+                        srx.on_payload(seq, payload);
+                    }
+                }
+            }
+        }
+        self.buf.settle_expired();
+        if let Some(srx) = self.stream.as_mut() {
+            srx.drain(self.buf.cum_ack());
+        }
+
+        let immediate = loss_event_fb || (chosen.feedback == FeedbackMode::SenderLoss && new_gap);
+        if immediate {
+            self.send_feedback(out);
+        }
+        self.update_probe_costs();
+    }
+
+    /// Close handshake: always acknowledge a FIN (the sender retries until
+    /// acked), then surface the finish once all deliverable data is in.
+    fn on_fin(&mut self, out: &mut Outbox, final_seq: u64) {
+        let pkt = QtpPacket::FinAck { final_seq };
+        let size = pkt.wire_size();
+        out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        if !self.fin_seen {
+            self.fin_seen = true;
+            self.own_ops += 1;
+        }
+        let ordered = self.stream.as_ref().map(|s| s.ordered()).unwrap_or(false);
+        if !ordered && self.buf.cum_ack() < final_seq {
+            // Non-retransmitting delivery: nothing below final_seq is coming
+            // again — move past the holes like a sender FWD would.
+            self.on_forward(out, final_seq);
+        }
+        self.buf.settle_expired();
+        if let Some(srx) = self.stream.as_mut() {
+            srx.on_fin(final_seq, self.buf.cum_ack());
+            srx.drain(self.buf.cum_ack());
+        }
+    }
+
     fn update_probe_costs(&mut self) {
         let tfrc_ops = self.tfrc_rx.as_ref().map(|t| t.total_ops()).unwrap_or(0);
         let tfrc_state = self.tfrc_rx.as_ref().map(|t| t.state_bytes()).unwrap_or(0);
@@ -350,7 +503,9 @@ impl QtpReceiver {
         self.buf.on_forward(new_cum);
         // Buffered packets released by the jump count as delivered.
         let released = self.buf.delivered_total() - before_delivered;
-        if released > 0 && self.reliability().retransmits() {
+        // Stream mode accounts delivery per arrival; releasing buffered
+        // runs here would double-count.
+        if released > 0 && self.reliability().retransmits() && self.stream.is_none() {
             out.app_deliver(self.data_flow, released * self.payload_bytes as u64);
             let flushed: Vec<u64> = self
                 .pending_adu_ts
@@ -388,7 +543,32 @@ impl Endpoint for QtpReceiver {
                 let payload = wire_size.saturating_sub(header_len + crate::wire::IP_OVERHEAD);
                 self.on_data(out, seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, payload);
             }
-            QtpPacket::Forward { new_cum } => self.on_forward(out, new_cum),
+            QtpPacket::Forward { new_cum } => {
+                self.on_forward(out, new_cum);
+                self.buf.settle_expired();
+                if let Some(srx) = self.stream.as_mut() {
+                    srx.drain(self.buf.cum_ack());
+                }
+            }
+            QtpPacket::StreamData {
+                seq,
+                ts_nanos,
+                adu_ts_nanos,
+                rtt_hint_micros,
+                is_retx,
+                ttl_micros,
+                payload,
+            } => self.on_stream_data(
+                out,
+                seq,
+                ts_nanos,
+                adu_ts_nanos,
+                rtt_hint_micros,
+                is_retx,
+                ttl_micros,
+                payload,
+            ),
+            QtpPacket::Fin { final_seq } => self.on_fin(out, final_seq),
             _ => {}
         }
     }

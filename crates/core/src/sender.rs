@@ -31,7 +31,8 @@ use crate::cc::CcMachine;
 use crate::driver::{Endpoint, Outbox, TimerGens};
 use crate::estimator::SenderLossEstimator;
 use crate::probe::Probe;
-use crate::wire::{ppb_to_p, QtpPacket, IP_OVERHEAD};
+use crate::stream::{SendStream, StreamConfig, StreamTx};
+use crate::wire::{ppb_to_p, QtpPacket, IP_OVERHEAD, MAX_STREAM_PAYLOAD};
 
 /// What the application on top of the sender does.
 #[derive(Debug, Clone)]
@@ -70,6 +71,9 @@ pub struct QtpSenderConfig {
     /// grouping in the sender-side estimator, so every lost packet counts
     /// as its own loss event.
     pub ablate_ungrouped_losses: bool,
+    /// Application data plane: when set, traffic comes from a
+    /// [`SendStream`] instead of the synthetic [`AppModel`].
+    pub stream: Option<StreamConfig>,
 }
 
 impl QtpSenderConfig {
@@ -79,6 +83,7 @@ impl QtpSenderConfig {
             s: 1000,
             app: AppModel::Greedy,
             ablate_ungrouped_losses: false,
+            stream: None,
         }
     }
 }
@@ -122,11 +127,38 @@ pub struct QtpSender {
     /// Latest receive-rate report (for estimator synthesis).
     last_x_recv: f64,
     probe: Probe,
+    /// Stream data plane (replaces `cfg.app` as the traffic source).
+    stream: Option<StreamTx>,
+    /// Sent stream chunks retained for retransmission; pruned as the
+    /// cumulative ack advances and on abandonment.
+    chunks: BTreeMap<u64, StreamChunk>,
+    /// `Session::close` requested a graceful shutdown.
+    close_requested: bool,
+    /// When the last FIN copy went out (None = not yet sent).
+    fin_sent_at: Option<SimTime>,
+    fin_retries: u32,
+    fin_acked: bool,
+    /// Terminal: close handshake finished (or given up on); timers are no
+    /// longer re-armed so driver timer state drains naturally.
+    closed: bool,
 }
+
+/// A sent stream chunk retained for retransmission.
+#[derive(Clone)]
+struct StreamChunk {
+    bytes: Vec<u8>,
+    adu_ts: SimTime,
+    ttl_micros: u32,
+}
+
+/// FIN retransmission attempts before closing unilaterally.
+const FIN_MAX_RETRIES: u32 = 8;
 
 impl QtpSender {
     pub fn new(flow: FlowId, receiver_node: NodeId, cfg: QtpSenderConfig, probe: Probe) -> Self {
         let policy = qtp_sack::ReliabilityPolicy::new(cfg.offered.reliability);
+        let chunked = matches!(cfg.offered.reliability, ReliabilityMode::Full);
+        let stream = cfg.stream.as_ref().map(|sc| StreamTx::new(sc, chunked));
         QtpSender {
             flow,
             receiver_node,
@@ -144,7 +176,45 @@ impl QtpSender {
             last_fwd: SimTime::ZERO,
             last_x_recv: 0.0,
             probe,
+            stream,
+            chunks: BTreeMap::new(),
+            close_requested: false,
+            fin_sent_at: None,
+            fin_retries: 0,
+            fin_acked: false,
+            closed: false,
         }
+    }
+
+    /// App-facing handle for the stream data plane (if configured).
+    pub fn send_stream(&self) -> Option<SendStream> {
+        self.stream.as_ref().map(|s| s.handle())
+    }
+
+    /// Shared sender-side stream state, for `Session` event polling.
+    pub(crate) fn stream_shared(
+        &self,
+    ) -> Option<std::rc::Rc<std::cell::RefCell<crate::stream::SendShared>>> {
+        self.stream.as_ref().map(|s| s.shared())
+    }
+
+    /// Starts a graceful shutdown: stop accepting new data, drain, then run
+    /// the FIN / FIN-ACK handshake from the pace timer.
+    pub fn begin_close(&mut self) {
+        self.close_requested = true;
+        if let Some(s) = &self.stream {
+            s.handle().finish();
+        }
+        if self.state != State::Running {
+            // Nothing on the wire yet: close locally.
+            self.closed = true;
+        }
+    }
+
+    /// True once the wire-level close handshake completed (FIN acknowledged
+    /// or retries exhausted).
+    pub fn close_complete(&self) -> bool {
+        self.closed
     }
 
     /// The negotiated profile (once the handshake completed).
@@ -200,6 +270,11 @@ impl QtpSender {
             est.set_grouping(!self.cfg.ablate_ungrouped_losses);
             self.estimator = Some(est);
         }
+        // Negotiation may have changed the reliability class; re-lock the
+        // stream framing mode before any stream data goes out.
+        if let Some(s) = &self.stream {
+            s.set_chunked(matches!(chosen.reliability, ReliabilityMode::Full));
+        }
         // Kick off app generation (Cbr) and pacing.
         if let AppModel::Cbr { .. } = self.cfg.app {
             self.arm(out, TK_APP, out.now);
@@ -213,6 +288,12 @@ impl QtpSender {
 
     /// Is a new (never-sent) packet available right now?
     fn app_has_data(&self) -> bool {
+        if let Some(s) = &self.stream {
+            return s.has_data();
+        }
+        if self.close_requested {
+            return false;
+        }
         match self.cfg.app {
             AppModel::Greedy => true,
             AppModel::Finite { packets } => self.sent_new < packets,
@@ -229,6 +310,9 @@ impl QtpSender {
     }
 
     fn on_app_tick(&mut self, out: &mut Outbox) {
+        if self.closed {
+            return;
+        }
         let AppModel::Cbr { rate, adu_packets } = self.cfg.app else {
             return;
         };
@@ -291,9 +375,80 @@ impl QtpSender {
         });
     }
 
+    fn send_stream_data(&mut self, out: &mut Outbox, seq: u64, chunk: &StreamChunk, is_retx: bool) {
+        let rtt_hint_micros = self
+            .cc
+            .as_ref()
+            .and_then(|cc| cc.rtt())
+            .map(|r| r.as_micros() as u32)
+            .unwrap_or(0);
+        let pkt = QtpPacket::StreamData {
+            seq,
+            ts_nanos: out.now.as_nanos(),
+            adu_ts_nanos: chunk.adu_ts.as_nanos(),
+            rtt_hint_micros,
+            is_retx,
+            ttl_micros: chunk.ttl_micros,
+            payload: chunk.bytes.clone(),
+        };
+        let header = pkt.encode();
+        // The payload rides inside the header bytes; only IP overhead on top.
+        let size = header.len() as u32 + IP_OVERHEAD;
+        out.send_new(self.flow, self.receiver_node, size, header);
+        self.probe.update(|d| {
+            d.tx_data_pkts += 1;
+            if is_retx {
+                d.tx_retransmissions += 1;
+            }
+        });
+    }
+
+    /// Stream-mode transmission: retransmit retained chunks first, then
+    /// packetise new bytes from the send buffer.
+    fn send_one_stream(&mut self, out: &mut Outbox) {
+        while let Some(seq) = self.sb.next_lost() {
+            let retx_count = self.sb.retx_count(seq);
+            let decision = self.policy.on_loss(seq, out.now, retx_count);
+            if decision == qtp_sack::LossDecision::Retransmit {
+                if let Some(chunk) = self.chunks.get(&seq).cloned() {
+                    self.sb.register_retransmit(seq, out.now);
+                    self.send_stream_data(out, seq, &chunk, true);
+                    return;
+                }
+            }
+            self.sb.abandon(seq);
+            self.chunks.remove(&seq);
+            self.probe.update(|d| d.tx_abandoned += 1);
+        }
+        let max = (self.cfg.s as usize).min(MAX_STREAM_PAYLOAD);
+        let Some((bytes, ttl_micros)) = self.stream.as_mut().unwrap().next_chunk(max) else {
+            return;
+        };
+        let seq = self.sb.register_send(out.now);
+        self.sent_new += 1;
+        let reliability = self.chosen.map(|c| c.reliability);
+        if matches!(reliability, Some(ReliabilityMode::PartialTtl(_))) {
+            self.policy
+                .register_adu(SeqRange::new(seq, seq + 1), out.now);
+        }
+        let chunk = StreamChunk {
+            bytes,
+            adu_ts: out.now,
+            ttl_micros,
+        };
+        self.send_stream_data(out, seq, &chunk, false);
+        if reliability.map(|r| r.retransmits()).unwrap_or(false) {
+            self.chunks.insert(seq, chunk);
+        }
+    }
+
     /// Transmit one packet if anything is eligible: retransmissions first
     /// (policy permitting), then new data.
     fn send_one(&mut self, out: &mut Outbox) {
+        if self.stream.is_some() {
+            self.send_one_stream(out);
+            return;
+        }
         self.drop_stale_backlog(out.now);
         // Retransmissions have priority under reliable modes.
         while let Some(seq) = self.sb.next_lost() {
@@ -345,16 +500,80 @@ impl QtpSender {
     }
 
     fn on_pace(&mut self, out: &mut Outbox) {
-        if self.state != State::Running {
-            return;
+        if self.state != State::Running || self.closed {
+            return; // closed: let the timer lapse without re-arming
         }
         self.check_tail_loss(out.now);
         self.send_one(out);
         self.maybe_send_forward(out);
+        self.maybe_send_fin(out);
+        if self.closed {
+            return;
+        }
         let interval = self.cc.as_ref().unwrap().send_interval();
         // Clamp pathological intervals so the event loop stays healthy.
         let interval = interval.clamp(Duration::from_micros(10), Duration::from_secs(2));
         self.arm(out, TK_PACE, out.now + interval);
+    }
+
+    // ---- wire-level close ---------------------------------------------
+
+    /// Drained and ready to FIN: close was requested (via `Session::close`
+    /// or `SendStream::finish`), every byte has been packetised, and — under
+    /// retransmitting modes — every packet acknowledged or abandoned.
+    fn fin_ready(&self) -> bool {
+        let requested =
+            self.close_requested || self.stream.as_ref().map(|s| s.fin_ready()).unwrap_or(false);
+        if !requested {
+            return false;
+        }
+        if self.app_has_data() || self.sb.next_lost().is_some() {
+            return false;
+        }
+        let retransmits = self
+            .chosen
+            .map(|c| c.reliability.retransmits())
+            .unwrap_or(false);
+        !retransmits || self.sb.all_acked()
+    }
+
+    /// (Re)send FIN from the pace cadence with an RTO-style backoff; after
+    /// [`FIN_MAX_RETRIES`] unanswered copies, close unilaterally.
+    fn maybe_send_fin(&mut self, out: &mut Outbox) {
+        if self.fin_acked || self.closed || !self.fin_ready() {
+            return;
+        }
+        let rtt = self
+            .cc
+            .as_ref()
+            .and_then(|cc| cc.rtt())
+            .unwrap_or(Duration::from_millis(100));
+        let rto = (rtt * 2).max(Duration::from_millis(50));
+        let due = match self.fin_sent_at {
+            None => true,
+            Some(t) => out.now.saturating_since(t) >= rto,
+        };
+        if !due {
+            return;
+        }
+        if self.fin_retries >= FIN_MAX_RETRIES {
+            self.closed = true;
+            return;
+        }
+        self.fin_retries += 1;
+        self.fin_sent_at = Some(out.now);
+        let pkt = QtpPacket::Fin {
+            final_seq: self.sb.next_seq(),
+        };
+        let size = pkt.wire_size();
+        out.send_new(self.flow, self.receiver_node, size, pkt.encode());
+    }
+
+    fn on_finack(&mut self) {
+        if self.fin_sent_at.is_some() {
+            self.fin_acked = true;
+            self.closed = true;
+        }
     }
 
     /// Tail-loss fallback: if the oldest outstanding packet has seen no
@@ -393,7 +612,7 @@ impl QtpSender {
             cum_ack,
             blocks,
         } = fb;
-        if self.state != State::Running {
+        if self.state != State::Running || self.closed {
             return;
         }
         let prev_cum = self.sb.cum_ack();
@@ -401,6 +620,7 @@ impl QtpSender {
         if self.sb.cum_ack() > prev_cum {
             self.policy.prune(self.sb.cum_ack());
             self.adu_ts = self.adu_ts.split_off(&self.sb.cum_ack());
+            self.chunks = self.chunks.split_off(&self.sb.cum_ack());
         }
         self.last_x_recv = x_recv as f64;
 
@@ -468,6 +688,9 @@ impl QtpSender {
     }
 
     fn on_nofb(&mut self, out: &mut Outbox) {
+        if self.closed {
+            return;
+        }
         let Some(cc) = self.cc.as_mut() else { return };
         if out.now >= cc.nofeedback_deadline() {
             cc.on_nofeedback_timer(out.now);
@@ -520,6 +743,7 @@ impl Endpoint for QtpSender {
                     blocks: &blocks,
                 },
             ),
+            QtpPacket::FinAck { .. } => self.on_finack(),
             _ => {}
         }
     }

@@ -48,12 +48,13 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::rc::Rc;
 use std::time::Duration;
 
-use crate::adapter::SimAgent;
+use crate::adapter::{SimAgent, SimHost};
 use crate::caps::{CapabilitySet, CapsError, CcKind, FeedbackMode, ServerPolicy};
 use crate::driver::{Command, Endpoint, Outbox, Transmit};
 use crate::probe::{Probe, ProbeData};
 use crate::receiver::{QtpReceiver, QtpReceiverConfig};
 use crate::sender::{AppModel, QtpSender, QtpSenderConfig};
+use crate::stream::{RecvStream, SendStream, StreamConfig};
 use crate::wire::{self, QtpPacket, WireError};
 
 // ---------------------------------------------------------------------------
@@ -318,6 +319,10 @@ pub struct ConnectionPlan {
     /// **D1 ablation** (experiments only): disable RTT-window loss-event
     /// grouping in the sender-side estimator.
     pub ablate_ungrouped_losses: bool,
+    /// Application data plane: when set, the connection carries stream
+    /// messages (see [`SendStream`]/[`RecvStream`]) instead of `app`'s
+    /// synthetic traffic.
+    pub stream: Option<StreamConfig>,
 }
 
 impl ConnectionPlan {
@@ -332,6 +337,7 @@ impl ConnectionPlan {
             policy: ServerPolicy::default(),
             selfish_factor: 1.0,
             ablate_ungrouped_losses: false,
+            stream: None,
         }
     }
 
@@ -376,12 +382,21 @@ impl ConnectionPlan {
         self
     }
 
+    /// Attach the application stream data plane: traffic comes from
+    /// [`SendStream::send`] instead of the synthetic app model, and the
+    /// receiving side surfaces messages through a [`RecvStream`].
+    pub fn stream(mut self, cfg: StreamConfig) -> Self {
+        self.stream = Some(cfg);
+        self
+    }
+
     /// Lower the plan into the sender endpoint's configuration.
     pub fn sender_config(&self) -> QtpSenderConfig {
         let mut cfg = QtpSenderConfig::new(self.profile.caps());
         cfg.s = self.payload;
         cfg.app = self.app.clone();
         cfg.ablate_ungrouped_losses = self.ablate_ungrouped_losses;
+        cfg.stream = self.stream.clone();
         cfg
     }
 
@@ -390,6 +405,7 @@ impl ConnectionPlan {
         QtpReceiverConfig {
             policy: self.policy.clone(),
             selfish_factor: self.selfish_factor,
+            stream: self.stream.clone(),
         }
     }
 
@@ -460,7 +476,23 @@ pub enum SessionEvent {
         /// Which axis failed and with what wire code.
         error: CapsError,
     },
-    /// The session was closed locally.
+    /// Stream messages became available on the [`RecvStream`]
+    /// (receiver side). Coalesces at the queue tail like `Delivered`.
+    Readable {
+        /// Complete messages surfaced since the last poll.
+        messages: u64,
+    },
+    /// The bounded stream send buffer has space again after a
+    /// [`StreamError`](crate::stream::StreamError)`::Full` rejection
+    /// (sender side) — retry the send.
+    Writable,
+    /// The peer finished its stream: the close handshake's FIN was
+    /// processed and every deliverable message has been surfaced
+    /// (receiver side).
+    Finished,
+    /// The session closed. For a graceful [`Session::close`] this fires
+    /// once the wire-level FIN / FIN-ACK handshake completes; for
+    /// [`Session::abort`] it fires immediately.
     Closed,
 }
 
@@ -500,6 +532,17 @@ impl SessionEvents {
             return;
         }
         q.push_back(SessionEvent::TtlExpired { packets });
+    }
+
+    /// Record newly readable stream messages, coalescing at the queue
+    /// tail like [`SessionEvents::push_delivered`].
+    fn push_readable(&self, messages: u64) {
+        let mut q = self.inner.borrow_mut();
+        if let Some(SessionEvent::Readable { messages: tail }) = q.back_mut() {
+            *tail += messages;
+            return;
+        }
+        q.push_back(SessionEvent::Readable { messages });
     }
 
     /// Record a capability rejection; consecutive identical errors (a
@@ -605,6 +648,12 @@ pub struct Session {
     abandoned_seen: u64,
     probe: Probe,
     events: SessionEvents,
+    /// Sender-side stream state, polled for `Writable` edges.
+    send_shared: Option<Rc<RefCell<crate::stream::SendShared>>>,
+    /// Receiver-side stream state, polled for `Readable` counts.
+    recv_shared: Option<Rc<RefCell<crate::stream::RecvShared>>>,
+    /// `Finished` has been emitted.
+    finished_reported: bool,
 }
 
 impl Session {
@@ -614,13 +663,11 @@ impl Session {
     /// connected peer).
     pub fn sender(data_flow: FlowId, peer: NodeId, plan: &ConnectionPlan) -> Session {
         let probe = Probe::new();
-        Session::wrap(Role::Sender(QtpSender::new(
-            data_flow,
-            peer,
-            plan.sender_config(),
-            probe.clone(),
-        )))
-        .with_probe(probe)
+        let sender = QtpSender::new(data_flow, peer, plan.sender_config(), probe.clone());
+        let send_shared = sender.stream_shared();
+        let mut s = Session::wrap(Role::Sender(sender)).with_probe(probe);
+        s.send_shared = send_shared;
+        s
     }
 
     /// A receiving session: data arrives on `data_flow`, feedback leaves
@@ -632,14 +679,37 @@ impl Session {
         plan: &ConnectionPlan,
     ) -> Session {
         let probe = Probe::new();
-        Session::wrap(Role::Receiver(QtpReceiver::new(
+        let receiver = QtpReceiver::new(
             data_flow,
             fb_flow,
             peer,
             plan.receiver_config(),
             probe.clone(),
-        )))
-        .with_probe(probe)
+        );
+        let recv_shared = receiver.stream_shared();
+        let mut s = Session::wrap(Role::Receiver(receiver)).with_probe(probe);
+        s.recv_shared = recv_shared;
+        s
+    }
+
+    /// The sending half of the stream data plane (plans built with
+    /// [`ConnectionPlan::stream`], sender side). Cheap to clone and kept
+    /// valid after the session moves into a simulator or driver.
+    pub fn send_stream(&self) -> Option<SendStream> {
+        match &self.inner {
+            Role::Sender(s) => s.send_stream(),
+            Role::Receiver(_) => None,
+        }
+    }
+
+    /// The receiving half of the stream data plane (plans built with
+    /// [`ConnectionPlan::stream`], receiver side). Cheap to clone and kept
+    /// valid after the session moves into a simulator or driver.
+    pub fn recv_stream(&self) -> Option<RecvStream> {
+        match &self.inner {
+            Role::Receiver(r) => r.recv_stream(),
+            Role::Sender(_) => None,
+        }
     }
 
     fn wrap(inner: Role) -> Session {
@@ -656,6 +726,9 @@ impl Session {
             abandoned_seen: 0,
             probe: Probe::new(),
             events: SessionEvents::default(),
+            send_shared: None,
+            recv_shared: None,
+            finished_reported: false,
         }
     }
 
@@ -682,7 +755,9 @@ impl Session {
     /// surface as [`SessionEvent::Rejected`]; all other undecodable input
     /// is silently dropped (datagram networks promise nothing).
     pub fn handle_input(&mut self, now: SimTime, wire_size: u32, header: &[u8]) {
-        if self.closed {
+        // Close-handshake packets pass the gate: a closed receiver must
+        // keep acknowledging retransmitted FINs so the peer can finish.
+        if self.closed && !wire::is_close_handshake(header) {
             return;
         }
         self.detect_rejected(header);
@@ -732,15 +807,42 @@ impl Session {
         self.events.poll()
     }
 
-    /// Close the session locally: further input and timers are ignored,
-    /// already-queued transmits still drain, and a final
-    /// [`SessionEvent::Closed`] is emitted.
+    /// Close the session. A running sender drains, runs the wire-level
+    /// FIN / FIN-ACK handshake, and emits [`SessionEvent::Closed`] once the
+    /// peer acknowledged (or retries were exhausted); keep driving the
+    /// session until then. A sender that never completed its handshake, and
+    /// any receiver, closes locally like [`Session::abort`].
     pub fn close(&mut self) {
-        if !self.closed {
-            self.closed = true;
-            self.timers.clear();
-            self.events.push(SessionEvent::Closed);
+        if self.closed {
+            return;
         }
+        match &mut self.inner {
+            Role::Sender(s) => {
+                s.begin_close();
+                if s.close_complete() {
+                    self.finish_close();
+                }
+                // Otherwise `pump` observes close_complete() later and
+                // finishes then.
+            }
+            Role::Receiver(_) => self.finish_close(),
+        }
+    }
+
+    /// Close immediately and locally: no FIN goes out, further input and
+    /// timers are ignored (except close-handshake packets, which still get
+    /// acknowledged so the peer can finish), queued transmits still drain,
+    /// and [`SessionEvent::Closed`] is emitted at once.
+    pub fn abort(&mut self) {
+        if !self.closed {
+            self.finish_close();
+        }
+    }
+
+    fn finish_close(&mut self) {
+        self.closed = true;
+        self.timers.clear();
+        self.events.push(SessionEvent::Closed);
     }
 
     // ---- shared internals ---------------------------------------------
@@ -791,6 +893,35 @@ impl Session {
             self.events
                 .push_ttl_expired(abandoned - self.abandoned_seen);
             self.abandoned_seen = abandoned;
+        }
+        // Stream data-plane edges.
+        if let Some(sh) = &self.send_shared {
+            if crate::stream::take_writable_edge(sh) {
+                self.events.push(SessionEvent::Writable);
+            }
+        }
+        if let Some(rh) = &self.recv_shared {
+            let n = crate::stream::take_readable(rh);
+            if n > 0 {
+                self.events.push_readable(n);
+            }
+        }
+        if !self.finished_reported {
+            if let Role::Receiver(r) = &self.inner {
+                if r.finished() {
+                    self.finished_reported = true;
+                    self.events.push(SessionEvent::Finished);
+                }
+            }
+        }
+        // Graceful close: the sender reports completion of the FIN
+        // handshake; surface it as `Closed` and stop the timer surface.
+        if !self.closed {
+            if let Role::Sender(s) = &self.inner {
+                if s.close_complete() {
+                    self.finish_close();
+                }
+            }
         }
     }
 
@@ -874,7 +1005,7 @@ impl Endpoint for Session {
     }
 
     fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
-        if self.closed {
+        if self.closed && !wire::is_close_handshake(header) {
             return;
         }
         self.detect_rejected(header);
@@ -913,6 +1044,10 @@ pub struct PairHandles {
     pub tx_events: SessionEvents,
     /// Receiver-side session events.
     pub rx_events: SessionEvents,
+    /// Sending half of the stream data plane (plans with a stream config).
+    pub tx_stream: Option<SendStream>,
+    /// Receiving half of the stream data plane.
+    pub rx_stream: Option<RecvStream>,
 }
 
 /// Attach one planned connection to a simulated topology: a sending
@@ -940,10 +1075,54 @@ pub fn attach_pair(
         rx: rx.probe().clone(),
         tx_events: tx.events(),
         rx_events: rx.events(),
+        tx_stream: tx.send_stream(),
+        rx_stream: rx.recv_stream(),
     };
     sim.attach_agent(sender_node, Box::new(SimAgent::new(tx)));
     sim.attach_agent(receiver_node, Box::new(SimAgent::new(rx)));
     handles
+}
+
+/// Attach several planned connections whose endpoints may share nodes.
+///
+/// [`attach_pair`] installs one agent per node, so two connections that
+/// terminate on the same host (a request stream one way and a response
+/// stream the other) silently overwrite each other. This variant groups
+/// all endpoints per node into one [`SimHost`], routing each endpoint's
+/// *inbound* flow — the feedback flow for a sender, the data flow for a
+/// receiver — and attaches the hosts in ascending node order so a fixed
+/// seed still replays byte-identically.
+pub fn attach_pairs(
+    sim: &mut Simulator,
+    pairs: &[(NodeId, NodeId, &str, ConnectionPlan)],
+) -> Vec<PairHandles> {
+    let mut hosts: std::collections::BTreeMap<NodeId, SimHost> = std::collections::BTreeMap::new();
+    let mut out = Vec::with_capacity(pairs.len());
+    for (sender_node, receiver_node, name, plan) in pairs {
+        let data_flow = sim.register_flow(name);
+        let fb_flow = sim.register_flow(&format!("{name}-fb"));
+        let tx = Session::sender(data_flow, *receiver_node, plan);
+        let rx = Session::receiver(data_flow, fb_flow, *sender_node, plan);
+        out.push(PairHandles {
+            data_flow,
+            fb_flow,
+            tx: tx.probe().clone(),
+            rx: rx.probe().clone(),
+            tx_events: tx.events(),
+            rx_events: rx.events(),
+            tx_stream: tx.send_stream(),
+            rx_stream: rx.recv_stream(),
+        });
+        hosts.entry(*sender_node).or_default().add(tx, [fb_flow]);
+        hosts
+            .entry(*receiver_node)
+            .or_default()
+            .add(rx, [data_flow]);
+    }
+    for (node, host) in hosts {
+        sim.attach_agent(node, Box::new(host));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -1353,6 +1532,164 @@ mod tests {
         assert_eq!(delivered.len(), 1, "adjacent deliveries coalesce");
     }
 
+    /// End-to-end stream data plane over the poll surface: a file goes in
+    /// through `SendStream::send`, comes out byte-exact through
+    /// `RecvStream::recv`, and the wire-level FIN / FIN-ACK close completes
+    /// with both sides' typed events observed.
+    #[test]
+    fn stream_transfer_completes_with_wire_close() {
+        use crate::stream::StreamError;
+        let file: Vec<u8> = (0..100_000u32)
+            .map(|i| (i.wrapping_mul(31) % 251) as u8)
+            .collect();
+        let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(50)))
+            .stream(StreamConfig::with_send_buf(16 * 1024));
+        let mut tx = Session::sender(0, 1, &plan);
+        let mut rx = Session::receiver(0, 1, 0, &plan);
+        let send = tx.send_stream().expect("sender side has a SendStream");
+        let recv = rx.recv_stream().expect("receiver side has a RecvStream");
+        assert!(tx.recv_stream().is_none() && rx.send_stream().is_none());
+
+        let mut now = SimTime::ZERO;
+        tx.start(now);
+        rx.start(now);
+        let mut offset = 0usize;
+        let mut received = Vec::new();
+        let mut saw_full = false;
+        for _ in 0..1_000_000 {
+            while offset < file.len() {
+                let end = (offset + 1900).min(file.len());
+                match send.send(&file[offset..end]) {
+                    Ok(()) => offset = end,
+                    Err(StreamError::Full) => {
+                        saw_full = true;
+                        break;
+                    }
+                    Err(e) => panic!("send failed: {e}"),
+                }
+            }
+            if offset == file.len() && !send.is_finished() {
+                send.finish();
+            }
+            loop {
+                let mut moved = false;
+                while let Some(t) = tx.poll_transmit() {
+                    rx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                while let Some(t) = rx.poll_transmit() {
+                    tx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                if !moved {
+                    break;
+                }
+            }
+            while let Some(m) = recv.recv() {
+                received.extend(m);
+            }
+            if recv.is_finished() && tx.is_closed() {
+                break;
+            }
+            let next = match (tx.poll_timeout(), rx.poll_timeout()) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => panic!("deadlock: no timers and not done"),
+            };
+            now = now.max(next);
+            tx.on_timeout(now);
+            rx.on_timeout(now);
+        }
+        assert_eq!(received.len(), file.len());
+        assert_eq!(received, file, "byte-exact stream transfer");
+        assert!(saw_full, "bounded send buffer exerted backpressure");
+        assert!(recv.is_finished());
+        assert!(tx.is_closed(), "FIN / FIN-ACK handshake completed");
+        assert_eq!(tx.poll_timeout(), None, "sender timers drained after close");
+
+        let tx_events = tx.events().drain();
+        assert!(tx_events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Writable)));
+        assert!(
+            tx_events.iter().any(|e| matches!(e, SessionEvent::Closed)),
+            "graceful close surfaced as Closed"
+        );
+        let rx_events = rx.events().drain();
+        let readable: u64 = rx_events
+            .iter()
+            .filter_map(|e| match e {
+                SessionEvent::Readable { messages } => Some(*messages),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(readable, recv.messages_received());
+        assert!(rx_events
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Finished)));
+    }
+
+    /// `Session::close` on a running stream sender performs the wire-level
+    /// handshake instead of closing locally: `Closed` only fires once the
+    /// receiver acknowledged the FIN.
+    #[test]
+    fn graceful_close_waits_for_finack() {
+        let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(10)))
+            .stream(StreamConfig::default());
+        let mut tx = Session::sender(0, 1, &plan);
+        let mut rx = Session::receiver(0, 1, 0, &plan);
+        let send = tx.send_stream().unwrap();
+        send.send(b"payload").unwrap();
+
+        let mut now = SimTime::ZERO;
+        tx.start(now);
+        rx.start(now);
+        for _ in 0..10_000 {
+            loop {
+                let mut moved = false;
+                while let Some(t) = tx.poll_transmit() {
+                    rx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                while let Some(t) = rx.poll_transmit() {
+                    tx.handle_input(now, t.wire_size, &t.header);
+                    moved = true;
+                }
+                if !moved {
+                    break;
+                }
+            }
+            if tx.negotiated().is_some() && !tx.is_closed() && !send.is_finished() {
+                tx.close();
+                assert!(!tx.is_closed(), "graceful close defers Closed to FIN-ACK");
+            }
+            if tx.is_closed() {
+                break;
+            }
+            let next = match (tx.poll_timeout(), rx.poll_timeout()) {
+                (Some(a), Some(b)) => a.min(b),
+                (Some(a), None) => a,
+                (None, Some(b)) => b,
+                (None, None) => panic!("no timers while close pending"),
+            };
+            now = now.max(next);
+            tx.on_timeout(now);
+            rx.on_timeout(now);
+        }
+        assert!(tx.is_closed());
+        assert!(tx
+            .events()
+            .drain()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Closed)));
+        assert!(rx
+            .events()
+            .drain()
+            .iter()
+            .any(|e| matches!(e, SessionEvent::Finished)));
+    }
+
     #[test]
     fn malformed_capability_offer_surfaces_as_rejected() {
         let plan = ConnectionPlan::new(Profile::tfrc());
@@ -1479,5 +1816,53 @@ mod tests {
             .sum();
         assert!(expired > 0, "stale ADUs abandoned under TTL reliability");
         assert_eq!(expired, outcomes[0].tx.tx_abandoned);
+    }
+
+    #[test]
+    fn attach_pairs_shares_nodes_between_opposite_connections() {
+        // Two stream connections between the same two hosts, one in each
+        // direction — each node runs a sender of one connection and the
+        // receiver of the other behind a single SimHost agent. attach_pair
+        // would silently overwrite one agent with the other.
+        let mut b = NetworkBuilder::new();
+        let a = b.host();
+        let z = b.host();
+        let link = LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(5));
+        b.simplex_link(a, z, link.clone());
+        b.simplex_link(z, a, link);
+        let mut sim = b.build(11);
+
+        let plan = |label: &str| {
+            ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(2)))
+                .label(label)
+                .stream(StreamConfig::default())
+        };
+        let pairs = attach_pairs(
+            &mut sim,
+            &[(a, z, "east", plan("east")), (z, a, "west", plan("west"))],
+        );
+        let east = pattern(4096, 1);
+        let west = pattern(4096, 2);
+        for (h, data) in pairs.iter().zip([&east, &west]) {
+            let tx = h.tx_stream.as_ref().expect("stream plan");
+            tx.send(data).unwrap();
+            tx.finish();
+        }
+        sim.run_until(SimTime::ZERO + Duration::from_secs(20));
+        for (h, data) in pairs.iter().zip([&east, &west]) {
+            let rx = h.rx_stream.as_ref().expect("stream plan");
+            let mut got = Vec::new();
+            while let Some(m) = rx.recv() {
+                got.extend(m);
+            }
+            assert_eq!(&got, data, "byte-exact through the shared-node agents");
+            assert!(rx.is_finished(), "FIN crossed the shared-node agents");
+        }
+    }
+
+    fn pattern(len: usize, salt: u64) -> Vec<u8> {
+        (0..len as u64)
+            .map(|i| ((i ^ salt).wrapping_mul(2654435761) >> 7) as u8)
+            .collect()
     }
 }

@@ -69,6 +69,33 @@ pub enum QtpPacket {
     },
     /// Move the receiver past abandoned data (partial reliability).
     Forward { new_cum: u64 },
+    /// Data segment carrying real application payload bytes (the stream
+    /// data plane). Same sequencing/timestamp fields as [`QtpPacket::Data`]
+    /// plus an explicit payload and an optional per-message TTL tag —
+    /// unlike `Data`, whose simulated payload exists only as a wire-size
+    /// account, the payload here is materialized on the wire.
+    StreamData {
+        seq: u64,
+        /// Send timestamp of this copy.
+        ts_nanos: u64,
+        /// Submission timestamp of the message this segment belongs to.
+        adu_ts_nanos: u64,
+        /// Sender's current RTT estimate, microseconds (0 = unknown).
+        rtt_hint_micros: u32,
+        /// Retransmission flag.
+        is_retx: bool,
+        /// Per-message TTL tag in microseconds; 0 means "use the
+        /// negotiated profile TTL" (receivers fall back to it).
+        ttl_micros: u32,
+        /// Application payload bytes.
+        payload: Vec<u8>,
+    },
+    /// Wire-level close request: the sender is done after `final_seq`
+    /// sequences (exclusive). Retransmitted until a [`QtpPacket::FinAck`]
+    /// arrives.
+    Fin { final_seq: u64 },
+    /// Acknowledges a [`QtpPacket::Fin`]; echoes its `final_seq`.
+    FinAck { final_seq: u64 },
 }
 
 /// Decode errors.
@@ -88,6 +115,13 @@ const T_SYNACK: u8 = 2;
 const T_DATA: u8 = 3;
 const T_FEEDBACK: u8 = 4;
 const T_FORWARD: u8 = 5;
+const T_STREAM_DATA: u8 = 6;
+const T_FIN: u8 = 7;
+const T_FINACK: u8 = 8;
+
+/// Largest payload a single [`QtpPacket::StreamData`] may carry (the
+/// length travels as a `u16`, and frames are bounded at the I/O layer).
+pub const MAX_STREAM_PAYLOAD: usize = 1400;
 
 fn put_caps(out: &mut Vec<u8>, caps: &CapabilitySet) {
     out.put_u8(caps.reliability.wire_code());
@@ -132,6 +166,13 @@ fn get_caps(buf: &mut &[u8]) -> Result<CapabilitySet, WireError> {
 /// the (much more frequent) data and feedback traffic.
 pub fn carries_capabilities(header: &[u8]) -> bool {
     matches!(header.first(), Some(&T_SYN) | Some(&T_SYNACK))
+}
+
+/// Whether a header's packet type is part of the close handshake
+/// (FIN/FIN-ACK). Sessions that have locally closed still service these,
+/// so a lost FIN-ACK never strands the peer in its drain state.
+pub fn is_close_handshake(header: &[u8]) -> bool {
+    matches!(header.first(), Some(&T_FIN) | Some(&T_FINACK))
 }
 
 impl QtpPacket {
@@ -191,6 +232,34 @@ impl QtpPacket {
             QtpPacket::Forward { new_cum } => {
                 out.put_u8(T_FORWARD);
                 out.put_u64(*new_cum);
+            }
+            QtpPacket::StreamData {
+                seq,
+                ts_nanos,
+                adu_ts_nanos,
+                rtt_hint_micros,
+                is_retx,
+                ttl_micros,
+                payload,
+            } => {
+                out.put_u8(T_STREAM_DATA);
+                out.put_u64(*seq);
+                out.put_u64(*ts_nanos);
+                out.put_u64(*adu_ts_nanos);
+                out.put_u32(*rtt_hint_micros);
+                out.put_u8(u8::from(*is_retx));
+                out.put_u32(*ttl_micros);
+                debug_assert!(payload.len() <= MAX_STREAM_PAYLOAD);
+                out.put_u16(payload.len() as u16);
+                out.extend_from_slice(payload);
+            }
+            QtpPacket::Fin { final_seq } => {
+                out.put_u8(T_FIN);
+                out.put_u64(*final_seq);
+            }
+            QtpPacket::FinAck { final_seq } => {
+                out.put_u8(T_FINACK);
+                out.put_u64(*final_seq);
             }
         }
         out
@@ -279,6 +348,46 @@ impl QtpPacket {
                     new_cum: buf.get_u64(),
                 })
             }
+            T_STREAM_DATA => {
+                if buf.remaining() < 35 {
+                    return Err(WireError::Truncated);
+                }
+                let seq = buf.get_u64();
+                let ts_nanos = buf.get_u64();
+                let adu_ts_nanos = buf.get_u64();
+                let rtt_hint_micros = buf.get_u32();
+                let is_retx = buf.get_u8() != 0;
+                let ttl_micros = buf.get_u32();
+                let len = buf.get_u16() as usize;
+                if len > MAX_STREAM_PAYLOAD || buf.remaining() < len {
+                    return Err(WireError::Truncated);
+                }
+                Ok(QtpPacket::StreamData {
+                    seq,
+                    ts_nanos,
+                    adu_ts_nanos,
+                    rtt_hint_micros,
+                    is_retx,
+                    ttl_micros,
+                    payload: buf[..len].to_vec(),
+                })
+            }
+            T_FIN => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(QtpPacket::Fin {
+                    final_seq: buf.get_u64(),
+                })
+            }
+            T_FINACK => {
+                if buf.remaining() < 8 {
+                    return Err(WireError::Truncated);
+                }
+                Ok(QtpPacket::FinAck {
+                    final_seq: buf.get_u64(),
+                })
+            }
             other => Err(WireError::BadType(other)),
         }
     }
@@ -358,6 +467,62 @@ mod tests {
     #[test]
     fn forward_roundtrip() {
         roundtrip(QtpPacket::Forward { new_cum: 1 << 40 });
+    }
+
+    #[test]
+    fn stream_data_roundtrip() {
+        roundtrip(QtpPacket::StreamData {
+            seq: 1234,
+            ts_nanos: 5_000_000,
+            adu_ts_nanos: 4_000_000,
+            rtt_hint_micros: 20_000,
+            is_retx: true,
+            ttl_micros: 150_000,
+            payload: vec![0xAB; 700],
+        });
+        roundtrip(QtpPacket::StreamData {
+            seq: 0,
+            ts_nanos: 0,
+            adu_ts_nanos: 0,
+            rtt_hint_micros: 0,
+            is_retx: false,
+            ttl_micros: 0,
+            payload: Vec::new(),
+        });
+    }
+
+    #[test]
+    fn stream_data_truncated_payload_rejected() {
+        let bytes = QtpPacket::StreamData {
+            seq: 7,
+            ts_nanos: 1,
+            adu_ts_nanos: 1,
+            rtt_hint_micros: 0,
+            is_retx: false,
+            ttl_micros: 0,
+            payload: vec![1, 2, 3, 4],
+        }
+        .encode();
+        // Cut into the payload: the declared length no longer fits.
+        assert_eq!(
+            QtpPacket::decode(&bytes[..bytes.len() - 2]),
+            Err(WireError::Truncated)
+        );
+    }
+
+    #[test]
+    fn fin_and_finack_roundtrip() {
+        roundtrip(QtpPacket::Fin { final_seq: 1 << 33 });
+        roundtrip(QtpPacket::FinAck { final_seq: 99 });
+        assert!(is_close_handshake(
+            &QtpPacket::Fin { final_seq: 1 }.encode()
+        ));
+        assert!(is_close_handshake(
+            &QtpPacket::FinAck { final_seq: 1 }.encode()
+        ));
+        assert!(!is_close_handshake(
+            &QtpPacket::Forward { new_cum: 1 }.encode()
+        ));
     }
 
     #[test]

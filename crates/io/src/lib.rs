@@ -54,12 +54,14 @@
 //! assert_eq!(rx.delivered_bytes(), 20 * 1000);
 //! ```
 
+pub mod accept;
 pub mod backend;
 pub mod clock;
 pub mod driver;
 pub mod frame;
 pub mod mux;
 
+pub use accept::{accept_sessions, AcceptEvent, AcceptQueue};
 pub use backend::{MuxBackend, UdpBackend};
 pub use clock::WallClock;
 pub use driver::{drive_pair, DriverStats, UdpDriver};

@@ -532,6 +532,15 @@ impl<E: Endpoint> MuxDriver<E> {
         self.wheel.next_deadline()
     }
 
+    /// Number of armed timer entries across all connections (stale
+    /// generations included until they fire). A connection that completed
+    /// its close handshake stops re-arming, so this drains to zero once
+    /// its last in-flight timer fires — the no-leak property the
+    /// `mux_stream` tests pin down.
+    pub fn timer_count(&self) -> usize {
+        self.wheel.len()
+    }
+
     /// One iteration of the readiness loop: retry backlogged sends, fire
     /// due timers, then drain the socket level-triggered (up to the batch
     /// bound). Sleeps at most `slice` only when the socket was quiet and

@@ -23,6 +23,23 @@ pub fn percentile(xs: &[f64], q: f64) -> f64 {
     sorted[rank.saturating_sub(1)]
 }
 
+/// `percentile(xs, 0.50)` — median by nearest rank.
+pub fn p50(xs: &[f64]) -> f64 {
+    percentile(xs, 0.50)
+}
+
+/// `percentile(xs, 0.95)` — the tail summary used for response-time
+/// reporting in the application scenarios.
+pub fn p95(xs: &[f64]) -> f64 {
+    percentile(xs, 0.95)
+}
+
+/// `percentile(xs, 0.99)` — the far-tail summary used for response-time
+/// and playout-lateness reporting in the application scenarios.
+pub fn p99(xs: &[f64]) -> f64 {
+    percentile(xs, 0.99)
+}
+
 /// Streaming mean/min/max/variance accumulator (Welford), so aggregate
 /// rows can be computed in one pass without materialising copies.
 #[derive(Debug, Clone, Default)]
@@ -144,6 +161,40 @@ mod tests {
     fn percentile_nan_and_empty_are_nan() {
         assert!(percentile(&[], 0.5).is_nan());
         assert!(percentile(&[1.0, f64::NAN], 0.5).is_nan());
+    }
+
+    #[test]
+    fn p95_p99_nearest_rank_boundaries() {
+        // n = 100: ranks are exact — p95 is the 95th value, p99 the 99th.
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(p95(&xs), 95.0);
+        assert_eq!(p99(&xs), 99.0);
+        assert_eq!(p50(&xs), 50.0);
+        // n = 20: ceil(0.95 * 20) = 19, ceil(0.99 * 20) = 20.
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert_eq!(p95(&xs), 19.0);
+        assert_eq!(p99(&xs), 20.0);
+        // n = 19: ceil(0.95 * 19) = 19 — p95 is the maximum.
+        let xs: Vec<f64> = (1..=19).map(|i| i as f64).collect();
+        assert_eq!(p95(&xs), 19.0);
+    }
+
+    #[test]
+    fn p95_p99_single_sample_and_ties() {
+        // n = 1: every percentile is the one sample.
+        assert_eq!(p50(&[42.0]), 42.0);
+        assert_eq!(p95(&[42.0]), 42.0);
+        assert_eq!(p99(&[42.0]), 42.0);
+        // All-ties: every percentile is the tied value.
+        let ties = [7.0; 10];
+        assert_eq!(p50(&ties), 7.0);
+        assert_eq!(p95(&ties), 7.0);
+        assert_eq!(p99(&ties), 7.0);
+        // Ties straddling the rank: nearest-rank picks the tied value,
+        // not an interpolation.
+        let xs = [1.0, 2.0, 2.0, 2.0, 3.0];
+        assert_eq!(p50(&xs), 2.0);
+        assert_eq!(p95(&xs), 3.0);
     }
 
     #[test]

@@ -45,6 +45,15 @@ pub struct ReceiverBuffer {
     /// Sequences skipped by sender `FWD` instructions (expired ADUs under
     /// partial reliability) — counted separately from deliveries.
     skipped_total: u64,
+    /// Sequences that arrived but were dropped at the receiver because
+    /// their TTL had expired ([`ReceiverBuffer::on_expired`]). They are
+    /// acknowledged like any arrival — the hole they would otherwise leave
+    /// is skipped — but never handed to the application.
+    expired_total: u64,
+    /// Expired sequences still at or above `cum_ack`: when the cumulative
+    /// ack later passes one (a run flush or FWD counts it as delivered),
+    /// [`ReceiverBuffer::settle_expired`] reclassifies it.
+    expired: RangeSet,
     /// Per-packet processing cost (the QTPlight receiver's entire load).
     pub meter: CostMeter,
 }
@@ -57,6 +66,8 @@ impl ReceiverBuffer {
             recent: Vec::new(),
             delivered_total: 0,
             skipped_total: 0,
+            expired_total: 0,
+            expired: RangeSet::new(),
             meter: CostMeter::new(),
         }
     }
@@ -74,6 +85,11 @@ impl ReceiverBuffer {
     /// Sequences skipped under partial reliability.
     pub fn skipped_total(&self) -> u64 {
         self.skipped_total
+    }
+
+    /// Sequences dropped at the receiver because their TTL expired.
+    pub fn expired_total(&self) -> u64 {
+        self.expired_total
     }
 
     /// Out-of-order sequences currently buffered.
@@ -119,6 +135,61 @@ impl ReceiverBuffer {
         self.meter.tick(OpClass::Alloc, 1);
         self.note_recent(SeqRange::new(seq, seq + 1));
         Arrival::New { delivered: 0 }
+    }
+
+    /// Process a sequence that arrived **too late to use** (its TTL
+    /// expired in flight, judged by the caller). The sequence is
+    /// acknowledged exactly like [`ReceiverBuffer::on_packet`] — it fills
+    /// its hole, advances the cumulative ack, appears in SACK blocks, and
+    /// duplicates of it are still detected — but it is counted in
+    /// [`ReceiverBuffer::expired_total`] instead of contributing payload.
+    /// Sequences an expired arrival *releases* (a buffered run it makes
+    /// contiguous) still count as delivered: they arrived on time and were
+    /// only waiting for the hole.
+    ///
+    /// Returns the same [`Arrival`] as `on_packet`, so callers can tell a
+    /// hole-filling expiry (`New`) from a duplicate of one.
+    pub fn on_expired(&mut self, seq: u64) -> Arrival {
+        let arrival = self.on_packet(seq);
+        if matches!(arrival, Arrival::New { .. }) {
+            self.expired_total += 1;
+            if seq < self.cum_ack {
+                // Flushed immediately: `on_packet` counted it as
+                // delivered; reclassify just this one sequence.
+                self.delivered_total -= 1;
+            } else {
+                // Buffered out of order: it will be counted as delivered
+                // when the cumulative ack eventually passes it; remember
+                // it so `settle_expired` can reclassify it then.
+                self.expired.insert(seq);
+            }
+            self.meter.tick(OpClass::Update, 1);
+        }
+        self.settle_expired();
+        arrival
+    }
+
+    /// Reclassify expired sequences the cumulative ack has passed (a run
+    /// flush or FWD counted them as delivered when releasing the buffered
+    /// run). Callers using [`ReceiverBuffer::on_expired`] should invoke
+    /// this after `on_packet`/`on_forward` too, so the delivered count
+    /// never includes payload that was dropped on arrival; `on_expired`
+    /// calls it itself.
+    pub fn settle_expired(&mut self) {
+        if self.expired.is_empty() {
+            return;
+        }
+        let passed: u64 = self
+            .expired
+            .iter()
+            .take_while(|r| r.start < self.cum_ack)
+            .map(|r| r.end.min(self.cum_ack) - r.start)
+            .sum();
+        if passed > 0 {
+            self.delivered_total -= passed;
+            self.expired.remove_below(self.cum_ack);
+            self.meter.tick(OpClass::Update, 1);
+        }
     }
 
     /// Sender instruction to skip everything below `new_cum` (partial
@@ -206,6 +277,7 @@ impl Default for ReceiverBuffer {
 impl StateSize for ReceiverBuffer {
     fn state_bytes(&self) -> usize {
         self.ooo.state_bytes()
+            + self.expired.state_bytes()
             + self.recent.len() * std::mem::size_of::<SeqRange>()
             + 3 * std::mem::size_of::<u64>()
     }
@@ -320,6 +392,58 @@ mod tests {
         assert_eq!(b.skipped_total(), 3);
         assert_eq!(b.delivered_total(), 2);
         assert_eq!(b.buffered(), 0);
+    }
+
+    #[test]
+    fn expired_in_order_acks_without_delivering() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        assert_eq!(b.on_expired(1), Arrival::New { delivered: 1 });
+        assert_eq!(b.cum_ack(), 2, "expired arrival still fills its hole");
+        assert_eq!(b.delivered_total(), 1, "only seq 0 delivered payload");
+        assert_eq!(b.expired_total(), 1);
+        assert_eq!(b.on_expired(1), Arrival::Duplicate, "re-sent after drop");
+        assert_eq!(b.expired_total(), 1, "duplicates don't recount");
+    }
+
+    #[test]
+    fn expired_releasing_a_buffered_run_delivers_the_run() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        b.on_packet(2); // on-time, buffered behind the hole at 1
+        b.on_packet(3);
+        assert_eq!(b.on_expired(1), Arrival::New { delivered: 3 });
+        assert_eq!(b.cum_ack(), 4);
+        // 0, 2, 3 were on time; the expired 1 is acked but not delivered.
+        assert_eq!(b.delivered_total(), 3);
+        assert_eq!(b.expired_total(), 1);
+    }
+
+    #[test]
+    fn buffered_expired_is_reclassified_when_the_hole_fills() {
+        let mut b = ReceiverBuffer::new();
+        b.on_packet(0);
+        assert_eq!(b.on_expired(2), Arrival::New { delivered: 0 });
+        assert_eq!(b.delivered_total(), 1);
+        // The on-time packet 1 flushes the run 1..3 — but 2 was expired.
+        assert_eq!(b.on_packet(1), Arrival::New { delivered: 2 });
+        b.settle_expired();
+        assert_eq!(b.cum_ack(), 3);
+        assert_eq!(b.delivered_total(), 2, "0 and 1 delivered, 2 dropped");
+        assert_eq!(b.expired_total(), 1);
+    }
+
+    #[test]
+    fn forward_past_buffered_expired_settles() {
+        let mut b = ReceiverBuffer::new();
+        b.on_expired(3); // buffered, expired
+        b.on_packet(4); // buffered, on time
+        b.on_forward(5); // sender skips 0..5
+        b.settle_expired();
+        assert_eq!(b.cum_ack(), 5);
+        assert_eq!(b.skipped_total(), 3, "0,1,2 never arrived");
+        assert_eq!(b.delivered_total(), 1, "only 4 carried usable payload");
+        assert_eq!(b.expired_total(), 1);
     }
 
     #[test]

@@ -1,0 +1,247 @@
+//! Property tests for [`ReceiverBuffer`] against a brute-force oracle.
+//!
+//! The oracle keeps one status per sequence (on-time, expired-on-arrival,
+//! or skipped-by-FWD) and recomputes every aggregate from scratch after
+//! each operation. The real buffer maintains the same aggregates
+//! incrementally across run flushes, TTL expiries, and forward jumps —
+//! exactly the paths the stream data plane leans on for partial
+//! reliability accounting (TTL-expired hole skipping, duplicates arriving
+//! after a drop, and FIN-driven forwards that land out of order).
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use qtp_sack::reassembly::{Arrival, ReceiverBuffer};
+use qtp_sack::SeqRange;
+
+const SEQ_SPACE: u64 = 40;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Arrived with usable payload.
+    OnTime,
+    /// Arrived, but its first arrival was TTL-expired: acked, not delivered.
+    Expired,
+    /// Never arrived; the cumulative ack was forwarded past it.
+    Skipped,
+}
+
+/// Brute-force model of the receiver buffer.
+#[derive(Debug, Default)]
+struct Oracle {
+    cum: u64,
+    status: BTreeMap<u64, Status>,
+}
+
+impl Oracle {
+    fn advance(&mut self) {
+        while self.status.contains_key(&self.cum) {
+            self.cum += 1;
+        }
+    }
+
+    /// Returns true when the arrival is new (mirrors [`Arrival::New`]).
+    fn arrive(&mut self, seq: u64, expired: bool) -> bool {
+        if seq < self.cum || self.status.contains_key(&seq) {
+            return false;
+        }
+        let st = if expired {
+            Status::Expired
+        } else {
+            Status::OnTime
+        };
+        self.status.insert(seq, st);
+        self.advance();
+        true
+    }
+
+    fn forward(&mut self, new_cum: u64) {
+        if new_cum <= self.cum {
+            return;
+        }
+        for seq in self.cum..new_cum {
+            self.status.entry(seq).or_insert(Status::Skipped);
+        }
+        self.cum = new_cum;
+        self.advance();
+    }
+
+    fn delivered(&self) -> u64 {
+        self.status
+            .iter()
+            .filter(|(&s, &st)| s < self.cum && st == Status::OnTime)
+            .count() as u64
+    }
+
+    fn skipped(&self) -> u64 {
+        self.status
+            .values()
+            .filter(|&&st| st == Status::Skipped)
+            .count() as u64
+    }
+
+    fn expired(&self) -> u64 {
+        self.status
+            .values()
+            .filter(|&&st| st == Status::Expired)
+            .count() as u64
+    }
+
+    /// Sequences buffered out of order (arrived, at or above the cum ack).
+    fn buffered(&self) -> Vec<u64> {
+        self.status
+            .iter()
+            .filter(|(&s, &st)| s >= self.cum && st != Status::Skipped)
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// Maximal contiguous ranges over the buffered sequences.
+    fn buffered_ranges(&self) -> Vec<SeqRange> {
+        let mut out: Vec<SeqRange> = Vec::new();
+        for s in self.buffered() {
+            match out.last_mut() {
+                Some(r) if r.end == s => r.end = s + 1,
+                _ => out.push(SeqRange::new(s, s + 1)),
+            }
+        }
+        out
+    }
+}
+
+/// Arbitrary interleavings of on-time arrivals, expired arrivals, and
+/// forward jumps over a small sequence space (small enough that
+/// duplicates — including duplicates of previously dropped sequences —
+/// occur constantly).
+fn arb_ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    prop::collection::vec((0u8..3, 0u64..SEQ_SPACE), 1..250)
+}
+
+proptest! {
+    #[test]
+    fn reassembly_matches_oracle(ops in arb_ops()) {
+        let mut buf = ReceiverBuffer::new();
+        let mut oracle = Oracle::default();
+
+        for (kind, seq) in ops {
+            match kind {
+                0 => {
+                    let before = oracle.cum;
+                    let arrival = buf.on_packet(seq);
+                    let fresh = oracle.arrive(seq, false);
+                    match arrival {
+                        Arrival::Duplicate => prop_assert!(!fresh),
+                        Arrival::New { delivered } => {
+                            prop_assert!(fresh);
+                            prop_assert_eq!(delivered, oracle.cum - before);
+                        }
+                    }
+                }
+                1 => {
+                    let before = oracle.cum;
+                    let arrival = buf.on_expired(seq);
+                    let fresh = oracle.arrive(seq, true);
+                    match arrival {
+                        Arrival::Duplicate => prop_assert!(!fresh),
+                        Arrival::New { delivered } => {
+                            prop_assert!(fresh);
+                            prop_assert_eq!(delivered, oracle.cum - before);
+                        }
+                    }
+                }
+                _ => {
+                    // Forward targets sometimes land beyond everything seen,
+                    // sometimes backwards — both must be handled.
+                    buf.on_forward(seq);
+                    oracle.forward(seq);
+                }
+            }
+            buf.settle_expired();
+
+            prop_assert_eq!(buf.cum_ack(), oracle.cum, "cum_ack");
+            prop_assert_eq!(buf.delivered_total(), oracle.delivered(), "delivered");
+            prop_assert_eq!(buf.skipped_total(), oracle.skipped(), "skipped");
+            prop_assert_eq!(buf.expired_total(), oracle.expired(), "expired");
+            prop_assert_eq!(buf.buffered(), oracle.buffered().len() as u64, "buffered");
+
+            // With a block budget larger than the sequence space, SACK must
+            // cover exactly the buffered sequences as maximal contiguous
+            // ranges.
+            let mut blocks = buf.sack_blocks(SEQ_SPACE as usize);
+            blocks.sort_by_key(|r| r.start);
+            prop_assert_eq!(blocks, oracle.buffered_ranges());
+        }
+
+        // Every sequence is accounted for exactly once: delivered, skipped,
+        // or expired — except on-time arrivals still buffered out of order,
+        // which are counted only once the cum ack passes them.
+        let pending_on_time = oracle
+            .status
+            .iter()
+            .filter(|(&s, &st)| s >= oracle.cum && st == Status::OnTime)
+            .count() as u64;
+        prop_assert_eq!(
+            buf.delivered_total() + buf.skipped_total() + buf.expired_total(),
+            oracle.status.len() as u64 - pending_on_time,
+            "conservation of sequences"
+        );
+    }
+
+    #[test]
+    fn duplicate_after_drop_never_revives(seqs in prop::collection::vec(0u64..SEQ_SPACE, 1..100)) {
+        // Every sequence arrives expired first; later copies (the sender
+        // retransmitting before it learns of the ack) must all be
+        // duplicates and must never add delivered payload.
+        let mut buf = ReceiverBuffer::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for seq in seqs {
+            let arrival = buf.on_expired(seq);
+            if seen.insert(seq) {
+                let is_new = matches!(arrival, Arrival::New { .. });
+                prop_assert!(is_new);
+            } else {
+                prop_assert_eq!(arrival, Arrival::Duplicate);
+            }
+            prop_assert_eq!(buf.on_packet(seq), Arrival::Duplicate);
+            prop_assert_eq!(buf.delivered_total(), 0, "expired payload never delivers");
+        }
+        prop_assert_eq!(buf.expired_total(), seen.len() as u64);
+    }
+
+    #[test]
+    fn forward_is_idempotent_and_monotone(ops in arb_ops(), jump in 0u64..SEQ_SPACE) {
+        // A FIN-driven forward that arrives out of order (after data that
+        // already passed it, or repeated) must not disturb the counters.
+        let mut buf = ReceiverBuffer::new();
+        let mut oracle = Oracle::default();
+        for (kind, seq) in ops {
+            match kind {
+                0 => {
+                    buf.on_packet(seq);
+                    oracle.arrive(seq, false);
+                }
+                1 => {
+                    buf.on_expired(seq);
+                    oracle.arrive(seq, true);
+                }
+                _ => {
+                    buf.on_forward(seq);
+                    oracle.forward(seq);
+                }
+            }
+        }
+        buf.settle_expired();
+        buf.on_forward(jump);
+        oracle.forward(jump);
+        buf.settle_expired();
+        let (cum, delivered, skipped) =
+            (buf.cum_ack(), buf.delivered_total(), buf.skipped_total());
+        prop_assert_eq!(cum, oracle.cum);
+        // Replaying the same forward (a retransmitted FIN) changes nothing.
+        buf.on_forward(jump);
+        buf.settle_expired();
+        prop_assert_eq!(buf.cum_ack(), cum);
+        prop_assert_eq!(buf.delivered_total(), delivered);
+        prop_assert_eq!(buf.skipped_total(), skipped);
+    }
+}

@@ -23,42 +23,64 @@
 //! | [`io`] | real-socket backend: UDP datagram framing, wall clock, blocking event loop, multi-flow connection mux, and the `UdpBackend`/`MuxBackend` bindings |
 //! | [`metrics`] | deterministic processing-cost accounting |
 //!
-//! ## Quickstart
+//! ## Quickstart — send bytes, receive bytes
 //!
-//! Describe a connection once — the service profile to negotiate and the
-//! traffic to send — then run it on any backend. The same plan runs
+//! Applications talk to QTP through the **stream data plane**: a plan
+//! with a [`core::stream::StreamConfig`] yields a `SendStream` /
+//! `RecvStream` pair — `send` with backpressure on one side, `recv` plus
+//! a wire-level FIN/FIN-ACK close on the other. The same plan runs
 //! unchanged on the deterministic simulator, on one blocking UDP socket
-//! pair (`UdpBackend`), or multiplexed with hundreds of other flows over
-//! a single socket (`MuxBackend`):
+//! pair (`UdpDriver`), or multiplexed with hundreds of other flows over
+//! a single socket (`MuxDriver`):
 //!
 //! ```
 //! use qtp::prelude::*;
 //! use std::time::Duration;
 //!
-//! // A QTPlight connection (sender-side loss estimation, light
-//! // receiver), 40 packets of 1000 B.
-//! let plan = ConnectionPlan::new(Profile::qtp_light())
-//!     .label("stream")
-//!     .finite(40);
+//! // A 10 Mbit/s duplex path, 40 ms RTT, 1% forward loss.
+//! let mut b = NetworkBuilder::new();
+//! let (a, z) = (b.host(), b.host());
+//! let link = LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(20));
+//! b.simplex_link(a, z, link.clone().with_loss(LossModel::bernoulli(0.01)));
+//! b.simplex_link(z, a, link);
+//! let mut sim = b.build(1);
 //!
-//! // Run it over a simulated 10 Mbit/s, 40 ms RTT path with 1% loss.
-//! let mut backend =
-//!     SimBackend::isolated(Rate::from_mbps(10), Duration::from_millis(20), 0.01);
-//! let outcome = &backend.run(std::slice::from_ref(&plan)).unwrap()[0];
+//! // One QTPAF connection (full reliability over a 2 Mbit/s gTFRC
+//! // floor) carrying a real byte stream.
+//! let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(2)))
+//!     .stream(StreamConfig::default());
+//! let h = attach_pair(&mut sim, a, z, "file", &plan);
+//! let (tx, rx) = (h.tx_stream.unwrap(), h.rx_stream.unwrap());
 //!
-//! // The application observes negotiation and delivery as typed data —
-//! // no reaching into endpoint internals.
-//! assert!(outcome.negotiated.is_some(), "handshake completed");
-//! assert!(outcome.delivered_bytes > 0);
-//! // The receiver did almost no work per packet (the QTPlight claim):
-//! assert!(outcome.rx.rx_ops_per_packet() < 20.0);
+//! tx.send(b"hello, versatile transport").unwrap();
+//! tx.finish();
+//! sim.run_until(SimTime::ZERO + Duration::from_secs(5));
+//!
+//! let mut got = Vec::new();
+//! while let Some(chunk) = rx.recv() {
+//!     got.extend(chunk);
+//! }
+//! assert_eq!(got, b"hello, versatile transport"); // byte-exact despite loss
+//! assert!(rx.is_finished(), "FIN / FIN-ACK completed");
 //! ```
+//!
+//! Under partial reliability the stream switches to message mode:
+//! `send_with_ttl` tags each message with a playout lifetime and the
+//! *receiver* drops retransmissions that arrive stale
+//! (`RecvStream::ttl_dropped` counts them) — see the A3 experiment.
 //!
 //! Custom compositions use the fluent builder —
 //! `Profile::new().reliability(Reliability::Ttl(..)).feedback(..).cc(..).build()?`
 //! — and hand-written event loops can drive a [`core::session::Session`]
 //! directly through its poll-style surface (`handle_input` /
 //! `poll_transmit` / `poll_timeout` / `on_timeout` / `poll_event`).
+//!
+//! Synthetic workloads (greedy, finite, CBR) for experiments that only
+//! measure rates are described on the plan itself —
+//! [`core::session::ConnectionPlan::finite`] /
+//! [`core::session::ConnectionPlan::app`] — and executed on any
+//! [`core::session::Backend`], which reports typed
+//! [`core::session::ConnectionOutcome`]s.
 //!
 //! See `docs/ARCHITECTURE.md` for the architecture and the experiment
 //! index, and run `cargo run -p qtp-bench --release --bin expt -- all` to
@@ -70,8 +92,12 @@
 //! `qtp_light_sender`, `qtp_light_partial_sender`, `qtp_standard_sender`,
 //! `cbr_app`) remain as deprecated shims; replace them with
 //! [`core::session::Profile`] presets, [`core::session::ConnectionPlan`]
-//! and [`core::session::attach_pair`]. Everything in this repository
-//! builds with `-D deprecated`.
+//! and [`core::session::attach_pair`]. The prelude's direct [`AppModel`]
+//! re-export is deprecated the same way: applications move real bytes
+//! over streams, and experiments reach synthetic models through
+//! `ConnectionPlan::finite` / `ConnectionPlan::app` (naming the enum as
+//! `qtp::core::AppModel` where a custom model is genuinely wanted).
+//! Everything in this repository builds with `-D deprecated`.
 
 pub use qtp_core as core;
 pub use qtp_io as io;
@@ -85,11 +111,22 @@ pub mod app;
 
 /// Everything a simulation driver typically needs.
 pub mod prelude {
+    pub use qtp_core::stream::{RecvStream, SendStream, StreamConfig, StreamError};
+    /// Deprecated in the prelude: applications move real bytes over
+    /// streams (`ConnectionPlan::stream`); experiments describe synthetic
+    /// workloads with `ConnectionPlan::finite` / `ConnectionPlan::app`
+    /// and can name the enum as `qtp::core::AppModel` when a custom
+    /// model is genuinely wanted.
+    #[deprecated(
+        note = "use ConnectionPlan::stream (real data) or ConnectionPlan::finite/app \
+                (synthetic workloads); name the enum as qtp::core::AppModel if needed"
+    )]
+    pub use qtp_core::AppModel;
     pub use qtp_core::{
-        attach_pair, AppModel, Backend, CapabilitySet, CapsError, CcKind, ConnectionOutcome,
+        attach_pair, attach_pairs, Backend, CapabilitySet, CapsError, CcKind, ConnectionOutcome,
         ConnectionPlan, FeedbackMode, PairHandles, Probe, Profile, ProfileBuilder, ProfileError,
         QtpHandles, QtpReceiver, QtpReceiverConfig, QtpSender, QtpSenderConfig, Reliability,
-        ServerPolicy, Session, SessionEvent, SessionEvents, SimBackend, SimTopology,
+        ServerPolicy, Session, SessionEvent, SessionEvents, SimBackend, SimHost, SimTopology,
     };
     #[allow(deprecated)]
     pub use qtp_core::{
