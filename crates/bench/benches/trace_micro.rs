@@ -1,0 +1,69 @@
+//! Micro-benchmarks of the observability plane's hot path: one
+//! [`Tracer::emit`] with no sink (counters only — the always-on cost
+//! every endpoint pays), with the [`NullSink`] attached (the dispatch
+//! overhead of an attached-but-discarding sink), and with the
+//! [`FlightRecorder`] (the steady-state ring overwrite). The first two
+//! prices are the "near-zero cost" claim the tracing design rests on;
+//! benchgate holds them to a band in `BENCH_criterion.json`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qtp_metrics::trace::{FlightRecorder, NullSink, TraceEventKind, Tracer};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn event(i: u64) -> TraceEventKind {
+    TraceEventKind::PktSent {
+        kind: qtp_metrics::trace::PktKind::Data,
+        seq: i,
+        bytes: 1050,
+        retx: false,
+    }
+}
+
+fn bench_emit(c: &mut Criterion) {
+    c.bench_function("trace/emit_no_sink", |b| {
+        let tracer = Tracer::new(0);
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tracer.emit(black_box(i), black_box(event(i)));
+        })
+    });
+
+    c.bench_function("trace/emit_null_sink", |b| {
+        let tracer = Tracer::new(0);
+        tracer.attach_sink(Rc::new(RefCell::new(NullSink)));
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            tracer.emit(black_box(i), black_box(event(i)));
+        })
+    });
+
+    c.bench_function("trace/emit_flight_recorder", |b| {
+        let tracer = Tracer::new(0);
+        // Steady state: the ring is at capacity, every emit overwrites
+        // in place — no allocation inside the measured loop.
+        let rec = Rc::new(RefCell::new(FlightRecorder::new(64)));
+        tracer.attach_sink(rec);
+        for i in 0..64 {
+            tracer.emit(i, event(i));
+        }
+        let mut i = 64u64;
+        b.iter(|| {
+            i += 1;
+            tracer.emit(black_box(i), black_box(event(i)));
+        })
+    });
+
+    c.bench_function("trace/counters_snapshot", |b| {
+        let tracer = Tracer::new(0);
+        for i in 0..100 {
+            tracer.emit(i, event(i));
+        }
+        b.iter(|| black_box(tracer.counters()))
+    });
+}
+
+criterion_group!(benches, bench_emit);
+criterion_main!(benches);

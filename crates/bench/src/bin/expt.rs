@@ -180,6 +180,7 @@ fn check(baseline_dir: PathBuf) -> ExitCode {
             if report.passed() {
                 ExitCode::SUCCESS
             } else {
+                write_flight_dumps(&fresh);
                 ExitCode::FAILURE
             }
         }
@@ -187,6 +188,36 @@ fn check(baseline_dir: PathBuf) -> ExitCode {
             eprintln!("{e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// On gate failure, write every table's captured diagnostics (flight
+/// recorder tails of the traced scenarios) to `flight-dumps/` so CI can
+/// upload them as a failure artifact.
+fn write_flight_dumps(ledger: &ledger::Ledger) {
+    let dir = Path::new("flight-dumps");
+    let mut written = 0usize;
+    for table in &ledger.tables {
+        if table.diagnostics.is_empty() {
+            continue;
+        }
+        if written == 0 {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("cannot create {}: {e}", dir.display());
+                return;
+            }
+        }
+        let path = dir.join(format!("{}.txt", table.id.to_lowercase()));
+        match std::fs::write(&path, table.diagnostics.join("\n")) {
+            Ok(()) => written += 1,
+            Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+        }
+    }
+    if written > 0 {
+        eprintln!(
+            "wrote {written} flight-recorder dump(s) to {}/",
+            dir.display()
+        );
     }
 }
 

@@ -24,7 +24,7 @@
 use qtp_core::session::{
     Backend, ConnectionOutcome, ConnectionPlan, Profile, SimBackend, SimRunMetrics, SimTopology,
 };
-use qtp_io::backend::MuxBackend;
+use qtp_io::backend::{MuxBackend, MuxRunStats};
 use qtp_simnet::prelude::*;
 use std::time::Duration;
 
@@ -216,6 +216,9 @@ pub struct ManyFlowReport {
     pub jain: f64,
     /// Flows that completed within the horizon.
     pub completed: usize,
+    /// Socket-level mux counters (mux backend only; `None` on the sim
+    /// backend, whose render must stay byte-deterministic).
+    pub mux_stats: Option<MuxRunStats>,
 }
 
 impl ManyFlowReport {
@@ -227,6 +230,7 @@ impl ManyFlowReport {
             outcomes,
             jain: jain_index(&goodputs),
             completed,
+            mux_stats: None,
         }
     }
 
@@ -329,6 +333,21 @@ impl ManyFlowReport {
         if self.outcomes.len() > detail && detail > 0 {
             let _ = writeln!(s, "  … {} more flows", self.outcomes.len() - detail);
         }
+        if let Some(mux) = &self.mux_stats {
+            for (side, st) in [("client", &mux.client), ("server", &mux.server)] {
+                let c = st.counter_set();
+                let _ = writeln!(
+                    s,
+                    "  mux {side}: {} dgrams out / {} in, {} timer fires, {} soft errors, backlog high-water {}, wheel high-water {}",
+                    c.pkts_tx,
+                    c.pkts_rx,
+                    c.timer_fires,
+                    c.soft_errors,
+                    st.tx_backlog_high_water,
+                    st.timer_wheel_high_water,
+                );
+            }
+        }
         s
     }
 }
@@ -362,9 +381,23 @@ pub fn run_sim(cfg: &ManyFlowConfig) -> ManyFlowReport {
     run_sim_instrumented(cfg).0
 }
 
-/// [`run_sim`], additionally reporting the simulator's engine counters
-/// (event count, packet-pool high-water mark) for the scaling benchmarks.
-pub fn run_sim_instrumented(cfg: &ManyFlowConfig) -> (ManyFlowReport, SimRunMetrics) {
+/// [`run_sim`] with a [`TraceRegistry`] attached: every endpoint's tracer
+/// is registered (labels `mfNNNN:tx` / `mfNNNN:rx`) so its events reach
+/// the registry's sink and its counters are snapshotable afterwards.
+/// Tracing is observation-only — the report is byte-identical to the
+/// untraced [`run_sim`] for the same config.
+pub fn run_sim_traced(
+    cfg: &ManyFlowConfig,
+    registry: qtp_metrics::trace::TraceRegistry,
+) -> ManyFlowReport {
+    let (report, _) = run_sim_with_trace(cfg, Some(registry));
+    report
+}
+
+fn run_sim_with_trace(
+    cfg: &ManyFlowConfig,
+    trace: Option<qtp_metrics::trace::TraceRegistry>,
+) -> (ManyFlowReport, SimRunMetrics) {
     let delays: Vec<Duration> = (0..cfg.flows).map(|i| cfg.access_delay(i)).collect();
     let dcfg = DumbbellConfig {
         pairs: cfg.flows,
@@ -383,12 +416,19 @@ pub fn run_sim_instrumented(cfg: &ManyFlowConfig) -> (ManyFlowReport, SimRunMetr
         seed: cfg.seed,
         horizon: cfg.horizon,
         check_interval: cfg.check_interval,
+        trace,
     };
     let plans: Vec<ConnectionPlan> = (0..cfg.flows).map(|i| cfg.plan(i)).collect();
     let (outcomes, metrics) = backend
         .run_instrumented(&plans)
         .expect("sim backend cannot fail");
     (report_from(cfg, "sim", outcomes), metrics)
+}
+
+/// [`run_sim`], additionally reporting the simulator's engine counters
+/// (event count, packet-pool high-water mark) for the scaling benchmarks.
+pub fn run_sim_instrumented(cfg: &ManyFlowConfig) -> (ManyFlowReport, SimRunMetrics) {
+    run_sim_with_trace(cfg, None)
 }
 
 /// Run the same workload over the real-socket connection multiplexer on
@@ -399,8 +439,11 @@ pub fn run_sim_instrumented(cfg: &ManyFlowConfig) -> (ManyFlowReport, SimRunMetr
 /// the report is *not* byte-deterministic.
 pub fn run_mux_loopback(cfg: &ManyFlowConfig) -> std::io::Result<ManyFlowReport> {
     let plans: Vec<ConnectionPlan> = (0..cfg.flows).map(|i| cfg.plan(i)).collect();
-    let outcomes = MuxBackend::new(cfg.horizon).run(&plans)?;
-    Ok(report_from(cfg, "mux", outcomes))
+    let mut backend = MuxBackend::new(cfg.horizon);
+    let outcomes = backend.run(&plans)?;
+    let mut report = report_from(cfg, "mux", outcomes);
+    report.mux_stats = backend.last_stats;
+    Ok(report)
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@ use qtp_core::session::{attach_pair, attach_pairs, ConnectionPlan, Profile, Reli
 use qtp_core::stream::{RecvStream, SendStream, StreamConfig, StreamError};
 use qtp_core::{CcKind, FeedbackMode};
 use qtp_metrics::agg;
+use qtp_metrics::trace::{FlightRecorder, TraceRegistry};
 use qtp_simnet::prelude::*;
 use std::time::Duration;
 
@@ -451,6 +452,9 @@ pub struct DeadlineRun {
     pub miss_rate: f64,
     /// Stale retransmissions dropped by the receiver's TTL check.
     pub ttl_dropped: u64,
+    /// Flight-recorder tail of both endpoints (last events per side),
+    /// kept for failure diagnostics — see [`Table::diagnostics`].
+    pub flight_dump: String,
 }
 
 /// Stream timestamped CBR frames through one profile and score each frame
@@ -474,6 +478,15 @@ pub fn deadline(
     let h = attach_pair(&mut sim, s, r, label, &plan);
     let tx = h.tx_stream.clone().expect("stream plan");
     let rx = h.rx_stream.clone().expect("stream plan");
+
+    // Flight recorder riding along: the last events of each side, dumped
+    // into the ledger's diagnostics if an A3 assertion fails. Tracing is
+    // observation-only, so the scenario numbers cannot move.
+    let recorder = std::rc::Rc::new(std::cell::RefCell::new(FlightRecorder::new(48)));
+    let registry = TraceRegistry::new();
+    registry.set_sink(recorder.clone());
+    registry.register(&format!("{label}:tx"), &h.tx_tracer);
+    registry.register(&format!("{label}:rx"), &h.rx_tracer);
 
     let ttl_micros = if tag_ttl {
         params.msg_ttl.as_micros() as u32
@@ -528,6 +541,7 @@ pub fn deadline(
         }
     }
     let never = delivered.iter().filter(|d| !**d).count();
+    let flight_dump = recorder.borrow().dump();
     DeadlineRun {
         label: label.to_string(),
         on_time,
@@ -535,6 +549,7 @@ pub fn deadline(
         never,
         miss_rate: (late + never) as f64 / params.frames as f64,
         ttl_dropped: rx.ttl_dropped(),
+        flight_dump,
     }
 }
 
@@ -602,6 +617,12 @@ pub fn a3() -> Table {
         "frames",
         Tolerance::AbsOrRel(20.0, 0.10),
     );
+    for run in [&full, &partial] {
+        t.diagnostics.push(format!(
+            "A3 variant {} — flight recorder tail:\n{}",
+            run.label, run.flight_dump
+        ));
+    }
     t
 }
 

@@ -219,6 +219,12 @@ pub struct Table {
     pub verdict: String,
     /// Typed headline metrics the claims ledger gates on.
     pub metrics: Vec<Metric>,
+    /// Failure diagnostics (e.g. flight-recorder dumps) carried alongside
+    /// the table but **never rendered** by [`Table::to_markdown`] /
+    /// [`Table::to_json`] — the committed report artifacts stay
+    /// byte-identical whether or not diagnostics were captured. `expt
+    /// --check` writes them to `flight-dumps/` when the gate fails.
+    pub diagnostics: Vec<String>,
 }
 
 impl Table {
@@ -232,6 +238,7 @@ impl Table {
             rows: Vec::new(),
             verdict: String::new(),
             metrics: Vec::new(),
+            diagnostics: Vec::new(),
         }
     }
 

@@ -24,6 +24,7 @@
 //! [`SimAgent`](crate::adapter::SimAgent)) or over real UDP (via
 //! `qtp-io`).
 
+use qtp_metrics::trace::{ConnState, PktKind, TraceEventKind, Tracer};
 use qtp_metrics::StateSize;
 use qtp_sack::{ReceiverBuffer, ReliabilityMode, MAX_SACK_BLOCKS};
 use qtp_simnet::prelude::*;
@@ -101,6 +102,9 @@ pub struct QtpReceiver {
     stream: Option<StreamRx>,
     /// A FIN was processed (close handshake seen from the peer).
     fin_seen: bool,
+    /// Observability: typed event emission + per-connection counters.
+    /// Shared with [`StreamRx`] so TTL-drop counts have one source of truth.
+    tracer: Tracer,
 }
 
 impl QtpReceiver {
@@ -112,7 +116,11 @@ impl QtpReceiver {
         probe: Probe,
     ) -> Self {
         // Delivery mode is re-locked at negotiation time (`on_syn`).
-        let stream = cfg.stream.as_ref().map(|_| StreamRx::new(true));
+        let tracer = Tracer::new(0);
+        let stream = cfg
+            .stream
+            .as_ref()
+            .map(|_| StreamRx::new(true, tracer.clone()));
         QtpReceiver {
             data_flow,
             fb_flow,
@@ -133,7 +141,13 @@ impl QtpReceiver {
             probe,
             stream,
             fin_seen: false,
+            tracer,
         }
+    }
+
+    /// This endpoint's [`Tracer`] handle (clones share counters + sink).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// App-facing handle for the stream data plane (if configured).
@@ -175,6 +189,13 @@ impl QtpReceiver {
 
     fn arm_fb(&mut self, out: &mut Outbox, at: SimTime) {
         out.set_timer_at(at, self.gens.arm(TK_FB));
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::TimerSet {
+                kind: TK_FB as u8,
+                at_nanos: at.as_nanos(),
+            },
+        );
     }
 
     fn on_syn(&mut self, out: &mut Outbox, ts_nanos: u64, offered: CapabilitySet) {
@@ -183,6 +204,10 @@ impl QtpReceiver {
             .unwrap_or_else(|| self.cfg.policy.negotiate(offered));
         if self.chosen.is_none() {
             self.chosen = Some(chosen);
+            self.tracer.emit(
+                out.now.as_nanos(),
+                TraceEventKind::State(ConnState::Connected),
+            );
             if chosen.feedback == FeedbackMode::ReceiverLoss {
                 self.tfrc_rx = Some(TfrcReceiver::new(self.payload_bytes, self.rtt_hint));
             }
@@ -199,6 +224,15 @@ impl QtpReceiver {
         };
         let size = pkt.wire_size();
         out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::SynAck,
+                seq: 0,
+                bytes: size,
+                retx: false,
+            },
+        );
     }
 
     fn reliability(&self) -> ReliabilityMode {
@@ -357,9 +391,13 @@ impl QtpReceiver {
 
         if expired {
             if matches!(self.buf.on_expired(seq), qtp_sack::Arrival::New { .. }) {
-                if let Some(srx) = self.stream.as_mut() {
-                    srx.on_ttl_drop();
-                }
+                self.tracer.emit(
+                    out.now.as_nanos(),
+                    TraceEventKind::PktDropped {
+                        seq,
+                        age_us: age_micros,
+                    },
+                );
             }
         } else {
             match self.buf.on_packet(seq) {
@@ -395,9 +433,20 @@ impl QtpReceiver {
         let pkt = QtpPacket::FinAck { final_seq };
         let size = pkt.wire_size();
         out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::FinAck,
+                seq: final_seq,
+                bytes: size,
+                retx: false,
+            },
+        );
         if !self.fin_seen {
             self.fin_seen = true;
             self.own_ops += 1;
+            self.tracer
+                .emit(out.now.as_nanos(), TraceEventKind::State(ConnState::Closed));
         }
         let ordered = self.stream.as_ref().map(|s| s.ordered()).unwrap_or(false);
         if !ordered && self.buf.cum_ack() < final_seq {
@@ -483,16 +532,26 @@ impl QtpReceiver {
                 Vec::new()
             };
 
+        let cum_ack = self.buf.cum_ack();
         let pkt = QtpPacket::Feedback {
             ts_echo_nanos: last_ts.as_nanos(),
             t_delay_micros: t_delay.as_micros() as u32,
             x_recv: x_recv as u64,
             p_ppb,
-            cum_ack: self.buf.cum_ack(),
+            cum_ack,
             blocks,
         };
         let size = pkt.wire_size();
         out.send_new(self.fb_flow, self.sender_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Feedback,
+                seq: cum_ack,
+                bytes: size,
+                retx: false,
+            },
+        );
         self.bytes_since_fb = 0;
         self.round_started = Some(out.now);
         self.probe.update(|d| d.rx_feedback_sent += 1);
@@ -531,8 +590,19 @@ impl Endpoint for QtpReceiver {
         let Ok(decoded) = QtpPacket::decode(header) else {
             return;
         };
+        let now_nanos = out.now.as_nanos();
         match decoded {
-            QtpPacket::Syn { ts_nanos, offered } => self.on_syn(out, ts_nanos, offered),
+            QtpPacket::Syn { ts_nanos, offered } => {
+                self.tracer.emit(
+                    now_nanos,
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Syn,
+                        seq: 0,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_syn(out, ts_nanos, offered)
+            }
             QtpPacket::Data {
                 seq,
                 ts_nanos,
@@ -540,10 +610,26 @@ impl Endpoint for QtpReceiver {
                 rtt_hint_micros,
                 ..
             } => {
+                self.tracer.emit(
+                    now_nanos,
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Data,
+                        seq,
+                        bytes: wire_size,
+                    },
+                );
                 let payload = wire_size.saturating_sub(header_len + crate::wire::IP_OVERHEAD);
                 self.on_data(out, seq, ts_nanos, adu_ts_nanos, rtt_hint_micros, payload);
             }
             QtpPacket::Forward { new_cum } => {
+                self.tracer.emit(
+                    now_nanos,
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Forward,
+                        seq: new_cum,
+                        bytes: wire_size,
+                    },
+                );
                 self.on_forward(out, new_cum);
                 self.buf.settle_expired();
                 if let Some(srx) = self.stream.as_mut() {
@@ -558,25 +644,55 @@ impl Endpoint for QtpReceiver {
                 is_retx,
                 ttl_micros,
                 payload,
-            } => self.on_stream_data(
-                out,
-                seq,
-                ts_nanos,
-                adu_ts_nanos,
-                rtt_hint_micros,
-                is_retx,
-                ttl_micros,
-                payload,
-            ),
-            QtpPacket::Fin { final_seq } => self.on_fin(out, final_seq),
+            } => {
+                self.tracer.emit(
+                    now_nanos,
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Data,
+                        seq,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_stream_data(
+                    out,
+                    seq,
+                    ts_nanos,
+                    adu_ts_nanos,
+                    rtt_hint_micros,
+                    is_retx,
+                    ttl_micros,
+                    payload,
+                )
+            }
+            QtpPacket::Fin { final_seq } => {
+                self.tracer.emit(
+                    now_nanos,
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Fin,
+                        seq: final_seq,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_fin(out, final_seq)
+            }
             _ => {}
         }
     }
 
     fn on_timer(&mut self, out: &mut Outbox, token: u64) {
         if self.gens.live(token).is_none() {
+            self.tracer.emit(
+                out.now.as_nanos(),
+                TraceEventKind::TimerCancelled {
+                    kind: (token & 3) as u8,
+                },
+            );
             return;
         }
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::TimerFired { kind: TK_FB as u8 },
+        );
         // Periodic feedback: send only if data arrived this round.
         if self.bytes_since_fb > 0 {
             self.send_feedback(out);

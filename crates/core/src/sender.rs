@@ -21,6 +21,7 @@
 //!
 //! [`ReliabilityPolicy`]: qtp_sack::ReliabilityPolicy
 
+use qtp_metrics::trace::{ConnState, PktKind, TraceEventKind, Tracer};
 use qtp_sack::{ReliabilityMode, Scoreboard, SeqRange};
 use qtp_simnet::prelude::*;
 use std::collections::BTreeMap;
@@ -141,6 +142,8 @@ pub struct QtpSender {
     /// Terminal: close handshake finished (or given up on); timers are no
     /// longer re-armed so driver timer state drains naturally.
     closed: bool,
+    /// Observability: typed event emission + per-connection counters.
+    tracer: Tracer,
 }
 
 /// A sent stream chunk retained for retransmission.
@@ -183,7 +186,13 @@ impl QtpSender {
             fin_retries: 0,
             fin_acked: false,
             closed: false,
+            tracer: Tracer::new(0),
         }
+    }
+
+    /// This endpoint's [`Tracer`] handle (clones share counters + sink).
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
     }
 
     /// App-facing handle for the stream data plane (if configured).
@@ -237,6 +246,13 @@ impl QtpSender {
 
     fn arm(&mut self, out: &mut Outbox, kind: u64, at: SimTime) {
         out.set_timer_at(at, self.gens.arm(kind));
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::TimerSet {
+                kind: kind as u8,
+                at_nanos: at.as_nanos(),
+            },
+        );
     }
 
     // ---- handshake ----------------------------------------------------
@@ -248,6 +264,15 @@ impl QtpSender {
         };
         let size = pkt.wire_size();
         out.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Syn,
+                seq: 0,
+                bytes: size,
+                retx: false,
+            },
+        );
         self.arm(out, TK_SYN, out.now + Duration::from_secs(1));
     }
 
@@ -257,6 +282,10 @@ impl QtpSender {
         }
         self.state = State::Running;
         self.chosen = Some(chosen);
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::State(ConnState::Connected),
+        );
         let rtt = out
             .now
             .saturating_since(SimTime::from_nanos(ts_echo_nanos))
@@ -337,6 +366,8 @@ impl QtpSender {
                 if now.saturating_since(submit) >= ttl {
                     self.backlog.pop_front();
                     self.probe.update(|d| d.tx_abandoned += 1);
+                    self.tracer
+                        .emit(now.as_nanos(), TraceEventKind::PktExpired { seq: 0 });
                 } else {
                     break;
                 }
@@ -367,6 +398,15 @@ impl QtpSender {
         let header = pkt.encode();
         let size = self.data_wire_size(header.len());
         out.send_new(self.flow, self.receiver_node, size, header);
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Data,
+                seq,
+                bytes: size,
+                retx: is_retx,
+            },
+        );
         self.probe.update(|d| {
             d.tx_data_pkts += 1;
             if is_retx {
@@ -395,6 +435,15 @@ impl QtpSender {
         // The payload rides inside the header bytes; only IP overhead on top.
         let size = header.len() as u32 + IP_OVERHEAD;
         out.send_new(self.flow, self.receiver_node, size, header);
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Data,
+                seq,
+                bytes: size,
+                retx: is_retx,
+            },
+        );
         self.probe.update(|d| {
             d.tx_data_pkts += 1;
             if is_retx {
@@ -419,6 +468,8 @@ impl QtpSender {
             self.sb.abandon(seq);
             self.chunks.remove(&seq);
             self.probe.update(|d| d.tx_abandoned += 1);
+            self.tracer
+                .emit(out.now.as_nanos(), TraceEventKind::PktExpired { seq });
         }
         let max = (self.cfg.s as usize).min(MAX_STREAM_PAYLOAD);
         let Some((bytes, ttl_micros)) = self.stream.as_mut().unwrap().next_chunk(max) else {
@@ -463,6 +514,8 @@ impl QtpSender {
             // Abandoned: drop from the retransmission queue and keep going.
             self.sb.abandon(seq);
             self.probe.update(|d| d.tx_abandoned += 1);
+            self.tracer
+                .emit(out.now.as_nanos(), TraceEventKind::PktExpired { seq });
         }
         if self.app_has_data() {
             let submit = self.next_submit_ts(out.now);
@@ -497,6 +550,15 @@ impl QtpSender {
         let pkt = QtpPacket::Forward { new_cum: fp };
         let size = pkt.wire_size();
         out.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Forward,
+                seq: fp,
+                bytes: size,
+                retx: false,
+            },
+        );
     }
 
     fn on_pace(&mut self, out: &mut Outbox) {
@@ -558,21 +620,33 @@ impl QtpSender {
         }
         if self.fin_retries >= FIN_MAX_RETRIES {
             self.closed = true;
+            self.tracer
+                .emit(out.now.as_nanos(), TraceEventKind::State(ConnState::Closed));
             return;
         }
         self.fin_retries += 1;
         self.fin_sent_at = Some(out.now);
-        let pkt = QtpPacket::Fin {
-            final_seq: self.sb.next_seq(),
-        };
+        let final_seq = self.sb.next_seq();
+        let pkt = QtpPacket::Fin { final_seq };
         let size = pkt.wire_size();
         out.send_new(self.flow, self.receiver_node, size, pkt.encode());
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::PktSent {
+                kind: PktKind::Fin,
+                seq: final_seq,
+                bytes: size,
+                retx: false,
+            },
+        );
     }
 
-    fn on_finack(&mut self) {
+    fn on_finack(&mut self, now_nanos: u64) {
         if self.fin_sent_at.is_some() {
             self.fin_acked = true;
             self.closed = true;
+            self.tracer
+                .emit(now_nanos, TraceEventKind::State(ConnState::Closed));
         }
     }
 
@@ -626,6 +700,12 @@ impl QtpSender {
 
         // Reliability: route newly-declared losses through the policy.
         if !digest.newly_lost.is_empty() {
+            self.tracer.emit(
+                out.now.as_nanos(),
+                TraceEventKind::LossEvent {
+                    pkts: digest.newly_lost.len() as u32,
+                },
+            );
             let retransmits = self
                 .chosen
                 .map(|c| c.reliability.retransmits())
@@ -677,6 +757,14 @@ impl QtpSender {
             self.sb.meter.total(),
         );
         let now = out.now;
+        self.tracer.emit(
+            now.as_nanos(),
+            TraceEventKind::RateUpdate {
+                rate_bps: (rate * 8.0) as u64,
+                p_ppm: ((p * 1e6) as u32).min(1_000_000),
+                rtt_us: (rtt_s * 1e6) as u64,
+            },
+        );
         self.probe.update(|d| {
             d.rate_trace.push((now, rate));
             d.p_trace.push((now, p));
@@ -713,10 +801,14 @@ struct FeedbackFields<'a> {
 
 impl Endpoint for QtpSender {
     fn on_start(&mut self, out: &mut Outbox) {
+        self.tracer.emit(
+            out.now.as_nanos(),
+            TraceEventKind::State(ConnState::Started),
+        );
         self.send_syn(out);
     }
 
-    fn handle_datagram(&mut self, out: &mut Outbox, _wire_size: u32, header: &[u8]) {
+    fn handle_datagram(&mut self, out: &mut Outbox, wire_size: u32, header: &[u8]) {
         let Ok(decoded) = QtpPacket::decode(header) else {
             return;
         };
@@ -724,7 +816,17 @@ impl Endpoint for QtpSender {
             QtpPacket::SynAck {
                 ts_echo_nanos,
                 chosen,
-            } => self.on_synack(out, ts_echo_nanos, chosen),
+            } => {
+                self.tracer.emit(
+                    out.now.as_nanos(),
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::SynAck,
+                        seq: 0,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_synack(out, ts_echo_nanos, chosen)
+            }
             QtpPacket::Feedback {
                 ts_echo_nanos,
                 t_delay_micros,
@@ -732,30 +834,64 @@ impl Endpoint for QtpSender {
                 p_ppb,
                 cum_ack,
                 blocks,
-            } => self.on_feedback_pkt(
-                out,
-                FeedbackFields {
-                    ts_echo_nanos,
-                    t_delay_micros,
-                    x_recv,
-                    p_ppb,
-                    cum_ack,
-                    blocks: &blocks,
-                },
-            ),
-            QtpPacket::FinAck { .. } => self.on_finack(),
+            } => {
+                self.tracer.emit(
+                    out.now.as_nanos(),
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::Feedback,
+                        seq: cum_ack,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_feedback_pkt(
+                    out,
+                    FeedbackFields {
+                        ts_echo_nanos,
+                        t_delay_micros,
+                        x_recv,
+                        p_ppb,
+                        cum_ack,
+                        blocks: &blocks,
+                    },
+                )
+            }
+            QtpPacket::FinAck { final_seq } => {
+                self.tracer.emit(
+                    out.now.as_nanos(),
+                    TraceEventKind::PktRecvd {
+                        kind: PktKind::FinAck,
+                        seq: final_seq,
+                        bytes: wire_size,
+                    },
+                );
+                self.on_finack(out.now.as_nanos())
+            }
             _ => {}
         }
     }
 
     fn on_timer(&mut self, out: &mut Outbox, token: u64) {
         match self.gens.live(token) {
-            Some(TK_SYN) if self.state == State::AwaitSynAck => self.send_syn(out),
-            Some(TK_SYN) => {}
-            Some(TK_PACE) => self.on_pace(out),
-            Some(TK_NOFB) => self.on_nofb(out),
-            Some(TK_APP) => self.on_app_tick(out),
-            _ => {}
+            Some(kind) => {
+                self.tracer.emit(
+                    out.now.as_nanos(),
+                    TraceEventKind::TimerFired { kind: kind as u8 },
+                );
+                match kind {
+                    TK_SYN if self.state == State::AwaitSynAck => self.send_syn(out),
+                    TK_SYN => {}
+                    TK_PACE => self.on_pace(out),
+                    TK_NOFB => self.on_nofb(out),
+                    TK_APP => self.on_app_tick(out),
+                    _ => {}
+                }
+            }
+            None => self.tracer.emit(
+                out.now.as_nanos(),
+                TraceEventKind::TimerCancelled {
+                    kind: (token & 3) as u8,
+                },
+            ),
         }
     }
 }

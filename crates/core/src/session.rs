@@ -37,6 +37,7 @@
 //! program here run unchanged on the simulator, the blocking UDP driver
 //! and the multi-flow mux.
 
+use qtp_metrics::trace::{TraceEventKind, TraceRegistry, Tracer};
 use qtp_sack::ReliabilityMode;
 use qtp_simnet::packet::{FlowId, NodeId};
 use qtp_simnet::prelude::*;
@@ -654,6 +655,9 @@ pub struct Session {
     recv_shared: Option<Rc<RefCell<crate::stream::RecvShared>>>,
     /// `Finished` has been emitted.
     finished_reported: bool,
+    /// The endpoint's observability handle (stream edges are emitted here
+    /// too, so a trace shows app-visible events alongside wire events).
+    tracer: Tracer,
 }
 
 impl Session {
@@ -665,8 +669,10 @@ impl Session {
         let probe = Probe::new();
         let sender = QtpSender::new(data_flow, peer, plan.sender_config(), probe.clone());
         let send_shared = sender.stream_shared();
+        let tracer = sender.tracer();
         let mut s = Session::wrap(Role::Sender(sender)).with_probe(probe);
         s.send_shared = send_shared;
+        s.tracer = tracer;
         s
     }
 
@@ -687,8 +693,10 @@ impl Session {
             probe.clone(),
         );
         let recv_shared = receiver.stream_shared();
+        let tracer = receiver.tracer();
         let mut s = Session::wrap(Role::Receiver(receiver)).with_probe(probe);
         s.recv_shared = recv_shared;
+        s.tracer = tracer;
         s
     }
 
@@ -729,6 +737,7 @@ impl Session {
             send_shared: None,
             recv_shared: None,
             finished_reported: false,
+            tracer: Tracer::new(0),
         }
     }
 
@@ -760,8 +769,8 @@ impl Session {
         if self.closed && !wire::is_close_handshake(header) {
             return;
         }
-        self.detect_rejected(header);
         self.out.now = now;
+        self.detect_rejected(header);
         self.inner.handle_datagram(&mut self.out, wire_size, header);
         self.pump(None);
     }
@@ -851,6 +860,8 @@ impl Session {
         if wire::carries_capabilities(header) {
             if let Err(WireError::BadCapability(error)) = QtpPacket::decode(header) {
                 self.events.push_rejected(error);
+                self.tracer
+                    .emit(self.out.now.as_nanos(), TraceEventKind::SoftError);
             }
         }
     }
@@ -897,12 +908,16 @@ impl Session {
         // Stream data-plane edges.
         if let Some(sh) = &self.send_shared {
             if crate::stream::take_writable_edge(sh) {
+                self.tracer
+                    .emit(self.out.now.as_nanos(), TraceEventKind::StreamWritable);
                 self.events.push(SessionEvent::Writable);
             }
         }
         if let Some(rh) = &self.recv_shared {
             let n = crate::stream::take_readable(rh);
             if n > 0 {
+                self.tracer
+                    .emit(self.out.now.as_nanos(), TraceEventKind::StreamReadable);
                 self.events.push_readable(n);
             }
         }
@@ -910,6 +925,8 @@ impl Session {
             if let Role::Receiver(r) = &self.inner {
                 if r.finished() {
                     self.finished_reported = true;
+                    self.tracer
+                        .emit(self.out.now.as_nanos(), TraceEventKind::StreamFin);
                     self.events.push(SessionEvent::Finished);
                 }
             }
@@ -946,9 +963,24 @@ impl Session {
         &self.probe
     }
 
+    /// The endpoint's [`Tracer`]: per-connection counters always, plus
+    /// event forwarding once a sink is attached (e.g. via
+    /// [`TraceRegistry::register`]). Cheap to clone and kept valid after
+    /// the session moves into a simulator or driver.
+    pub fn tracer(&self) -> Tracer {
+        self.tracer.clone()
+    }
+
     /// Application bytes delivered by this session (receiver side).
     pub fn delivered_bytes(&self) -> u64 {
         self.delivered_bytes
+    }
+
+    /// Soft errors absorbed by this session (malformed capability offers
+    /// dropped on the floor). Reads the tracer's counters — the same
+    /// figure a [`TraceRegistry`] snapshot reports.
+    pub fn soft_errors(&self) -> u64 {
+        self.tracer.counters().soft_errors
     }
 
     /// Whether [`Session::close`] was called.
@@ -1008,8 +1040,8 @@ impl Endpoint for Session {
         if self.closed && !wire::is_close_handshake(header) {
             return;
         }
-        self.detect_rejected(header);
         self.out.now = out.now;
+        self.detect_rejected(header);
         self.inner.handle_datagram(&mut self.out, wire_size, header);
         self.pump(Some(out));
     }
@@ -1048,6 +1080,10 @@ pub struct PairHandles {
     pub tx_stream: Option<SendStream>,
     /// Receiving half of the stream data plane.
     pub rx_stream: Option<RecvStream>,
+    /// Sender-side tracer (counters + event emission).
+    pub tx_tracer: Tracer,
+    /// Receiver-side tracer.
+    pub rx_tracer: Tracer,
 }
 
 /// Attach one planned connection to a simulated topology: a sending
@@ -1077,6 +1113,8 @@ pub fn attach_pair(
         rx_events: rx.events(),
         tx_stream: tx.send_stream(),
         rx_stream: rx.recv_stream(),
+        tx_tracer: tx.tracer(),
+        rx_tracer: rx.tracer(),
     };
     sim.attach_agent(sender_node, Box::new(SimAgent::new(tx)));
     sim.attach_agent(receiver_node, Box::new(SimAgent::new(rx)));
@@ -1112,6 +1150,8 @@ pub fn attach_pairs(
             rx_events: rx.events(),
             tx_stream: tx.send_stream(),
             rx_stream: rx.recv_stream(),
+            tx_tracer: tx.tracer(),
+            rx_tracer: rx.tracer(),
         });
         hosts.entry(*sender_node).or_default().add(tx, [fb_flow]);
         hosts
@@ -1202,6 +1242,11 @@ pub struct SimBackend {
     /// Completion-sampling granularity (completion times round up to
     /// this, keeping the stepped run deterministic).
     pub check_interval: Duration,
+    /// When set, every connection's tracers are registered here as
+    /// `<label>:tx` / `<label>:rx` — attaching whatever sink the registry
+    /// carries and making per-connection counters collectable after the
+    /// run. `None` (the default) leaves tracing disconnected.
+    pub trace: Option<TraceRegistry>,
 }
 
 impl SimBackend {
@@ -1216,6 +1261,7 @@ impl SimBackend {
             seed: 42,
             horizon: Duration::from_secs(30),
             check_interval: Duration::from_millis(250),
+            trace: None,
         }
     }
 
@@ -1226,6 +1272,7 @@ impl SimBackend {
             seed: 42,
             horizon: Duration::from_secs(120),
             check_interval: Duration::from_millis(250),
+            trace: None,
         }
     }
 
@@ -1238,6 +1285,13 @@ impl SimBackend {
     /// Set the horizon.
     pub fn horizon(mut self, horizon: Duration) -> SimBackend {
         self.horizon = horizon;
+        self
+    }
+
+    /// Register every connection's tracers with `registry` (see
+    /// [`SimBackend::trace`]).
+    pub fn trace(mut self, registry: TraceRegistry) -> SimBackend {
+        self.trace = Some(registry);
         self
     }
 }
@@ -1342,6 +1396,12 @@ impl SimBackend {
             .zip(&labels)
             .map(|((plan, &(s, r)), label)| attach_pair(&mut sim, s, r, label, plan))
             .collect();
+        if let Some(reg) = &self.trace {
+            for (label, h) in labels.iter().zip(&handles) {
+                reg.register(&format!("{label}:tx"), &h.tx_tracer);
+                reg.register(&format!("{label}:rx"), &h.rx_tracer);
+            }
+        }
 
         // Stepped run: completion is sampled every check_interval, keeping
         // the scan cost negligible and the result deterministic.

@@ -22,6 +22,8 @@ use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
 
+use qtp_metrics::trace::Tracer;
+
 use crate::wire::MAX_STREAM_PAYLOAD;
 
 /// Default send-buffer capacity in bytes.
@@ -214,11 +216,15 @@ pub(crate) struct RecvShared {
     readable_since_poll: u64,
     msgs_received: u64,
     bytes_received: u64,
-    ttl_dropped: u64,
+    /// The owning endpoint's tracer: TTL drops live in its [`CounterSet`]
+    /// (one source of truth shared with the receiver's emit site).
+    ///
+    /// [`CounterSet`]: qtp_metrics::trace::CounterSet
+    tracer: Tracer,
 }
 
 impl RecvShared {
-    fn new() -> Self {
+    fn new(tracer: Tracer) -> Self {
         RecvShared {
             messages: VecDeque::new(),
             finished: false,
@@ -226,7 +232,7 @@ impl RecvShared {
             readable_since_poll: 0,
             msgs_received: 0,
             bytes_received: 0,
-            ttl_dropped: 0,
+            tracer,
         }
     }
 
@@ -281,9 +287,11 @@ impl RecvStream {
     }
 
     /// Messages dropped at the receiver because their TTL had expired by the
-    /// time a (re)transmission arrived.
+    /// time a (re)transmission arrived. Reads the endpoint's per-connection
+    /// counters — the receiver's `pkt_dropped` trace emits are the single
+    /// source of truth.
     pub fn ttl_dropped(&self) -> u64 {
-        self.shared.borrow().ttl_dropped
+        self.shared.borrow().tracer.counters().ttl_drops
     }
 }
 
@@ -387,9 +395,9 @@ pub(crate) struct StreamRx {
 }
 
 impl StreamRx {
-    pub(crate) fn new(ordered: bool) -> Self {
+    pub(crate) fn new(ordered: bool, tracer: Tracer) -> Self {
         StreamRx {
-            shared: Rc::new(RefCell::new(RecvShared::new())),
+            shared: Rc::new(RefCell::new(RecvShared::new(tracer))),
             stash: BTreeMap::new(),
             parse_buf: VecDeque::new(),
             next_parse_seq: 0,
@@ -428,11 +436,6 @@ impl StreamRx {
         } else {
             self.shared.borrow_mut().push_msg(payload);
         }
-    }
-
-    /// Records a receiver-side TTL drop.
-    pub(crate) fn on_ttl_drop(&mut self) {
-        self.shared.borrow_mut().ttl_dropped += 1;
     }
 
     /// Ordered mode: moves contiguously acknowledged payloads into the parse
@@ -588,7 +591,7 @@ mod tests {
         assert_eq!(c2.len(), 8);
         assert!(tx.next_chunk(12).is_none());
 
-        let mut rx = StreamRx::new(true);
+        let mut rx = StreamRx::new(true, Tracer::new(0));
         let rh = rx.handle();
         rx.on_payload(0, c1);
         rx.on_payload(1, c2);
@@ -604,7 +607,7 @@ mod tests {
         let h = tx.handle();
         h.send(b"hello").unwrap();
         let (c, _) = tx.next_chunk(1400).unwrap();
-        let mut rx = StreamRx::new(true);
+        let mut rx = StreamRx::new(true, Tracer::new(0));
         rx.on_payload(0, c);
         assert_eq!(rx.drain(0), 0, "not yet acked");
         assert_eq!(rx.drain(1), 1);
@@ -627,11 +630,17 @@ mod tests {
 
     #[test]
     fn message_mode_delivers_out_of_order_immediately() {
-        let mut rx = StreamRx::new(false);
+        let tracer = Tracer::new(0);
+        let mut rx = StreamRx::new(false, tracer.clone());
         let rh = rx.handle();
         rx.on_payload(3, b"late".to_vec());
         assert_eq!(rh.recv().unwrap(), b"late");
-        rx.on_ttl_drop();
+        // TTL drops are counted by the endpoint's tracer (pkt_dropped) and
+        // surfaced through the shared handle.
+        tracer.emit(
+            0,
+            qtp_metrics::trace::TraceEventKind::PktDropped { seq: 4, age_us: 1 },
+        );
         assert_eq!(rh.ttl_dropped(), 1);
         rx.on_fin(5, 0);
         assert!(rh.is_finished(), "message mode finishes on FIN");
@@ -644,7 +653,7 @@ mod tests {
         let mut tx = StreamTx::new(&StreamConfig::default(), true);
         tx.handle().send(b"ab").unwrap();
         let (c, _) = tx.next_chunk(1400).unwrap();
-        let mut rx = StreamRx::new(true);
+        let mut rx = StreamRx::new(true, Tracer::new(0));
         rx.on_fin(1, 0); // FIN raced ahead of the data
         assert!(!rx.is_finished());
         rx.on_payload(0, c);
@@ -658,7 +667,7 @@ mod tests {
         let mut tx = StreamTx::new(&StreamConfig::default(), true);
         tx.handle().send(&[9u8; 10]).unwrap();
         // Chunk size 3 splits the 4-byte length prefix itself.
-        let mut rx = StreamRx::new(true);
+        let mut rx = StreamRx::new(true, Tracer::new(0));
         let mut seq = 0;
         while let Some((c, _)) = tx.next_chunk(3) {
             rx.on_payload(seq, c);

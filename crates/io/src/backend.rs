@@ -18,7 +18,7 @@ use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use crate::driver::{annotate_side, UdpDriver};
-use crate::mux::{drive_mux_pair, Accepted, ConnId, MuxConfig, MuxDriver};
+use crate::mux::{drive_mux_pair, Accepted, ConnId, MuxConfig, MuxDriver, MuxStats};
 
 /// Driver time slice used by both backends' event loops.
 const SLICE: Duration = Duration::from_micros(300);
@@ -169,6 +169,17 @@ impl Backend for UdpBackend {
 // MuxBackend
 // ---------------------------------------------------------------------------
 
+/// Socket-level counters from one [`MuxBackend::run`], per side. The
+/// [`MuxStats::counter_set`] view is the cross-backend currency; the raw
+/// stats keep the mux-only fields (backlog / timer-wheel high-water).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MuxRunStats {
+    /// The client-side mux (all senders).
+    pub client: MuxStats,
+    /// The server-side mux (all receivers).
+    pub server: MuxStats,
+}
+
 /// Every connection multiplexed over ONE client socket and ONE server
 /// socket — the [`MuxDriver`] binding of the backend seam. The server
 /// accepts each connection on its first frame; connection `i` owns data
@@ -179,6 +190,8 @@ pub struct MuxBackend {
     pub deadline: Duration,
     /// Mux tuning (the connection cap is raised to fit the plans).
     pub mux: MuxConfig,
+    /// Counters of the most recent [`Backend::run`], for reports.
+    pub last_stats: Option<MuxRunStats>,
 }
 
 impl MuxBackend {
@@ -187,6 +200,7 @@ impl MuxBackend {
         MuxBackend {
             deadline,
             mux: MuxConfig::default(),
+            last_stats: None,
         }
     }
 }
@@ -251,6 +265,10 @@ impl Backend for MuxBackend {
         })?;
 
         let client_addr = client.local_addr()?;
+        self.last_stats = Some(MuxRunStats {
+            client: client.stats(),
+            server: server.stats(),
+        });
         let horizon_s = self.deadline.as_secs_f64();
         Ok(plans
             .iter()

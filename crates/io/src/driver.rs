@@ -55,6 +55,22 @@ pub struct DriverStats {
     pub soft_errors: u64,
 }
 
+impl DriverStats {
+    /// The socket-level counters in the cross-backend
+    /// [`CounterSet`](qtp_metrics::trace::CounterSet) currency. Fields the
+    /// driver cannot observe (retransmits, TTL drops, …) stay zero — those
+    /// live on the endpoints' own tracers.
+    pub fn counter_set(&self) -> qtp_metrics::trace::CounterSet {
+        qtp_metrics::trace::CounterSet {
+            pkts_tx: self.datagrams_sent,
+            pkts_rx: self.datagrams_received,
+            timer_fires: self.timers_fired,
+            soft_errors: self.soft_errors,
+            ..Default::default()
+        }
+    }
+}
+
 /// Drives one [`Endpoint`] over one UDP socket.
 pub struct UdpDriver<E: Endpoint> {
     ep: E,

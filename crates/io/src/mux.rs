@@ -334,6 +334,30 @@ pub struct MuxStats {
     pub sends_requeued: u64,
     /// Soft per-datagram socket errors absorbed (ICMP reflections etc.).
     pub soft_errors: u64,
+    /// Deepest the `WouldBlock` send backlog ever got (frames).
+    pub tx_backlog_high_water: u64,
+    /// Most timer entries armed in the wheel at once (stale generations
+    /// included): the timer-state footprint of the whole mux.
+    pub timer_wheel_high_water: u64,
+}
+
+impl MuxStats {
+    /// The mux's activity as a [`CounterSet`], the cross-backend
+    /// observability currency: datagrams map to packets, timer and
+    /// soft-error counters carry over, everything per-connection (bytes,
+    /// retransmits, drops) stays zero — those live with the endpoints'
+    /// own tracers.
+    ///
+    /// [`CounterSet`]: qtp_metrics::trace::CounterSet
+    pub fn counter_set(&self) -> qtp_metrics::trace::CounterSet {
+        qtp_metrics::trace::CounterSet {
+            pkts_tx: self.datagrams_sent,
+            pkts_rx: self.datagrams_received,
+            timer_fires: self.timers_fired,
+            soft_errors: self.soft_errors,
+            ..Default::default()
+        }
+    }
 }
 
 struct Conn<E> {
@@ -713,7 +737,13 @@ impl<E: Endpoint> MuxDriver<E> {
         while let Some(cmd) = self.out.poll_cmd() {
             match cmd {
                 Command::Transmit(t) => self.send_frame(id, peer, t)?,
-                Command::SetTimer { at, token } => self.wheel.schedule(at, id, token),
+                Command::SetTimer { at, token } => {
+                    self.wheel.schedule(at, id, token);
+                    self.stats.timer_wheel_high_water = self
+                        .stats
+                        .timer_wheel_high_water
+                        .max(self.wheel.len() as u64);
+                }
                 Command::Deliver { bytes, .. } => {
                     if let Some(conn) = self.conns.get_mut(&id) {
                         conn.stats.delivered_bytes += bytes;
@@ -745,6 +775,7 @@ impl<E: Endpoint> MuxDriver<E> {
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                     self.tx_backlog.push_back((id, peer, bytes));
                     self.stats.sends_requeued += 1;
+                    self.note_backlog_depth();
                     false
                 }
                 Err(e)
@@ -761,6 +792,7 @@ impl<E: Endpoint> MuxDriver<E> {
         } else {
             self.tx_backlog.push_back((id, peer, bytes));
             self.stats.sends_requeued += 1;
+            self.note_backlog_depth();
             false
         };
         if let Some(conn) = self.conns.get_mut(&id) {
@@ -773,6 +805,13 @@ impl<E: Endpoint> MuxDriver<E> {
             self.stats.datagrams_sent += 1;
         }
         Ok(())
+    }
+
+    fn note_backlog_depth(&mut self) {
+        self.stats.tx_backlog_high_water = self
+            .stats
+            .tx_backlog_high_water
+            .max(self.tx_backlog.len() as u64);
     }
 
     fn flush_backlog(&mut self) -> io::Result<()> {

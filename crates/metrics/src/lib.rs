@@ -22,6 +22,7 @@
 use std::fmt;
 
 pub mod agg;
+pub mod trace;
 
 /// Classes of per-packet work, mirroring what a profiler would attribute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

@@ -1,0 +1,79 @@
+//! Property tests for the [`FlightRecorder`] ring semantics: whatever the
+//! interleaving of emissions across connections, each connection's ring
+//! holds exactly the **last `cap` events in emission order**. The ledger
+//! leans on this when a failing assertion dumps the recorder — the dump
+//! must be the true tail of each flow's history, not a shuffled sample.
+
+use proptest::prelude::*;
+use qtp_metrics::trace::{FlightRecorder, TraceEvent, TraceEventKind, TraceSink};
+
+const CONNS: u32 = 4;
+
+/// An arbitrary interleaving of (conn, seq) emissions. The seq doubles as
+/// a per-event fingerprint so order survives comparison.
+fn arb_emits() -> impl Strategy<Value = Vec<(u32, u64)>> {
+    prop::collection::vec((0u32..CONNS, any::<u64>()), 0..400)
+}
+
+fn event(conn: u32, i: usize, seq: u64) -> TraceEvent {
+    TraceEvent {
+        t_nanos: i as u64,
+        conn,
+        kind: TraceEventKind::PktSent {
+            kind: qtp_metrics::trace::PktKind::Data,
+            seq,
+            bytes: 1,
+            retx: false,
+        },
+    }
+}
+
+proptest! {
+    #[test]
+    fn ring_keeps_the_last_cap_events_in_order(
+        emits in arb_emits(),
+        cap in 1usize..16,
+    ) {
+        let mut rec = FlightRecorder::new(cap);
+        // Reference model: full per-connection history, truncated at the
+        // end — the recorder must agree with its tail.
+        let mut model: Vec<Vec<TraceEvent>> = vec![Vec::new(); CONNS as usize];
+        for (i, (conn, seq)) in emits.iter().enumerate() {
+            let ev = event(*conn, i, *seq);
+            rec.emit(&ev);
+            model[*conn as usize].push(ev);
+        }
+        for conn in 0..CONNS {
+            let full = &model[conn as usize];
+            let tail: Vec<TraceEvent> =
+                full[full.len().saturating_sub(cap)..].to_vec();
+            prop_assert_eq!(
+                rec.events(conn),
+                tail,
+                "conn {} ring is the exact ordered tail", conn
+            );
+        }
+    }
+
+    #[test]
+    fn conns_lists_exactly_the_touched_connections(emits in arb_emits()) {
+        let mut rec = FlightRecorder::new(8);
+        let mut touched = std::collections::BTreeSet::new();
+        for (i, (conn, seq)) in emits.iter().enumerate() {
+            rec.emit(&event(*conn, i, *seq));
+            touched.insert(*conn);
+        }
+        prop_assert_eq!(rec.conns(), touched.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_capacity_recorder_stays_empty(emits in arb_emits()) {
+        let mut rec = FlightRecorder::new(0);
+        for (i, (conn, seq)) in emits.iter().enumerate() {
+            rec.emit(&event(*conn, i, *seq));
+        }
+        for conn in 0..CONNS {
+            prop_assert!(rec.events(conn).is_empty());
+        }
+    }
+}
