@@ -10,11 +10,16 @@
 //! expt --report --mux       # append the real-socket sweep (informational)
 //! expt --check              # re-run, diff vs committed baseline, exit ≠ 0
 //! expt --check --baseline D # read the baseline from another directory
+//! expt --check --only h     # re-run + gate only one table group (H1–H5)
 //! ```
 //!
 //! `--report` and `--check` run the **full deterministic ledger** (E1–E12
 //! plus the fairness sweep F1); the artifacts contain no timestamps, so
-//! the same commit regenerates them byte-identically.
+//! the same commit regenerates them byte-identically. `--check --only
+//! PREFIX` restricts the re-run and the gate to tables whose id starts
+//! with the prefix — a fast focused gate for one group (e.g. the
+//! hostile-path matrix) that still diffs against the full committed
+//! baseline.
 
 use qtp_bench::ledger;
 use std::env;
@@ -26,7 +31,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: expt [ids|all] [--json] | expt --report [--out DIR] [--mux] | expt --check [--baseline DIR]"
+            "usage: expt [ids|all] [--json] | expt --report [--out DIR] [--mux] | expt --check [--baseline DIR] [--only PREFIX]"
         );
         return ExitCode::SUCCESS;
     }
@@ -37,9 +42,9 @@ fn main() -> ExitCode {
         };
     }
     if args.iter().any(|a| a == "--check") {
-        return match dir_flag(&args, "--baseline") {
-            Ok(dir) => check(dir),
-            Err(e) => usage_error(&e),
+        return match (dir_flag(&args, "--baseline"), value_flag(&args, "--only")) {
+            (Ok(dir), Ok(only)) => check(dir, only),
+            (Err(e), _) | (_, Err(e)) => usage_error(&e),
         };
     }
     run_selected(&args)
@@ -60,6 +65,18 @@ fn dir_flag(args: &[String], flag: &str) -> Result<PathBuf, String> {
         Some(i) => match args.get(i + 1) {
             Some(v) if !v.starts_with("--") => Ok(PathBuf::from(v)),
             _ => Err(format!("missing directory value for {flag}")),
+        },
+    }
+}
+
+/// Value of `--flag VALUE`, or `None` when the flag is absent. Like
+/// [`dir_flag`], a present flag with no value is an error.
+fn value_flag(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(format!("missing value for {flag}")),
         },
     }
 }
@@ -156,9 +173,9 @@ fn report(out: PathBuf, with_mux: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-/// `--check`: run the full ledger and gate it against the committed
-/// baseline.
-fn check(baseline_dir: PathBuf) -> ExitCode {
+/// `--check`: run the full ledger (or one `--only` group of it) and gate
+/// it against the committed baseline.
+fn check(baseline_dir: PathBuf, only: Option<String>) -> ExitCode {
     let path = baseline_dir.join("experiments.json");
     let baseline = match load_baseline(&path) {
         Ok(v) => v,
@@ -168,13 +185,32 @@ fn check(baseline_dir: PathBuf) -> ExitCode {
         }
     };
     let t0 = Instant::now();
-    eprintln!(
-        "re-running the full claims ledger against {}…",
-        path.display()
-    );
-    let fresh = ledger::run_full();
+    let fresh = match &only {
+        Some(prefix) => {
+            eprintln!(
+                "re-running ledger group '{prefix}' against {}…",
+                path.display()
+            );
+            ledger::run_group(prefix)
+        }
+        None => {
+            eprintln!(
+                "re-running the full claims ledger against {}…",
+                path.display()
+            );
+            ledger::run_full()
+        }
+    };
+    if fresh.tables.is_empty() {
+        eprintln!("no table id matches --only prefix");
+        return ExitCode::from(2);
+    }
     match ledger::check_against(&baseline, &fresh) {
         Ok(report) => {
+            let report = match &only {
+                Some(prefix) => ledger::filter_check(report, prefix),
+                None => report,
+            };
             print!("{}", report.render());
             eprintln!("(ledger re-run took {:.1} s)", t0.elapsed().as_secs_f64());
             if report.passed() {

@@ -46,6 +46,7 @@ struct Args {
     no_qlog: bool,
     timeline: usize,
     bottleneck_kbps: Option<u64>,
+    reorder_ms: Option<u64>,
 }
 
 impl Default for Args {
@@ -60,6 +61,7 @@ impl Default for Args {
             no_qlog: false,
             timeline: 6,
             bottleneck_kbps: None,
+            reorder_ms: None,
         }
     }
 }
@@ -90,6 +92,7 @@ fn parse_args() -> Result<Args, String> {
             "--bottleneck" => {
                 args.bottleneck_kbps = Some(val()?.parse().map_err(|e| format!("{e}"))?)
             }
+            "--reorder-ms" => args.reorder_ms = Some(val()?.parse().map_err(|e| format!("{e}"))?),
             "--profiles" => {
                 args.profiles = val()?
                     .split(',')
@@ -102,7 +105,7 @@ fn parse_args() -> Result<Args, String> {
                 return Err(
                     "usage: qtptrace [--flows N] [--seed N] [--packets N] [--secs N] \
                      [--profiles qtpaf,qtplight,qtplight-ttl,tfrc] [--bottleneck KBPS] \
-                     [--qlog FILE] [--no-qlog] [--timeline N]"
+                     [--reorder-ms N] [--qlog FILE] [--no-qlog] [--timeline N]"
                         .into(),
                 )
             }
@@ -246,6 +249,12 @@ fn main() {
     cfg.profiles = args.profiles;
     if let Some(kbps) = args.bottleneck_kbps {
         cfg.bottleneck = qtp_simnet::time::Rate::from_kbps(kbps);
+    }
+    if let Some(ms) = args.reorder_ms {
+        // A hostile bottleneck: half the packets stretched by up to `ms`
+        // of extra delay, enough to invert delivery order regularly.
+        cfg.bottleneck_path =
+            qtp_simnet::path::PathModel::none().with_reorder(0.5, Duration::from_millis(ms));
     }
 
     let qlog = Rc::new(RefCell::new(QlogWriter::new()));

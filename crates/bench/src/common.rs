@@ -30,6 +30,7 @@ pub fn af_dumbbell(
         bottleneck_delay,
         bottleneck_queue: QueueConfig::Rio(RioParams::default()),
         reverse_queue: QueueConfig::DropTailPkts(2000),
+        bottleneck_path: PathModel::none(),
     };
     Dumbbell::build(&cfg, seed)
 }
@@ -51,6 +52,7 @@ pub fn droptail_dumbbell(
         bottleneck_delay,
         bottleneck_queue: QueueConfig::DropTailPkts(queue_pkts),
         reverse_queue: QueueConfig::DropTailPkts(2000),
+        bottleneck_path: PathModel::none(),
     };
     Dumbbell::build(&cfg, seed)
 }

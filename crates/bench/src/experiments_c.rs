@@ -142,6 +142,7 @@ pub fn e12() -> Table {
                 bottleneck_delay: Duration::from_millis(4),
                 bottleneck_queue: QueueConfig::DropTailPkts(60),
                 reverse_queue: QueueConfig::DropTailPkts(2000),
+                bottleneck_path: PathModel::none(),
             };
             Dumbbell::build(&cfg, 121)
         };

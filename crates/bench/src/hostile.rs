@@ -1,0 +1,1057 @@
+//! Hostile-path scenario families H1–H5: the versatility claim under the
+//! path pathologies the paper's versatility argument is really about.
+//!
+//! E1–E12 reproduce the paper's own evaluation (DiffServ dumbbells, a
+//! bursty wireless hop); these families push the same negotiated
+//! transports through the path models the survey literature names as the
+//! regimes where a one-size-fits-all transport breaks:
+//!
+//! * **H1 — bounded reordering**: a jitter sweep on an otherwise clean
+//!   path. TCP SACK misreads reordering as loss (dupack fast retransmit)
+//!   and collapses; equation-based QTPAF with its gTFRC floor degrades
+//!   gracefully.
+//! * **H2 — duplication**: a duplicating link under the reliable stream.
+//!   Wire-level copies must not double-count delivered bytes or corrupt
+//!   reassembly — the transfer stays byte-exact with near-full goodput.
+//! * **H3 — asymmetric return channel**: a narrowband reverse link (VSAT
+//!   return, ADSL uplink). Per-packet TCP acks starve; QTP's once-per-RTT
+//!   feedback barely notices.
+//! * **H4 — long fat pipe**: satellite-class 300–600 ms RTT at high rate.
+//!   The window-based transport is cwnd/rwnd-limited and pays slow-start
+//!   in RTTs; rate-based QTPAF fills the reserved floor regardless of RTT.
+//! * **H5 — wireless burst × handover**: deadline streaming across a
+//!   mid-run WLAN→cellular handover onto a Gilbert–Elliott bursty hop.
+//!   TTL-partial reliability holds the deadline-miss floor where full
+//!   reliability queues stale retransmissions.
+//!
+//! Every family is a parameterised struct running on the deterministic
+//! simulator at fixed seeds, gated in the claims ledger next to E1–E12
+//! (ids `h1`…`h5`; run just this group with `expt --check --only h`).
+//! [`hostile_sweep`] is the nightly reorder-jitter × RTT grid.
+
+use qtp_core::session::{attach_pair, ConnectionPlan, Profile, Reliability};
+use qtp_core::stream::StreamConfig;
+use qtp_core::{CcKind, FeedbackMode};
+use qtp_metrics::trace::{FlightRecorder, TraceRegistry};
+use qtp_simnet::prelude::*;
+use qtp_simnet::sim::Simulator;
+use qtp_tcp::{TcpConfig, TcpFlavor, TcpReceiver, TcpSender};
+use std::time::Duration;
+
+use crate::common::goodput;
+use crate::scenarios::{drain, feed, pattern_bytes, DeadlineRun};
+use crate::table::{mbps, ratio, Table, Tolerance};
+
+/// A two-host path whose forward (data) direction carries a loss model
+/// and a [`PathModel`]; the reverse (feedback) direction is clean.
+fn impaired_path(
+    rate: Rate,
+    one_way: Duration,
+    loss: LossModel,
+    path: PathModel,
+    seed: u64,
+) -> (Simulator, NodeId, NodeId) {
+    let mut b = NetworkBuilder::new();
+    let s = b.host();
+    let r = b.host();
+    b.simplex_link(
+        s,
+        r,
+        LinkConfig::new(rate, one_way)
+            .with_queue(QueueConfig::DropTailPkts(500))
+            .with_loss(loss)
+            .with_path(path),
+    );
+    b.simplex_link(r, s, LinkConfig::new(rate, one_way));
+    (b.build(seed), s, r)
+}
+
+/// A two-host path with asymmetric directions: a wide forward channel and
+/// a (possibly narrowband) reverse channel with a small feedback queue —
+/// the VSAT-return / ADSL-uplink shape.
+fn asym_path(fwd: Rate, rev: Rate, one_way: Duration, seed: u64) -> (Simulator, NodeId, NodeId) {
+    let mut b = NetworkBuilder::new();
+    let s = b.host();
+    let r = b.host();
+    b.duplex_link_asym(
+        s,
+        r,
+        LinkConfig::new(fwd, one_way).with_queue(QueueConfig::DropTailPkts(500)),
+        LinkConfig::new(rev, one_way).with_queue(QueueConfig::DropTailPkts(100)),
+    );
+    (b.build(seed), s, r)
+}
+
+/// Attach a greedy TCP connection between two explicit nodes (the
+/// dumbbell-free twin of [`crate::common::attach_tcp`]).
+fn attach_tcp_nodes(
+    sim: &mut Simulator,
+    s: NodeId,
+    r: NodeId,
+    name: &str,
+    flavor: TcpFlavor,
+) -> FlowId {
+    let data = sim.register_flow(name);
+    let ack = sim.register_flow(&format!("{name}-ack"));
+    let sack = flavor == TcpFlavor::Sack;
+    sim.attach_agent(s, Box::new(TcpSender::new(data, r, TcpConfig::new(flavor))));
+    sim.attach_agent(r, Box::new(TcpReceiver::new(data, ack, s, sack, 1000)));
+    data
+}
+
+/// Greedy QTPAF goodput over `secs` seconds on an already-built path.
+fn run_qtpaf(mut sim: Simulator, s: NodeId, r: NodeId, floor: Rate, secs: u64) -> f64 {
+    let h = attach_pair(
+        &mut sim,
+        s,
+        r,
+        "qtpaf",
+        &ConnectionPlan::new(Profile::qtp_af(floor)),
+    );
+    sim.run_until(SimTime::from_secs(secs));
+    goodput(&sim, h.data_flow, secs)
+}
+
+/// Greedy TCP goodput over `secs` seconds on an already-built path.
+fn run_tcp(mut sim: Simulator, s: NodeId, r: NodeId, flavor: TcpFlavor, secs: u64) -> f64 {
+    let data = attach_tcp_nodes(&mut sim, s, r, "tcp", flavor);
+    sim.run_until(SimTime::from_secs(secs));
+    goodput(&sim, data, secs)
+}
+
+// ---------------------------------------------------------------------------
+// H1 — bounded reordering sweep
+// ---------------------------------------------------------------------------
+
+/// Parameters of the reordering sweep.
+#[derive(Debug, Clone)]
+pub struct ReorderSweepParams {
+    /// Path rate, Mbit/s.
+    pub rate_mbps: u64,
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Per-packet probability of extra delay.
+    pub reorder_p: f64,
+    /// Jitter bounds to sweep, ms (0 = unimpaired baseline).
+    pub jitters_ms: Vec<u64>,
+    /// gTFRC floor for the QTPAF flow, Mbit/s.
+    pub floor_mbps: u64,
+    /// Run length, seconds.
+    pub secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ReorderSweepParams {
+    fn default() -> Self {
+        ReorderSweepParams {
+            rate_mbps: 10,
+            one_way: Duration::from_millis(20),
+            reorder_p: 0.5,
+            jitters_ms: vec![0, 25, 100],
+            floor_mbps: 6,
+            secs: 30,
+            seed: 17,
+        }
+    }
+}
+
+/// One point of the reordering sweep: goodput of both transports at one
+/// jitter bound.
+pub fn reorder_point(params: &ReorderSweepParams, jitter_ms: u64) -> (f64, f64) {
+    let path = if jitter_ms == 0 {
+        PathModel::none()
+    } else {
+        PathModel::none().with_reorder(params.reorder_p, Duration::from_millis(jitter_ms))
+    };
+    let build = |salt: u64| {
+        impaired_path(
+            Rate::from_mbps(params.rate_mbps),
+            params.one_way,
+            LossModel::None,
+            path.clone(),
+            params.seed + salt,
+        )
+    };
+    let (sim, s, r) = build(0);
+    let tcp = run_tcp(sim, s, r, TcpFlavor::Sack, params.secs);
+    let (sim, s, r) = build(1);
+    let qtpaf = run_qtpaf(sim, s, r, Rate::from_mbps(params.floor_mbps), params.secs);
+    (tcp, qtpaf)
+}
+
+/// H1 — graceful degradation under bounded reordering: TCP SACK collapses
+/// on spurious fast retransmits, QTPAF keeps its floor.
+pub fn h1() -> Table {
+    let mut t = Table::new(
+        "H1",
+        "Hostile path: bounded reordering sweep (TCP SACK vs QTPAF)",
+        "versatility under reordering: a window-based transport misreads bounded reordering as loss and collapses, while the negotiated equation-based profile with a gTFRC floor degrades gracefully",
+        &["jitter (ms)", "TCP SACK", "QTPAF", "QTPAF / TCP"],
+    );
+    let params = ReorderSweepParams::default();
+    let mut tcp_by_jitter = Vec::new();
+    let mut qtpaf_by_jitter = Vec::new();
+    for &j in &params.jitters_ms {
+        let (tcp, qtpaf) = reorder_point(&params, j);
+        t.row(vec![
+            format!("{j}"),
+            mbps(tcp),
+            mbps(qtpaf),
+            ratio(qtpaf / tcp.max(1.0)),
+        ]);
+        t.metric(
+            &format!("tcp_j{j}_mbps"),
+            tcp / 1e6,
+            "Mbit/s",
+            Tolerance::Rel(0.20),
+        );
+        t.metric(
+            &format!("qtpaf_j{j}_mbps"),
+            qtpaf / 1e6,
+            "Mbit/s",
+            Tolerance::Rel(0.20),
+        );
+        tcp_by_jitter.push(tcp);
+        qtpaf_by_jitter.push(qtpaf);
+    }
+    let tcp_retention = tcp_by_jitter.last().unwrap() / tcp_by_jitter[0].max(1.0);
+    let qtpaf_retention = qtpaf_by_jitter.last().unwrap() / qtpaf_by_jitter[0].max(1.0);
+    t.verdict = format!(
+        "at a {} ms jitter bound QTPAF keeps {:.0}% of its clean-path goodput while TCP SACK keeps {:.0}% — reordering tolerance is a negotiable property, not a given.",
+        params.jitters_ms.last().unwrap(),
+        qtpaf_retention * 100.0,
+        tcp_retention * 100.0,
+    );
+    t.metric(
+        "qtpaf_retention",
+        qtpaf_retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t.metric(
+        "tcp_retention",
+        tcp_retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// H2 — duplication under the reliable stream
+// ---------------------------------------------------------------------------
+
+/// Parameters of the duplication family.
+#[derive(Debug, Clone)]
+pub struct DupBulkParams {
+    /// File size, KiB.
+    pub file_kib: usize,
+    /// Path rate, Mbit/s.
+    pub rate_mbps: u64,
+    /// One-way propagation delay.
+    pub one_way: Duration,
+    /// Bernoulli loss probability on the data direction (so duplication
+    /// interacts with real retransmissions, not just clean flow).
+    pub loss: f64,
+    /// Duplication probability on the data direction.
+    pub dup: f64,
+    /// gTFRC floor, Mbit/s.
+    pub floor_mbps: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for DupBulkParams {
+    fn default() -> Self {
+        DupBulkParams {
+            file_kib: 256,
+            rate_mbps: 10,
+            one_way: Duration::from_millis(20),
+            loss: 0.01,
+            dup: 0.2,
+            floor_mbps: 6,
+            seed: 23,
+        }
+    }
+}
+
+/// Outcome of one bulk transfer over a duplicating link.
+#[derive(Debug, Clone)]
+pub struct DupBulkRun {
+    /// Application goodput, Mbit/s.
+    pub goodput_mbps: f64,
+    /// Seconds until the receive stream finished (horizon if never).
+    pub completion_s: f64,
+    /// Application bytes delivered (must equal the file size — duplicates
+    /// must not double-count).
+    pub delivered_bytes: u64,
+    /// Delivered bytes reproduce the file exactly, in order.
+    pub byte_exact: bool,
+    /// Network-level arrival amplification (`pkts_arrived / pkts_sent`):
+    /// proves the wire really carried duplicates.
+    pub amplification: f64,
+}
+
+/// Run one reliable bulk transfer over a lossy, duplicating path.
+pub fn dup_bulk(params: &DupBulkParams, dup_p: f64) -> DupBulkRun {
+    let path = if dup_p > 0.0 {
+        PathModel::none().with_duplicate(dup_p)
+    } else {
+        PathModel::none()
+    };
+    let (mut sim, s, r) = impaired_path(
+        Rate::from_mbps(params.rate_mbps),
+        params.one_way,
+        LossModel::bernoulli(params.loss),
+        path,
+        params.seed,
+    );
+    let plan = ConnectionPlan::new(Profile::qtp_af(Rate::from_mbps(params.floor_mbps)))
+        .label("h2")
+        .stream(StreamConfig::with_send_buf(64 * 1024));
+    let h = attach_pair(&mut sim, s, r, "h2", &plan);
+    let tx = h.tx_stream.clone().expect("stream plan");
+    let rx = h.rx_stream.clone().expect("stream plan");
+
+    let file = pattern_bytes(params.file_kib * 1024, params.seed);
+    let step = Duration::from_millis(50);
+    let horizon = SimTime::ZERO + Duration::from_secs(60);
+    let mut t = SimTime::ZERO;
+    let mut offset = 0usize;
+    let mut received = Vec::with_capacity(file.len());
+    let mut completion = None;
+    while t < horizon {
+        t = (t + step).min(horizon);
+        feed(&tx, &file, &mut offset, 1000);
+        if offset == file.len() && !tx.is_finished() {
+            tx.finish();
+        }
+        sim.run_until(t);
+        drain(&rx, &mut received);
+        if rx.is_finished() {
+            completion = Some(t);
+            break;
+        }
+    }
+    let elapsed = completion.unwrap_or(horizon).as_secs_f64();
+    let st = sim.stats().flow(h.data_flow);
+    DupBulkRun {
+        goodput_mbps: rx.bytes_received() as f64 * 8.0 / elapsed / 1e6,
+        completion_s: elapsed,
+        delivered_bytes: rx.bytes_received(),
+        byte_exact: received == file,
+        amplification: st.pkts_arrived as f64 / (st.pkts_sent.max(1)) as f64,
+    }
+}
+
+/// H2 — wire duplication must not confuse the reliable stream: byte-exact
+/// delivery, exact delivered-byte accounting, near-full goodput.
+pub fn h2() -> Table {
+    let mut t = Table::new(
+        "H2",
+        "Hostile path: packet duplication under the reliable stream",
+        "versatility under duplication: SACK-based reassembly deduplicates wire copies — delivered bytes stay exact and goodput holds while one packet in five arrives twice",
+        &[
+            "dup prob",
+            "goodput (Mbit/s)",
+            "completion (s)",
+            "delivered (KiB)",
+            "byte-exact",
+            "arrivals/sent",
+        ],
+    );
+    let params = DupBulkParams::default();
+    let clean = dup_bulk(&params, 0.0);
+    let duped = dup_bulk(&params, params.dup);
+    for (p, run) in [(0.0, &clean), (params.dup, &duped)] {
+        t.row(vec![
+            format!("{p}"),
+            format!("{:.2}", run.goodput_mbps),
+            format!("{:.2}", run.completion_s),
+            format!("{}", run.delivered_bytes / 1024),
+            format!("{}", run.byte_exact),
+            format!("{:.3}", run.amplification),
+        ]);
+    }
+    let retention = duped.goodput_mbps / clean.goodput_mbps.max(1e-9);
+    t.verdict = format!(
+        "with 1-in-{:.0} packets duplicated in flight (arrival amplification {:.2}x) the {} KiB transfer stays byte-exact with delivered bytes counted once, at {:.0}% of the clean-path goodput.",
+        1.0 / params.dup,
+        duped.amplification,
+        params.file_kib,
+        retention * 100.0,
+    );
+    t.metric(
+        "goodput_d0_mbps",
+        clean.goodput_mbps,
+        "Mbit/s",
+        Tolerance::Rel(0.25),
+    );
+    t.metric(
+        "goodput_dup_mbps",
+        duped.goodput_mbps,
+        "Mbit/s",
+        Tolerance::Rel(0.25),
+    );
+    t.metric("byte_exact_dup", duped.byte_exact, "flag", Tolerance::Exact);
+    t.metric(
+        "delivered_kib_dup",
+        duped.delivered_bytes / 1024,
+        "KiB",
+        Tolerance::Exact,
+    );
+    t.metric(
+        "amplification",
+        duped.amplification,
+        "factor",
+        Tolerance::Rel(0.10),
+    );
+    t.metric(
+        "goodput_retention",
+        retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// H3 — asymmetric return channel
+// ---------------------------------------------------------------------------
+
+/// Parameters of the asymmetry family.
+#[derive(Debug, Clone)]
+pub struct AsymParams {
+    /// Forward (data) rate, Mbit/s.
+    pub fwd_mbps: u64,
+    /// Reverse (feedback) rates to compare, kbit/s: wide baseline first,
+    /// then the narrowband return channel.
+    pub rev_kbps: [u64; 2],
+    /// One-way propagation delay, each direction.
+    pub one_way: Duration,
+    /// gTFRC floor, Mbit/s.
+    pub floor_mbps: u64,
+    /// Run length, seconds.
+    pub secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for AsymParams {
+    fn default() -> Self {
+        AsymParams {
+            fwd_mbps: 10,
+            rev_kbps: [10_000, 100],
+            one_way: Duration::from_millis(20),
+            floor_mbps: 6,
+            secs: 30,
+            seed: 29,
+        }
+    }
+}
+
+/// H3 — a narrowband return channel starves per-packet TCP acks; QTP's
+/// once-per-RTT feedback keeps the forward channel full.
+pub fn h3() -> Table {
+    let mut t = Table::new(
+        "H3",
+        "Hostile path: asymmetric return channel (ack starvation)",
+        "versatility under asymmetry: per-packet cumulative acks need forward-rate-proportional reverse capacity, so TCP collapses behind a narrowband return channel; QTP's per-RTT feedback is insensitive to it",
+        &["reverse (kbit/s)", "TCP SACK", "QTPAF", "QTPAF / TCP"],
+    );
+    let params = AsymParams::default();
+    let mut tcp_pts = Vec::new();
+    let mut qtpaf_pts = Vec::new();
+    for &rev in &params.rev_kbps {
+        let build = |salt: u64| {
+            asym_path(
+                Rate::from_mbps(params.fwd_mbps),
+                Rate::from_kbps(rev),
+                params.one_way,
+                params.seed + salt,
+            )
+        };
+        let (sim, s, r) = build(0);
+        let tcp = run_tcp(sim, s, r, TcpFlavor::Sack, params.secs);
+        let (sim, s, r) = build(1);
+        let qtpaf = run_qtpaf(sim, s, r, Rate::from_mbps(params.floor_mbps), params.secs);
+        t.row(vec![
+            format!("{rev}"),
+            mbps(tcp),
+            mbps(qtpaf),
+            ratio(qtpaf / tcp.max(1.0)),
+        ]);
+        tcp_pts.push(tcp);
+        qtpaf_pts.push(qtpaf);
+    }
+    let (tcp_wide, tcp_narrow) = (tcp_pts[0], tcp_pts[1]);
+    let (qtpaf_wide, qtpaf_narrow) = (qtpaf_pts[0], qtpaf_pts[1]);
+    let tcp_retention = tcp_narrow / tcp_wide.max(1.0);
+    let qtpaf_retention = qtpaf_narrow / qtpaf_wide.max(1.0);
+    t.verdict = format!(
+        "shrinking the return channel from {} Mbit/s to {} kbit/s costs QTPAF {:.0}% of its goodput but TCP SACK {:.0}% — feedback economy is part of the negotiated service.",
+        params.rev_kbps[0] / 1000,
+        params.rev_kbps[1],
+        (1.0 - qtpaf_retention) * 100.0,
+        (1.0 - tcp_retention) * 100.0,
+    );
+    t.metric(
+        "tcp_wide_mbps",
+        tcp_wide / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "tcp_narrow_mbps",
+        tcp_narrow / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.30),
+    );
+    t.metric(
+        "qtpaf_wide_mbps",
+        qtpaf_wide / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "qtpaf_narrow_mbps",
+        qtpaf_narrow / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "qtpaf_retention",
+        qtpaf_retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t.metric(
+        "tcp_retention",
+        tcp_retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// H4 — long fat pipe (satellite-class LBDP)
+// ---------------------------------------------------------------------------
+
+/// Parameters of the long-fat-pipe family.
+#[derive(Debug, Clone)]
+pub struct LfpParams {
+    /// Pipe rate, Mbit/s (both directions).
+    pub rate_mbps: u64,
+    /// One-way delays to compare (RTT = 2×): the 300 ms and 600 ms RTT
+    /// satellite regimes.
+    pub one_ways: [Duration; 2],
+    /// gTFRC floor, Mbit/s — the reservation the rate-based profile must
+    /// fill regardless of RTT.
+    pub floor_mbps: u64,
+    /// Run length, seconds.
+    pub secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for LfpParams {
+    fn default() -> Self {
+        LfpParams {
+            rate_mbps: 20,
+            one_ways: [Duration::from_millis(150), Duration::from_millis(300)],
+            floor_mbps: 15,
+            secs: 60,
+            seed: 31,
+        }
+    }
+}
+
+/// H4 — the window regime: on a 600 ms RTT pipe the window transport is
+/// receive-window- and slow-start-limited; the rate-based floor is not.
+pub fn h4() -> Table {
+    let mut t = Table::new(
+        "H4",
+        "Hostile path: long fat pipe (300/600 ms RTT, 20 Mbit/s)",
+        "versatility at large bandwidth-delay product: a window-based transport needs a full BDP in flight and pays slow-start per RTT, so its goodput falls with RTT; the negotiated gTFRC floor fills the reservation at any latency",
+        &["RTT (ms)", "BDP (pkts)", "TCP SACK", "QTPAF", "QTPAF / TCP"],
+    );
+    let params = LfpParams::default();
+    let mut tcp_pts = Vec::new();
+    let mut qtpaf_pts = Vec::new();
+    for &one_way in &params.one_ways {
+        let cfg = LongFatPipeConfig::symmetric(Rate::from_mbps(params.rate_mbps), one_way, 1250);
+        let bdp =
+            LongFatPipeConfig::bdp_packets(Rate::from_mbps(params.rate_mbps), cfg.rtt(), 1250);
+        let build = |salt: u64| LongFatPipe::build(&cfg, params.seed + salt);
+        let (sim, net) = build(0);
+        let tcp = run_tcp(sim, net.tx, net.rx, TcpFlavor::Sack, params.secs);
+        let (sim, net) = build(1);
+        let qtpaf = run_qtpaf(
+            sim,
+            net.tx,
+            net.rx,
+            Rate::from_mbps(params.floor_mbps),
+            params.secs,
+        );
+        t.row(vec![
+            format!("{}", cfg.rtt().as_millis()),
+            format!("{bdp}"),
+            mbps(tcp),
+            mbps(qtpaf),
+            ratio(qtpaf / tcp.max(1.0)),
+        ]);
+        tcp_pts.push(tcp);
+        qtpaf_pts.push(qtpaf);
+    }
+    let qtpaf_retention = qtpaf_pts[1] / qtpaf_pts[0].max(1.0);
+    t.verdict = format!(
+        "doubling the RTT from 300 to 600 ms leaves QTPAF at {:.0}% of its goodput (the floor is RTT-independent) while TCP SACK delivers {} against QTPAF's {} on the 600 ms pipe.",
+        qtpaf_retention * 100.0,
+        mbps(tcp_pts[1]),
+        mbps(qtpaf_pts[1]),
+    );
+    t.metric(
+        "tcp_rtt300_mbps",
+        tcp_pts[0] / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "tcp_rtt600_mbps",
+        tcp_pts[1] / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "qtpaf_rtt300_mbps",
+        qtpaf_pts[0] / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "qtpaf_rtt600_mbps",
+        qtpaf_pts[1] / 1e6,
+        "Mbit/s",
+        Tolerance::Rel(0.20),
+    );
+    t.metric(
+        "qtpaf_retention",
+        qtpaf_retention,
+        "ratio",
+        Tolerance::Abs(0.10),
+    );
+    t
+}
+
+// ---------------------------------------------------------------------------
+// H5 — wireless burst × handover deadline streaming
+// ---------------------------------------------------------------------------
+
+/// Parameters of the handover deadline-streaming family.
+#[derive(Debug, Clone)]
+pub struct HandoverStreamParams {
+    /// Frames to stream.
+    pub frames: usize,
+    /// Frame size, bytes.
+    pub frame_bytes: usize,
+    /// Frame cadence.
+    pub interval: Duration,
+    /// Playout deadline.
+    pub deadline: Duration,
+    /// Per-message TTL for the partial variant (below the post-handover
+    /// retransmission round trip, so arriving retransmissions are stale).
+    pub msg_ttl: Duration,
+    /// Connection-level TTL of the partial profile (well above `msg_ttl`
+    /// so the sender still retransmits and the receiver drops).
+    pub policy_ttl: Duration,
+    /// gTFRC floor, Mbit/s (same in both variants).
+    pub floor_mbps: u64,
+    /// When the WLAN→cellular handover happens.
+    pub switch_at: Duration,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for HandoverStreamParams {
+    fn default() -> Self {
+        HandoverStreamParams {
+            frames: 600,
+            frame_bytes: 500,
+            interval: Duration::from_millis(20),
+            deadline: Duration::from_millis(160),
+            msg_ttl: Duration::from_millis(130),
+            policy_ttl: Duration::from_millis(400),
+            floor_mbps: 1,
+            switch_at: Duration::from_secs(5),
+            seed: 37,
+        }
+    }
+}
+
+/// The handover path of H5: clean 10 Mbit/s WLAN last hop switching to a
+/// 2 Mbit/s cellular hop with Gilbert–Elliott burst loss and mild
+/// reordering, behind a 15 ms backbone.
+fn h5_handover(params: &HandoverStreamParams) -> HandoverConfig {
+    HandoverConfig {
+        backbone_rate: Rate::from_mbps(100),
+        backbone_delay: Duration::from_millis(15),
+        initial: LinkConfig::new(Rate::from_mbps(10), Duration::from_millis(5)),
+        target: LinkConfig::new(Rate::from_mbps(2), Duration::from_millis(30))
+            .with_loss(LossModel::gilbert_elliott(0.02, 0.3, 0.0, 0.3))
+            .with_path(PathModel::none().with_reorder(0.2, Duration::from_millis(10))),
+        switch_at: params.switch_at,
+    }
+}
+
+/// The H5 profiles: full reliability vs TTL-partial at the same gTFRC
+/// floor, so reliability is the only axis (the A3 construction on the
+/// handover path).
+fn h5_profiles(params: &HandoverStreamParams) -> (Profile, Profile) {
+    let floor = Rate::from_mbps(params.floor_mbps);
+    let full = Profile::qtp_af(floor);
+    let partial = Profile::new()
+        .reliability(Reliability::Ttl(params.policy_ttl))
+        .feedback(FeedbackMode::ReceiverLoss)
+        .cc(CcKind::Gtfrc { target: floor })
+        .build()
+        .expect("non-zero TTL");
+    (full, partial)
+}
+
+/// Stream timestamped frames across the handover and score each against
+/// the playout deadline. Mirrors [`crate::scenarios::deadline`] with the
+/// topology switch applied mid-loop.
+pub fn handover_deadline(
+    params: &HandoverStreamParams,
+    profile: Profile,
+    tag_ttl: bool,
+    label: &str,
+) -> DeadlineRun {
+    let hcfg = h5_handover(params);
+    let (mut sim, ho) = Handover::build(&hcfg, params.seed);
+    let plan = ConnectionPlan::new(profile)
+        .label(label)
+        .payload(params.frame_bytes as u32)
+        .stream(StreamConfig::default());
+    let h = attach_pair(&mut sim, ho.server, ho.mobile, label, &plan);
+    let tx = h.tx_stream.clone().expect("stream plan");
+    let rx = h.rx_stream.clone().expect("stream plan");
+
+    let recorder = std::rc::Rc::new(std::cell::RefCell::new(FlightRecorder::new(48)));
+    let registry = TraceRegistry::new();
+    registry.set_sink(recorder.clone());
+    registry.register(&format!("{label}:tx"), &h.tx_tracer);
+    registry.register(&format!("{label}:rx"), &h.rx_tracer);
+
+    let ttl_micros = if tag_ttl {
+        params.msg_ttl.as_micros() as u32
+    } else {
+        0
+    };
+    let pad = pattern_bytes(params.frame_bytes, params.seed);
+    let step = Duration::from_millis(5);
+    let warmup = SimTime::ZERO + Duration::from_secs(1);
+    let switch_time = SimTime::ZERO + params.switch_at;
+    let horizon = SimTime::ZERO + Duration::from_secs(30) + params.interval * params.frames as u32;
+    let mut t = SimTime::ZERO;
+    sim.run_until(warmup);
+    t = t.max(warmup);
+
+    let mut switched = false;
+    let mut sent = 0usize;
+    let mut delivered = vec![false; params.frames];
+    let mut on_time = 0usize;
+    let mut late = 0usize;
+    while t < horizon {
+        while sent < params.frames && t >= warmup + params.interval * sent as u32 {
+            let mut frame = pad.clone();
+            frame[..4].copy_from_slice(&(sent as u32).to_be_bytes());
+            frame[4..12].copy_from_slice(&t.as_nanos().to_be_bytes());
+            tx.send_with_ttl(&frame, ttl_micros)
+                .expect("frame fits the buffer");
+            sent += 1;
+        }
+        if sent == params.frames && !tx.is_finished() {
+            tx.finish();
+        }
+        t = (t + step).min(horizon);
+        sim.run_until(t);
+        if !switched && t >= switch_time {
+            ho.switch(&mut sim);
+            switched = true;
+        }
+        while let Some(frame) = rx.recv() {
+            let mut idx = [0u8; 4];
+            idx.copy_from_slice(&frame[..4]);
+            let idx = u32::from_be_bytes(idx) as usize;
+            let mut ts = [0u8; 8];
+            ts.copy_from_slice(&frame[4..12]);
+            let sent_at = SimTime::from_nanos(u64::from_be_bytes(ts));
+            if delivered[idx] {
+                continue;
+            }
+            delivered[idx] = true;
+            if t.saturating_since(sent_at) <= params.deadline {
+                on_time += 1;
+            } else {
+                late += 1;
+            }
+        }
+        if rx.is_finished() && sent == params.frames {
+            break;
+        }
+    }
+    let never = delivered.iter().filter(|d| !**d).count();
+    let flight_dump = recorder.borrow().dump();
+    DeadlineRun {
+        label: label.to_string(),
+        on_time,
+        late,
+        never,
+        miss_rate: (late + never) as f64 / params.frames as f64,
+        ttl_dropped: rx.ttl_dropped(),
+        flight_dump,
+    }
+}
+
+/// H5 — deadline streaming across a WLAN→cellular handover onto a bursty
+/// Gilbert–Elliott hop: TTL-partial reliability holds the miss floor.
+pub fn h5() -> Table {
+    let mut t = Table::new(
+        "H5",
+        "Hostile path: deadline streaming across a mobility handover",
+        "versatility under mobility: when the last hop degrades mid-stream to a slower, bursty-lossy cellular link, full reliability queues stale recoveries behind the handover while TTL-partial delivery keeps missing only the genuinely lost frames",
+        &[
+            "variant",
+            "frames",
+            "on-time",
+            "late",
+            "never",
+            "miss rate",
+            "ttl dropped",
+        ],
+    );
+    let params = HandoverStreamParams::default();
+    let (full_profile, partial_profile) = h5_profiles(&params);
+    let full = handover_deadline(&params, full_profile, false, "full");
+    let partial = handover_deadline(&params, partial_profile, true, "ttl-partial");
+    for run in [&full, &partial] {
+        t.row(vec![
+            run.label.clone(),
+            format!("{}", params.frames),
+            format!("{}", run.on_time),
+            format!("{}", run.late),
+            format!("{}", run.never),
+            ratio(run.miss_rate),
+            format!("{}", run.ttl_dropped),
+        ]);
+    }
+    t.verdict = format!(
+        "across the handover at {} s (RTT 40→90 ms, clean→bursty 30% bad-state loss) full reliability misses {:.1}% of the {} ms deadlines; TTL-partial misses {:.1}% and the receiver discarded {} stale retransmissions.",
+        params.switch_at.as_secs(),
+        full.miss_rate * 100.0,
+        params.deadline.as_millis(),
+        partial.miss_rate * 100.0,
+        partial.ttl_dropped,
+    );
+    t.metric(
+        "full_miss_rate",
+        full.miss_rate,
+        "ratio",
+        Tolerance::AbsOrRel(0.02, 0.5),
+    );
+    t.metric(
+        "partial_miss_rate",
+        partial.miss_rate,
+        "ratio",
+        Tolerance::AbsOrRel(0.02, 0.5),
+    );
+    t.metric(
+        "partial_ttl_dropped",
+        partial.ttl_dropped,
+        "frames",
+        Tolerance::AbsOrRel(10.0, 1.0),
+    );
+    t.metric(
+        "partial_on_time",
+        partial.on_time,
+        "frames",
+        Tolerance::AbsOrRel(20.0, 0.10),
+    );
+    for run in [&full, &partial] {
+        t.diagnostics.push(format!(
+            "H5 variant {} — flight recorder tail:\n{}",
+            run.label, run.flight_dump
+        ));
+    }
+    t
+}
+
+// ---------------------------------------------------------------------------
+// Nightly sweep: reorder-jitter × RTT grid
+// ---------------------------------------------------------------------------
+
+/// The nightly hostile-path grid: QTPAF goodput across reorder-jitter ×
+/// RTT combinations (informational — each cell is one full run; the gated
+/// H1/H4 points live on this surface).
+pub fn hostile_sweep(jitters_ms: &[u64], one_way_ms: &[u64]) -> Table {
+    let mut t = Table::new(
+        "H-SWEEP",
+        "QTPAF goodput across the reorder-jitter × RTT grid",
+        "the H1/H4 orderings hold across the surface, not just at the gated points",
+        &["RTT (ms)", "jitter (ms)", "QTPAF goodput (Mbit/s)"],
+    );
+    for &ow in one_way_ms {
+        for &j in jitters_ms {
+            let path = if j == 0 {
+                PathModel::none()
+            } else {
+                PathModel::none().with_reorder(0.5, Duration::from_millis(j))
+            };
+            let (sim, s, r) = impaired_path(
+                Rate::from_mbps(10),
+                Duration::from_millis(ow),
+                LossModel::None,
+                path,
+                101 + ow + j,
+            );
+            let goodput = run_qtpaf(sim, s, r, Rate::from_mbps(6), 15);
+            t.row(vec![
+                format!("{}", 2 * ow),
+                format!("{j}"),
+                format!("{:.2}", goodput / 1e6),
+            ]);
+            t.metric(
+                &format!("qtpaf_rtt{}_j{j}", 2 * ow),
+                goodput / 1e6,
+                "Mbit/s",
+                Tolerance::Info,
+            );
+        }
+    }
+    t.verdict = "rate-based control with a floor is flat across the grid".into();
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reordering_collapses_tcp_but_not_qtpaf() {
+        let params = ReorderSweepParams {
+            secs: 10,
+            ..ReorderSweepParams::default()
+        };
+        let (tcp_clean, qtpaf_clean) = reorder_point(&params, 0);
+        let (tcp_j, qtpaf_j) = reorder_point(&params, 100);
+        assert!(
+            qtpaf_j >= tcp_j,
+            "QTPAF must beat TCP under heavy reordering ({qtpaf_j:.0} vs {tcp_j:.0})"
+        );
+        assert!(
+            qtpaf_j >= 0.5 * qtpaf_clean,
+            "QTPAF degrades gracefully ({qtpaf_j:.0} vs clean {qtpaf_clean:.0})"
+        );
+        assert!(
+            tcp_j <= 0.8 * tcp_clean,
+            "the adversary must actually hurt TCP ({tcp_j:.0} vs clean {tcp_clean:.0})"
+        );
+    }
+
+    #[test]
+    fn duplicating_link_keeps_stream_byte_exact_without_double_count() {
+        let params = DupBulkParams {
+            file_kib: 64,
+            dup: 0.3,
+            ..DupBulkParams::default()
+        };
+        let run = dup_bulk(&params, params.dup);
+        assert!(run.byte_exact, "duplicates must not corrupt reassembly");
+        assert_eq!(
+            run.delivered_bytes,
+            64 * 1024,
+            "delivered bytes counted once despite wire duplicates"
+        );
+        assert!(
+            run.amplification > 1.15,
+            "the wire must really carry duplicates (amplification {:.3})",
+            run.amplification
+        );
+    }
+
+    #[test]
+    fn narrow_return_channel_starves_tcp_not_qtpaf() {
+        let params = AsymParams {
+            secs: 10,
+            ..AsymParams::default()
+        };
+        let (sim, s, r) = asym_path(
+            Rate::from_mbps(params.fwd_mbps),
+            Rate::from_kbps(100),
+            params.one_way,
+            params.seed,
+        );
+        let tcp = run_tcp(sim, s, r, TcpFlavor::Sack, params.secs);
+        let (sim, s, r) = asym_path(
+            Rate::from_mbps(params.fwd_mbps),
+            Rate::from_kbps(100),
+            params.one_way,
+            params.seed + 1,
+        );
+        let qtpaf = run_qtpaf(sim, s, r, Rate::from_mbps(params.floor_mbps), params.secs);
+        assert!(
+            qtpaf > tcp,
+            "per-RTT feedback must beat per-packet acks behind a 100 kbit/s return ({qtpaf:.0} vs {tcp:.0})"
+        );
+    }
+
+    #[test]
+    fn long_fat_pipe_floor_is_rtt_independent() {
+        let params = LfpParams {
+            secs: 30,
+            ..LfpParams::default()
+        };
+        let cfg = LongFatPipeConfig::symmetric(
+            Rate::from_mbps(params.rate_mbps),
+            Duration::from_millis(300),
+            1250,
+        );
+        let (sim, net) = LongFatPipe::build(&cfg, params.seed);
+        let qtpaf = run_qtpaf(
+            sim,
+            net.tx,
+            net.rx,
+            Rate::from_mbps(params.floor_mbps),
+            params.secs,
+        );
+        assert!(
+            qtpaf >= 0.6 * params.floor_mbps as f64 * 1e6,
+            "the floor must hold at 600 ms RTT (got {qtpaf:.0})"
+        );
+    }
+
+    #[test]
+    fn handover_partial_beats_full_and_drops_stale_retx() {
+        let params = HandoverStreamParams {
+            frames: 300,
+            ..HandoverStreamParams::default()
+        };
+        let (full_profile, partial_profile) = h5_profiles(&params);
+        let full = handover_deadline(&params, full_profile, false, "full");
+        let partial = handover_deadline(&params, partial_profile, true, "partial");
+        assert!(
+            partial.miss_rate <= full.miss_rate,
+            "TTL-partial holds the miss floor across the handover ({:.3} vs {:.3})",
+            partial.miss_rate,
+            full.miss_rate
+        );
+        assert!(
+            partial.ttl_dropped >= 1,
+            "the receiver-side TTL drop path must fire post-handover"
+        );
+        assert!(full.on_time > 0 && partial.on_time > 0);
+    }
+}

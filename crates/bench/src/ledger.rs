@@ -5,7 +5,8 @@
 //! one experiment (E1–E12, see [`crate::experiments_a`] /
 //! [`crate::experiments_b`] / [`crate::experiments_c`]), extended to the
 //! application data plane by the scenario families (A1–A3, see
-//! [`crate::scenarios`]) and extended at
+//! [`crate::scenarios`]), extended to the hostile-path scenario matrix
+//! (H1–H5, see [`crate::hostile`]) and extended at
 //! scale by the many-flow fairness sweep (F1, Jain index vs N). This
 //! module turns those runs into a **committed artifact pair** —
 //! `EXPERIMENTS.md` (human) and `experiments.json` (machine baseline) —
@@ -81,6 +82,36 @@ pub fn run_full() -> Ledger {
         .collect();
     tables.push(fairness_sweep_sim(&SWEEP_NS));
     Ledger { tables }
+}
+
+/// Run only the tables whose id starts with `prefix` (case-insensitive),
+/// e.g. `"h"` for the hostile-path group or `"e1"` for E1/E10–E12. The
+/// fairness sweep is included when its id (`f1`) matches. Backs
+/// `expt --check --only PREFIX` for a focused re-run of one group.
+pub fn run_group(prefix: &str) -> Ledger {
+    let prefix = prefix.to_lowercase();
+    let mut tables: Vec<Table> = crate::ALL_IDS
+        .iter()
+        .filter(|id| id.starts_with(&prefix))
+        .map(|id| crate::run_experiment(id).expect("known id"))
+        .collect();
+    if "f1".starts_with(&prefix) {
+        tables.push(fairness_sweep_sim(&SWEEP_NS));
+    }
+    Ledger { tables }
+}
+
+/// Restrict a [`CheckReport`] to the metrics and assertions of one table
+/// group (qualified names starting with `prefix`). Used with
+/// [`run_group`]: the fresh run only produced that group, so baseline
+/// metrics from other groups must not be reported as missing.
+pub fn filter_check(mut report: CheckReport, prefix: &str) -> CheckReport {
+    let prefix = prefix.to_lowercase();
+    report.metrics.retain(|m| m.name.starts_with(&prefix));
+    report
+        .assertions
+        .retain(|a| a.check.left.starts_with(&prefix));
+    report
 }
 
 /// F1 — the many-flow fairness sweep on the deterministic simulator:
@@ -507,6 +538,86 @@ pub fn assertions() -> Vec<OrderingCheck> {
             "a3.partial_ttl_dropped",
             Const(1.0),
             "the receiver-side TTL drop path fires on stale retransmissions",
+        ),
+        // H1 — bounded reordering: graceful degradation vs collapse.
+        OrderingCheck::ge(
+            "h1.qtpaf_retention",
+            Const(0.30),
+            "QTPAF keeps a substantial fraction of its goodput under heavy reordering",
+        ),
+        OrderingCheck::le(
+            "h1.tcp_retention",
+            Const(0.15),
+            "TCP SACK genuinely collapses under the same reordering (the hazard exists)",
+        ),
+        OrderingCheck::ge(
+            "h1.qtpaf_j100_mbps",
+            Metric("h1.tcp_j100_mbps".into()),
+            "the equation-based profile beats the window-based one at the 100 ms jitter bound",
+        ),
+        // H2 — duplication: exact dedup under a really-duplicating wire.
+        OrderingCheck::ge(
+            "h2.byte_exact_dup",
+            Const(1.0),
+            "the reliable stream stays byte-exact over a duplicating link",
+        ),
+        OrderingCheck::ge(
+            "h2.amplification",
+            Const(1.10),
+            "the wire really carries duplicates (the adversary is live)",
+        ),
+        OrderingCheck::ge(
+            "h2.goodput_retention",
+            Const(0.85),
+            "deduplication costs almost no goodput",
+        ),
+        // H3 — asymmetry: per-RTT feedback vs per-packet acks.
+        OrderingCheck::ge(
+            "h3.qtpaf_narrow_mbps",
+            Metric("h3.tcp_narrow_mbps".into()),
+            "QTP outperforms TCP behind a narrowband return channel",
+        ),
+        OrderingCheck::ge(
+            "h3.qtpaf_retention",
+            Const(0.85),
+            "shrinking the return channel barely moves QTP's goodput",
+        ),
+        OrderingCheck::le(
+            "h3.tcp_retention",
+            Const(0.50),
+            "ack starvation genuinely throttles TCP (the hazard exists)",
+        ),
+        // H4 — long fat pipe: the floor is RTT-independent.
+        OrderingCheck::ge(
+            "h4.qtpaf_rtt600_mbps",
+            Const(12.0),
+            "the gTFRC floor holds on the 600 ms RTT pipe",
+        ),
+        OrderingCheck::ge(
+            "h4.qtpaf_rtt600_mbps",
+            Metric("h4.tcp_rtt600_mbps".into()),
+            "rate-based control beats the window transport at satellite latency",
+        ),
+        OrderingCheck::ge(
+            "h4.qtpaf_retention",
+            Const(0.85),
+            "doubling the RTT barely moves the rate-based goodput",
+        ),
+        // H5 — handover: TTL-partial holds the deadline-miss floor.
+        OrderingCheck::le(
+            "h5.partial_miss_rate",
+            Metric("h5.full_miss_rate".into()),
+            "TTL-partial misses fewer playout deadlines across the handover",
+        ),
+        OrderingCheck::le(
+            "h5.partial_miss_rate",
+            Const(0.10),
+            "the deadline-miss floor survives the WLAN→cellular handover",
+        ),
+        OrderingCheck::ge(
+            "h5.partial_ttl_dropped",
+            Const(1.0),
+            "the receiver-side TTL drop path fires on post-handover stale retransmissions",
         ),
     ]
 }

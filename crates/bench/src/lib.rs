@@ -28,6 +28,7 @@ pub mod common;
 pub mod experiments_a;
 pub mod experiments_b;
 pub mod experiments_c;
+pub mod hostile;
 pub mod json;
 pub mod ledger;
 pub mod manyflow;
@@ -36,10 +37,12 @@ pub mod table;
 
 use table::Table;
 
-/// All experiment ids in order: the twelve paper claims, then the
-/// application scenario families over the stream data plane.
-pub const ALL_IDS: [&str; 15] = [
+/// All experiment ids in order: the twelve paper claims, the application
+/// scenario families over the stream data plane, then the hostile-path
+/// scenario matrix.
+pub const ALL_IDS: [&str; 20] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
+    "h1", "h2", "h3", "h4", "h5",
 ];
 
 /// Run one experiment by id.
@@ -60,6 +63,11 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "a1" => Some(scenarios::a1()),
         "a2" => Some(scenarios::a2()),
         "a3" => Some(scenarios::a3()),
+        "h1" => Some(hostile::h1()),
+        "h2" => Some(hostile::h2()),
+        "h3" => Some(hostile::h3()),
+        "h4" => Some(hostile::h4()),
+        "h5" => Some(hostile::h5()),
         _ => None,
     }
 }

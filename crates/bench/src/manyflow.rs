@@ -110,6 +110,9 @@ pub struct ManyFlowConfig {
     /// Completion sampling granularity for [`run_sim`] (completion times
     /// are rounded up to this, keeping the stepped run deterministic).
     pub check_interval: Duration,
+    /// Path impairments on the forward bottleneck (sim); no-op by
+    /// default, so existing scenarios and goldens are untouched.
+    pub bottleneck_path: PathModel,
 }
 
 impl ManyFlowConfig {
@@ -129,6 +132,7 @@ impl ManyFlowConfig {
             rtt_spread: (Duration::from_millis(2), Duration::from_millis(30)),
             horizon: Duration::from_secs(120),
             check_interval: Duration::from_millis(250),
+            bottleneck_path: PathModel::none(),
         }
     }
 
@@ -410,6 +414,7 @@ fn run_sim_with_trace(
         // don't collapse the run; still small enough to exercise loss.
         bottleneck_queue: QueueConfig::DropTailPkts(cfg.flows.max(50)),
         reverse_queue: QueueConfig::DropTailPkts((2 * cfg.flows).max(1000)),
+        bottleneck_path: cfg.bottleneck_path.clone(),
     };
     let mut backend = SimBackend {
         topology: SimTopology::Dumbbell(Box::new(dcfg)),

@@ -37,14 +37,14 @@ use crate::table::{ratio, Table, Tolerance};
 
 /// Deterministic position-dependent payload: any reordering, loss, or
 /// duplication of delivered bytes breaks the byte-exact comparison.
-fn pattern_bytes(len: usize, salt: u64) -> Vec<u8> {
+pub(crate) fn pattern_bytes(len: usize, salt: u64) -> Vec<u8> {
     (0..len as u64)
         .map(|i| ((i ^ salt).wrapping_mul(2654435761) >> 7) as u8)
         .collect()
 }
 
 /// Push as much of `data` into the stream as the send buffer accepts.
-fn feed(send: &SendStream, data: &[u8], offset: &mut usize, msg: usize) {
+pub(crate) fn feed(send: &SendStream, data: &[u8], offset: &mut usize, msg: usize) {
     while *offset < data.len() {
         let end = (*offset + msg).min(data.len());
         match send.send(&data[*offset..end]) {
@@ -55,7 +55,7 @@ fn feed(send: &SendStream, data: &[u8], offset: &mut usize, msg: usize) {
     }
 }
 
-fn drain(recv: &RecvStream, into: &mut Vec<u8>) {
+pub(crate) fn drain(recv: &RecvStream, into: &mut Vec<u8>) {
     while let Some(m) = recv.recv() {
         into.extend(m);
     }

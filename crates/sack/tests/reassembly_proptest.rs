@@ -209,6 +209,75 @@ proptest! {
     }
 
     #[test]
+    fn duplicating_adversary_changes_nothing(
+        ops in arb_ops(),
+        lags in prop::collection::vec(0usize..16, 8),
+    ) {
+        // A duplicating path delivers a second copy of an arrival some
+        // ops later (the lag models the duplicate's own jitter). Every
+        // injected copy must report `Duplicate`, deliver zero payload,
+        // and the final state must be indistinguishable from the clean
+        // run — the "no double-count, no corrupted reassembly" half of
+        // the duplicate-delivery contract (the no-double-`Readable` half
+        // is covered end-to-end in the bench hostile-path suite).
+        let mut clean = ReceiverBuffer::new();
+        let mut dup = ReceiverBuffer::new();
+        // Injected copies keyed by the op index before which they land.
+        let mut pending: BTreeMap<usize, Vec<(u8, u64)>> = BTreeMap::new();
+
+        let apply = |buf: &mut ReceiverBuffer, kind: u8, seq: u64| match kind {
+            0 => buf.on_packet(seq),
+            1 => buf.on_expired(seq),
+            _ => {
+                buf.on_forward(seq);
+                Arrival::Duplicate
+            }
+        };
+
+        for (i, &(kind, seq)) in ops.iter().enumerate() {
+            for (k, s) in pending.remove(&i).unwrap_or_default() {
+                let delivered_before = dup.delivered_total();
+                let arrival = apply(&mut dup, k, s);
+                dup.settle_expired();
+                prop_assert_eq!(arrival, Arrival::Duplicate, "copy of {} revived", s);
+                prop_assert_eq!(dup.delivered_total(), delivered_before,
+                    "copy of {} double-counted payload", s);
+            }
+            apply(&mut clean, kind, seq);
+            clean.settle_expired();
+            apply(&mut dup, kind, seq);
+            dup.settle_expired();
+            if kind < 2 {
+                let at = i + 1 + lags[i % lags.len()];
+                pending.entry(at).or_default().push((kind, seq));
+            }
+        }
+        // Copies scheduled past the end of the op list arrive last.
+        for (_, copies) in pending {
+            for (k, s) in copies {
+                prop_assert_eq!(apply(&mut dup, k, s), Arrival::Duplicate);
+                dup.settle_expired();
+            }
+        }
+
+        prop_assert_eq!(dup.cum_ack(), clean.cum_ack());
+        prop_assert_eq!(dup.delivered_total(), clean.delivered_total());
+        prop_assert_eq!(dup.skipped_total(), clean.skipped_total());
+        prop_assert_eq!(dup.expired_total(), clean.expired_total());
+        prop_assert_eq!(dup.buffered(), clean.buffered());
+        let blocks = |b: &mut ReceiverBuffer| {
+            let mut v = b.sack_blocks(SEQ_SPACE as usize);
+            v.sort_by_key(|r| r.start);
+            v
+        };
+        prop_assert_eq!(
+            blocks(&mut dup),
+            blocks(&mut clean),
+            "SACK geometry diverged"
+        );
+    }
+
+    #[test]
     fn forward_is_idempotent_and_monotone(ops in arb_ops(), jump in 0u64..SEQ_SPACE) {
         // A FIN-driven forward that arrives out of order (after data that
         // already passed it, or repeated) must not disturb the counters.

@@ -48,6 +48,7 @@ pub mod link;
 pub mod loss;
 pub mod marker;
 pub mod packet;
+pub mod path;
 pub mod queue;
 pub mod rng;
 pub mod sim;
@@ -65,11 +66,14 @@ pub mod prelude {
     pub use crate::loss::LossModel;
     pub use crate::marker::{Marker, SrTcm, TokenBucketMarker, TrTcm};
     pub use crate::packet::{Color, FlowId, LinkId, NodeId, Packet, QueuedPacket};
+    pub use crate::path::{PathModel, ReorderSpec};
     pub use crate::queue::{DropReason, QueueConfig, RedParams, RioParams};
     pub use crate::rng::DetRng;
     pub use crate::sim::{Agent, Ctx, NetworkBuilder, Simulator};
     pub use crate::stats::{cov, jain_index, mean, std_dev, Stats};
     pub use crate::time::{Rate, SimTime};
-    pub use crate::topology::{Dumbbell, DumbbellConfig};
+    pub use crate::topology::{
+        Dumbbell, DumbbellConfig, Handover, HandoverConfig, LongFatPipe, LongFatPipeConfig,
+    };
     pub use crate::trace::TraceEvent;
 }

@@ -10,6 +10,7 @@ use std::time::Duration;
 use crate::loss::LossModel;
 use crate::marker::Marker;
 use crate::packet::{FlowId, LinkId, NodeId, QueuedPacket};
+use crate::path::PathModel;
 use crate::queue::{AqmQueue, QueueConfig};
 use crate::rng::DetRng;
 use crate::time::Rate;
@@ -76,6 +77,8 @@ pub struct LinkConfig {
     pub queue: QueueConfig,
     /// In-flight loss process.
     pub loss: LossModel,
+    /// In-flight path impairments (reordering, duplication, corruption).
+    pub path: PathModel,
 }
 
 impl LinkConfig {
@@ -87,6 +90,7 @@ impl LinkConfig {
             delay,
             queue: QueueConfig::DropTailPkts(100),
             loss: LossModel::None,
+            path: PathModel::none(),
         }
     }
 
@@ -99,6 +103,12 @@ impl LinkConfig {
     /// Replace the loss model.
     pub fn with_loss(mut self, loss: LossModel) -> Self {
         self.loss = loss;
+        self
+    }
+
+    /// Replace the path impairment model.
+    pub fn with_path(mut self, path: PathModel) -> Self {
+        self.path = path;
         self
     }
 }
@@ -119,6 +129,8 @@ pub struct Link {
     pub(crate) queue: AqmQueue,
     /// Loss process for packets in flight.
     pub(crate) loss: LossModel,
+    /// Path impairment model for packets in flight.
+    pub(crate) path: PathModel,
     /// Per-flow traffic conditioners applied at enqueue.
     pub(crate) markers: MarkerBank,
     /// Whether a packet is currently being serialized.
@@ -127,6 +139,10 @@ pub struct Link {
     pub(crate) in_flight: Option<QueuedPacket>,
     /// Private randomness for AQM and loss decisions.
     pub(crate) rng: DetRng,
+    /// Separate randomness for path impairments: an independent stream, so
+    /// enabling a `PathModel` never perturbs the loss/AQM draws, and a
+    /// no-op model makes no draws at all (the byte-identity contract).
+    pub(crate) path_rng: DetRng,
 }
 
 impl Link {
@@ -139,10 +155,12 @@ impl Link {
             delay: cfg.delay,
             queue: cfg.queue.build(),
             loss: cfg.loss.clone(),
+            path: cfg.path.clone(),
             markers: MarkerBank::default(),
             transmitting: false,
             in_flight: None,
             rng: DetRng::stream(seed, 0x11AC ^ id as u64),
+            path_rng: DetRng::stream(seed, 0x9A77 ^ id as u64),
         }
     }
 

@@ -188,4 +188,67 @@ mod tests {
         let m = LossModel::gilbert_elliott(0.0, 0.0, 0.02, 0.9);
         assert_eq!(m.steady_state_loss(), 0.02, "never leaves Good");
     }
+
+    /// Empirical loss rate over `n` trials of a fresh chain.
+    fn empirical_rate(mut m: LossModel, seed: u64, n: u64) -> f64 {
+        let mut rng = DetRng::new(seed);
+        (0..n).filter(|_| m.is_lost(&mut rng)).count() as f64 / n as f64
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_rate_one_million_trials() {
+        // 10^6 trials against the analytic stationary rate, written out
+        // from first principles rather than via steady_state_loss: the
+        // chain spends pi_good = p_b2g/(p_g2b+p_b2g) of its time Good.
+        // With rate ≈ 0.1–0.3 the standard error is below 5e-4, so a
+        // 3e-3 tolerance is ~6 sigma — tight but not flaky under the
+        // fixed seeds.
+        let params: &[(f64, f64, f64, f64, u64)] = &[
+            (0.01, 0.20, 0.00, 0.80, 11), // classic bursty wireless
+            (0.05, 0.10, 0.01, 0.50, 12), // slow recovery, light Good loss
+            (0.30, 0.30, 0.00, 0.30, 13), // fast-mixing chain
+        ];
+        for &(p_g2b, p_b2g, loss_good, loss_bad, seed) in params {
+            let pi_good = p_b2g / (p_g2b + p_b2g);
+            let analytic = (1.0 - pi_good) * loss_bad + pi_good * loss_good;
+            let m = LossModel::gilbert_elliott(p_g2b, p_b2g, loss_good, loss_bad);
+            assert!((m.steady_state_loss() - analytic).abs() < 1e-12);
+            let rate = empirical_rate(m, seed, 1_000_000);
+            assert!(
+                (rate - analytic).abs() < 3e-3,
+                "p_g2b={p_g2b}: rate={rate}, analytic={analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn gilbert_elliott_never_leaves_good_when_p_g2b_is_zero() {
+        // Degenerate chain: starting Good with p_g2b = 0, the Bad state is
+        // unreachable — losses are plain Bernoulli(loss_good) no matter
+        // how lossy Bad claims to be.
+        let m = LossModel::gilbert_elliott(0.0, 0.3, 0.02, 1.0);
+        assert_eq!(m.steady_state_loss(), 0.02);
+        let rate = empirical_rate(m, 14, 1_000_000);
+        assert!((rate - 0.02).abs() < 1e-3, "rate={rate}");
+    }
+
+    #[test]
+    fn gilbert_elliott_equal_state_losses_are_memoryless() {
+        // With loss_good == loss_bad the hidden state is unobservable:
+        // the marginal rate equals that common loss probability and the
+        // burstiness signature vanishes (P(loss | loss) ≈ P(loss)).
+        let mut m = LossModel::gilbert_elliott(0.05, 0.1, 0.2, 0.2);
+        assert!((m.steady_state_loss() - 0.2).abs() < 1e-12);
+        let mut rng = DetRng::new(15);
+        let seq: Vec<bool> = (0..1_000_000).map(|_| m.is_lost(&mut rng)).collect();
+        let marginal = seq.iter().filter(|&&l| l).count() as f64 / seq.len() as f64;
+        assert!((marginal - 0.2).abs() < 2e-3, "marginal={marginal}");
+        let pairs = seq.windows(2).filter(|w| w[0]).count() as f64;
+        let after_loss = seq.windows(2).filter(|w| w[0] && w[1]).count() as f64;
+        let conditional = after_loss / pairs;
+        assert!(
+            (conditional - marginal).abs() < 5e-3,
+            "conditional={conditional}, marginal={marginal}"
+        );
+    }
 }

@@ -3,102 +3,36 @@
 //! partial-reliability composition: a QTPlight stream that retransmits
 //! only frames still young enough to matter.
 //!
+//! The run logic lives in [`qtp::scenarios::wireless_loss`], shared with
+//! the integration test that asserts these headlines
+//! (`tests/example_scenarios.rs`); this binary only formats the report.
+//!
 //! ```text
 //! cargo run --example wireless_loss
 //! ```
 
-use qtp::prelude::*;
-use std::time::Duration;
-
-const SECS: u64 = 40;
-
-fn path(seed: u64) -> (qtp::simnet::sim::Simulator, NodeId, NodeId) {
-    let mut b = NetworkBuilder::new();
-    let s = b.host();
-    let r = b.host();
-    b.simplex_link(
-        s,
-        r,
-        LinkConfig::new(Rate::from_mbps(5), Duration::from_millis(20))
-            .with_loss(LossModel::gilbert_elliott(0.01, 0.3, 0.0, 0.5))
-            .with_queue(QueueConfig::DropTailPkts(200)),
-    );
-    b.simplex_link(
-        r,
-        s,
-        LinkConfig::new(Rate::from_mbps(5), Duration::from_millis(20)),
-    );
-    (b.build(seed), s, r)
-}
-
 fn main() {
     println!("5 Mbit/s wireless path, Gilbert-Elliott bursty loss (~1.6% average)\n");
 
-    // TCP baseline.
-    let (mut sim, s, r) = path(11);
-    let data = sim.register_flow("tcp");
-    let ack = sim.register_flow("tcp-ack");
-    sim.attach_agent(
-        s,
-        Box::new(TcpSender::new(data, r, TcpConfig::new(TcpFlavor::Sack))),
-    );
-    sim.attach_agent(r, Box::new(TcpReceiver::new(data, ack, s, true, 1000)));
-    sim.run_until(SimTime::from_secs(SECS));
-    let tcp_goodput = sim
-        .stats()
-        .flow(data)
-        .goodput_bps(Duration::from_secs(SECS));
-
-    // QTPlight unreliable stream.
-    let (mut sim, s, r) = path(11);
-    let h = attach_pair(
-        &mut sim,
-        s,
-        r,
-        "light",
-        &ConnectionPlan::new(Profile::qtp_light()),
-    );
-    sim.run_until(SimTime::from_secs(SECS));
-    let light_goodput = sim
-        .stats()
-        .flow(h.data_flow)
-        .goodput_bps(Duration::from_secs(SECS));
-
-    // QTPlight with 200 ms partial reliability: late frames are abandoned.
-    let (mut sim, s, r) = path(11);
-    let hp = attach_pair(
-        &mut sim,
-        s,
-        r,
-        "partial",
-        &ConnectionPlan::new(
-            Profile::qtp_light_partial(Duration::from_millis(200)).expect("nonzero TTL"),
-        ),
-    );
-    sim.run_until(SimTime::from_secs(SECS));
-    let partial_goodput = sim
-        .stats()
-        .flow(hp.data_flow)
-        .goodput_bps(Duration::from_secs(SECS));
-    let pd = hp.tx.snapshot();
+    let r = qtp::scenarios::wireless_loss(11, 40);
 
     println!("{:<34}{:>12}", "transport", "goodput");
     println!(
         "{:<34}{:>9.2} Mb",
         "TCP SACK (full reliability)",
-        tcp_goodput / 1e6
+        r.tcp_goodput_bps / 1e6
     );
     println!(
         "{:<34}{:>9.2} Mb",
         "QTPlight (no retransmission)",
-        light_goodput / 1e6
+        r.light_goodput_bps / 1e6
     );
     println!(
         "{:<34}{:>9.2} Mb   ({} retx, {} frames abandoned)",
         "QTPlight + PartialTtl(200ms)",
-        partial_goodput / 1e6,
-        pd.tx_retransmissions,
-        pd.tx_abandoned
+        r.partial_goodput_bps / 1e6,
+        r.partial_retransmissions,
+        r.partial_abandoned
     );
     println!(
         "\nRate-based control rides through loss bursts that implode TCP's window\n\

@@ -108,6 +108,7 @@ pub use qtp_tcp as tcp;
 pub use qtp_tfrc as tfrc;
 
 pub mod app;
+pub mod scenarios;
 
 /// Everything a simulation driver typically needs.
 pub mod prelude {

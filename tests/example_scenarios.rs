@@ -1,0 +1,81 @@
+//! The examples' headline claims, asserted under the same seeds.
+//!
+//! `examples/wireless_loss.rs` and `examples/mobile_receiver.rs` print
+//! reports produced by [`qtp::scenarios`]; these tests pin the claims the
+//! prose makes about those numbers, so the examples cannot silently rot
+//! into printing results that no longer support their own story. Shorter
+//! horizons than the binaries keep the suite fast — the orderings are
+//! robust well before the examples' full run length.
+
+#[test]
+fn wireless_loss_rate_based_beats_tcp_on_bursty_path() {
+    let r = qtp::scenarios::wireless_loss(11, 20);
+    // ~1.6% bursty erasure: every loss burst halves TCP's window while
+    // rate-based control smooths through it. The seeded gap is ~1.26x at
+    // this horizon; 1.1x leaves slack without weakening the ordering.
+    assert!(
+        r.light_goodput_bps > 1.1 * r.tcp_goodput_bps,
+        "QTPlight {:.2} Mb should clearly beat TCP {:.2} Mb",
+        r.light_goodput_bps / 1e6,
+        r.tcp_goodput_bps / 1e6
+    );
+    assert!(
+        r.partial_goodput_bps > 1.1 * r.tcp_goodput_bps,
+        "partial reliability must not give the advantage back"
+    );
+    // The 200 ms TTL composition actually exercises both halves of the
+    // reliability policy: it retransmits recent frames and abandons
+    // stale ones.
+    assert!(r.partial_retransmissions > 0, "no retransmissions seen");
+    assert!(r.partial_abandoned > 0, "no frames abandoned as stale");
+}
+
+#[test]
+fn mobile_receiver_light_cuts_receiver_work_at_same_goodput() {
+    let std_run = qtp::scenarios::mobile_receiver(false, 0.02, 99, 15);
+    let light_run = qtp::scenarios::mobile_receiver(true, 0.02, 99, 15);
+    // Same goodput (within 10%): moving loss estimation to the sender
+    // must not cost throughput.
+    let ratio = light_run.goodput_bps / std_run.goodput_bps;
+    assert!(
+        (0.9..=1.1).contains(&ratio),
+        "goodput parity broken: ratio {ratio:.3}"
+    );
+    // The headline: dramatically less receiver work and state.
+    assert!(
+        std_run.rx_ops_per_packet > 3.0 * light_run.rx_ops_per_packet,
+        "receiver work reduction collapsed: {:.1} vs {:.1} ops/pkt",
+        std_run.rx_ops_per_packet,
+        light_run.rx_ops_per_packet
+    );
+    assert!(
+        light_run.rx_state_bytes < std_run.rx_state_bytes,
+        "QTPlight receiver should hold less estimator state"
+    );
+}
+
+#[test]
+fn mobile_handover_stream_survives_and_adapts() {
+    let ho = qtp::scenarios::mobile_handover(true, 99);
+    // Before the switch the clean 10 Mbit/s WLAN hop carries a healthy
+    // stream; afterwards the stream keeps flowing under the 2 Mbit/s
+    // cellular ceiling instead of stalling out.
+    assert!(
+        ho.pre_switch_goodput_bps > 2e6,
+        "pre-switch goodput too low: {:.2} Mb",
+        ho.pre_switch_goodput_bps / 1e6
+    );
+    assert!(
+        ho.post_switch_goodput_bps > 0.2e6,
+        "stream stalled after handover: {:.2} Mb",
+        ho.post_switch_goodput_bps / 1e6
+    );
+    assert!(
+        ho.post_switch_goodput_bps < ho.target_rate_bps,
+        "post-switch goodput cannot exceed the new ceiling"
+    );
+    assert!(
+        ho.post_switch_goodput_bps < ho.pre_switch_goodput_bps,
+        "the slower hop must actually bind"
+    );
+}
