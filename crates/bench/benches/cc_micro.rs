@@ -1,0 +1,57 @@
+//! Micro-benchmarks of the pluggable congestion controllers: the cost of
+//! one feedback report through each implementation of the
+//! `CongestionControl` trait. The sender runs this path once per received
+//! feedback packet (roughly once per RTT per connection), so at the 100k
+//! flow scale of the manyflow sweep the per-report cost is what the
+//! controller axis adds to the event loop.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qtp_cc::{BbrLite, CongestionControl, Cubic, FeedbackReport, FixedCc, GtfrcCc, TfrcCc};
+use qtp_simnet::time::{Rate, SimTime};
+use std::time::Duration;
+
+const S: u32 = 1000;
+const RTT: Duration = Duration::from_millis(100);
+
+/// Drive one controller through a steady stream of feedback reports —
+/// one per RTT, occasional loss — and return it so nothing is optimised
+/// away. The stream is identical for every controller.
+fn feedback_storm<C: CongestionControl>(mut cc: C, reports: u64) -> C {
+    cc.seed_rtt(SimTime::ZERO, RTT);
+    for k in 1..=reports {
+        let now = SimTime::ZERO + RTT * k as u32;
+        let lossy = k % 16 == 0;
+        cc.on_feedback(&FeedbackReport {
+            now,
+            ts_echo: now - RTT,
+            t_delay: Duration::from_millis(2),
+            x_recv: 1e6,
+            p: if lossy { 0.01 } else { 0.0 },
+            newly_acked_bytes: 32 * u64::from(S),
+            newly_lost_pkts: u32::from(lossy),
+        });
+        black_box(cc.allowed_rate());
+    }
+    cc
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    c.bench_function("cc/tfrc_feedback_64", |b| {
+        b.iter(|| feedback_storm(TfrcCc::new(S), black_box(64)))
+    });
+    c.bench_function("cc/gtfrc_feedback_64", |b| {
+        b.iter(|| feedback_storm(GtfrcCc::new(S, Rate::from_mbps(1)), black_box(64)))
+    });
+    c.bench_function("cc/fixed_feedback_64", |b| {
+        b.iter(|| feedback_storm(FixedCc::new(Rate::from_mbps(1), S), black_box(64)))
+    });
+    c.bench_function("cc/cubic_feedback_64", |b| {
+        b.iter(|| feedback_storm(Cubic::new(S), black_box(64)))
+    });
+    c.bench_function("cc/bbr_feedback_64", |b| {
+        b.iter(|| feedback_storm(BbrLite::new(S), black_box(64)))
+    });
+}
+
+criterion_group!(benches, bench_controllers);
+criterion_main!(benches);

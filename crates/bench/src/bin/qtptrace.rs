@@ -72,8 +72,10 @@ fn parse_profile(s: &str) -> Result<ProfileKind, String> {
         "qtplight" | "light" => Ok(ProfileKind::QtpLight),
         "qtplight-ttl" | "ttl" => Ok(ProfileKind::QtpLightTtl),
         "tfrc" => Ok(ProfileKind::Tfrc),
+        "cubic" => Ok(ProfileKind::Cubic),
+        "bbr-lite" | "bbr" => Ok(ProfileKind::BbrLite),
         other => Err(format!(
-            "unknown profile {other} (qtpaf|qtplight|qtplight-ttl|tfrc)"
+            "unknown profile {other} (qtpaf|qtplight|qtplight-ttl|tfrc|cubic|bbr-lite)"
         )),
     }
 }
@@ -153,6 +155,15 @@ fn summarize(registry: &TraceRegistry, events: &[TraceEvent], timeline: usize) -
             c.timers_cancelled,
             c.soft_errors,
         );
+        // Controller counters appear only for window/model controllers
+        // (CUBIC, BBR-lite), so TFRC-family goldens keep their exact shape.
+        if c.cc_state_updates > 0 || c.cc_phase_changes > 0 {
+            let _ = writeln!(
+                s,
+                "  cc counters: {} state updates, {} phase changes, startup exit {} us",
+                c.cc_state_updates, c.cc_phase_changes, c.bbr_startup_exit_us,
+            );
+        }
 
         let rates: Vec<&&TraceEvent> = evs
             .iter()
@@ -188,6 +199,73 @@ fn summarize(registry: &TraceRegistry, events: &[TraceEvent], timeline: usize) -
                         p_ppm % 10_000,
                         rtt_us,
                     );
+                }
+            }
+        }
+
+        // Window/model controller timeline (cwnd for CUBIC, btlbw/min_rtt
+        // and phase for BBR-lite), sampled like the rate timeline.
+        let ccs: Vec<&&TraceEvent> = evs
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    TraceEventKind::CubicState { .. } | TraceEventKind::BbrState { .. }
+                )
+            })
+            .collect();
+        if !ccs.is_empty() {
+            let _ = writeln!(s, "  cc timeline ({} snapshots):", ccs.len());
+            let n = ccs.len();
+            let rows = timeline.max(2).min(n);
+            let mut printed = std::collections::BTreeSet::new();
+            for r in 0..rows {
+                let i = if rows == 1 {
+                    0
+                } else {
+                    r * (n - 1) / (rows - 1)
+                };
+                if !printed.insert(i) {
+                    continue;
+                }
+                match ccs[i].kind {
+                    TraceEventKind::CubicState {
+                        cwnd_bytes,
+                        w_max_bytes,
+                        tcp_friendly,
+                    } => {
+                        let _ = writeln!(
+                            s,
+                            "    t={} cwnd {} B  w_max {} B  region {}",
+                            ccs[i].time_str(),
+                            cwnd_bytes,
+                            w_max_bytes,
+                            if tcp_friendly {
+                                "tcp-friendly"
+                            } else {
+                                "cubic"
+                            },
+                        );
+                    }
+                    TraceEventKind::BbrState {
+                        phase,
+                        btlbw_bps,
+                        min_rtt_us,
+                    } => {
+                        let phase_name = match phase {
+                            0 => "startup",
+                            1 => "drain",
+                            _ => "probe-bw",
+                        };
+                        let _ = writeln!(
+                            s,
+                            "    t={} phase {phase_name}  btlbw {} kbit/s  min_rtt {} us",
+                            ccs[i].time_str(),
+                            btlbw_bps / 1000,
+                            min_rtt_us,
+                        );
+                    }
+                    _ => {}
                 }
             }
         }

@@ -6,7 +6,9 @@
 //! [`crate::experiments_b`] / [`crate::experiments_c`]), extended to the
 //! application data plane by the scenario families (A1–A3, see
 //! [`crate::scenarios`]), extended to the hostile-path scenario matrix
-//! (H1–H5, see [`crate::hostile`]) and extended at
+//! (H1–H5, see [`crate::hostile`]), extended along the negotiated
+//! congestion-control axis by the controller races (C1–C3, see
+//! [`crate::controllers`]) and extended at
 //! scale by the many-flow fairness sweep (F1, Jain index vs N). This
 //! module turns those runs into a **committed artifact pair** —
 //! `EXPERIMENTS.md` (human) and `experiments.json` (machine baseline) —
@@ -618,6 +620,81 @@ pub fn assertions() -> Vec<OrderingCheck> {
             "h5.partial_ttl_dropped",
             Const(1.0),
             "the receiver-side TTL drop path fires on post-handover stale retransmissions",
+        ),
+        // C1 — bufferbloat dumbbell: everyone fills the link, the
+        // model-based controller does it without the standing queue.
+        OrderingCheck::ge(
+            "c1.tfrc_util",
+            Const(0.7),
+            "TFRC fills the bloated dumbbell",
+        ),
+        OrderingCheck::ge(
+            "c1.cubic_util",
+            Const(0.7),
+            "CUBIC fills the bloated dumbbell",
+        ),
+        OrderingCheck::ge(
+            "c1.bbr_util",
+            Const(0.7),
+            "BBR-lite fills the bloated dumbbell",
+        ),
+        OrderingCheck::le(
+            "c1.bbr_qdelay_ms",
+            Metric("c1.cubic_qdelay_ms".into()),
+            "BBR-lite holds less standing queue than loss-based CUBIC",
+        ),
+        OrderingCheck::ge(
+            "c1.cubic_qdelay_ms",
+            Const(300.0),
+            "loss-based control genuinely bloats the deep buffer (the hazard exists)",
+        ),
+        OrderingCheck::le(
+            "c1.bbr_qdelay_ms",
+            Const(50.0),
+            "the model-based controller keeps queue delay near the propagation floor",
+        ),
+        // C2 — long fat pipe: the new controllers beat the equation at
+        // satellite RTT (TFRC's throughput scales as 1/RTT).
+        OrderingCheck::ge(
+            "c2.cubic_rtt600_mbps",
+            Metric("c2.tfrc_rtt600_mbps".into()),
+            "CUBIC's RTT-decoupled window growth beats TFRC on the 600 ms LBDP",
+        ),
+        OrderingCheck::ge(
+            "c2.bbr_rtt600_mbps",
+            Metric("c2.tfrc_rtt600_mbps".into()),
+            "BBR-lite's model-based rate beats TFRC on the 600 ms LBDP",
+        ),
+        // C3 — bursty loss and self-fairness at N = 64.
+        OrderingCheck::ge(
+            "c3.tfrc_burst_mbps",
+            Const(1.0),
+            "TFRC keeps moving on the bursty wireless hop",
+        ),
+        OrderingCheck::ge(
+            "c3.cubic_burst_mbps",
+            Const(1.0),
+            "CUBIC keeps moving on the bursty wireless hop",
+        ),
+        OrderingCheck::ge(
+            "c3.bbr_burst_mbps",
+            Const(1.0),
+            "BBR-lite keeps moving on the bursty wireless hop",
+        ),
+        OrderingCheck::ge(
+            "c3.jain_cubic_n64",
+            Const(0.9),
+            "a uniform CUBIC flock stays self-fair at N = 64",
+        ),
+        OrderingCheck::ge(
+            "c3.jain_bbr_n64",
+            Const(0.9),
+            "a uniform BBR-lite flock stays self-fair at N = 64",
+        ),
+        OrderingCheck::ge(
+            "c3.jain_tfrc_n64",
+            Const(0.7),
+            "a uniform TFRC flock holds the F1 fairness floor despite its RTT-proportional bias",
         ),
     ]
 }

@@ -25,6 +25,7 @@
 #![deny(missing_docs)]
 
 pub mod common;
+pub mod controllers;
 pub mod experiments_a;
 pub mod experiments_b;
 pub mod experiments_c;
@@ -38,11 +39,11 @@ pub mod table;
 use table::Table;
 
 /// All experiment ids in order: the twelve paper claims, the application
-/// scenario families over the stream data plane, then the hostile-path
-/// scenario matrix.
-pub const ALL_IDS: [&str; 20] = [
+/// scenario families over the stream data plane, the hostile-path
+/// scenario matrix, then the congestion-controller races.
+pub const ALL_IDS: [&str; 23] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "a1", "a2", "a3",
-    "h1", "h2", "h3", "h4", "h5",
+    "h1", "h2", "h3", "h4", "h5", "c1", "c2", "c3",
 ];
 
 /// Run one experiment by id.
@@ -68,6 +69,9 @@ pub fn run_experiment(id: &str) -> Option<Table> {
         "h3" => Some(hostile::h3()),
         "h4" => Some(hostile::h4()),
         "h5" => Some(hostile::h5()),
+        "c1" => Some(controllers::c1()),
+        "c2" => Some(controllers::c2()),
+        "c3" => Some(controllers::c3()),
         _ => None,
     }
 }

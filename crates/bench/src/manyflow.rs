@@ -39,6 +39,10 @@ pub enum ProfileKind {
     QtpLightTtl,
     /// Standard TFRC baseline (receiver-side estimation, unreliable).
     Tfrc,
+    /// CUBIC window growth (RFC 8312), full reliability.
+    Cubic,
+    /// Deterministic BBR-lite, full reliability.
+    BbrLite,
 }
 
 impl ProfileKind {
@@ -57,6 +61,8 @@ impl ProfileKind {
             ProfileKind::QtpLight => "qtplight",
             ProfileKind::QtpLightTtl => "qtplight-ttl",
             ProfileKind::Tfrc => "tfrc",
+            ProfileKind::Cubic => "cubic",
+            ProfileKind::BbrLite => "bbr-lite",
         }
     }
 
@@ -71,6 +77,8 @@ impl ProfileKind {
                 Profile::qtp_light_partial(Duration::from_millis(500)).expect("nonzero TTL")
             }
             ProfileKind::Tfrc => Profile::tfrc(),
+            ProfileKind::Cubic => Profile::cubic(),
+            ProfileKind::BbrLite => Profile::bbr_lite(),
         }
     }
 
@@ -350,6 +358,16 @@ impl ManyFlowReport {
                     st.tx_backlog_high_water,
                     st.timer_wheel_high_water,
                 );
+                // Controller counters only exist when a window/model
+                // controller (CUBIC, BBR-lite) ran; TFRC-family runs keep
+                // the legacy report shape.
+                if c.cc_state_updates > 0 || c.cc_phase_changes > 0 {
+                    let _ = writeln!(
+                        s,
+                        "  mux {side} cc: {} state updates, {} phase changes, startup exit {} us",
+                        c.cc_state_updates, c.cc_phase_changes, c.bbr_startup_exit_us,
+                    );
+                }
             }
         }
         s

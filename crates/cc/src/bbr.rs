@@ -1,0 +1,442 @@
+//! BBR-lite: a deterministic model-based controller.
+//!
+//! The full BBR algorithm estimates the path's bottleneck bandwidth
+//! (windowed-max of delivery-rate samples) and propagation RTT
+//! (windowed-min of RTT samples) and paces at `gain · BtlBw`, cycling the
+//! gain to probe for more bandwidth and drain the queue it created. This
+//! "lite" version keeps that skeleton — startup, drain, an 8-slot
+//! probe-bandwidth gain cycle — and drops everything stochastic: no
+//! pacing-gain randomization and no probe-RTT excursions, so a fixed-seed
+//! simulation through BBR-lite is byte-identical across runs.
+//!
+//! Delivery-rate samples come straight from the feedback reports'
+//! `X_recv` (the receiver-measured receive rate), which is exactly the
+//! signal BBR's delivery-rate estimator approximates.
+
+use qtp_simnet::time::SimTime;
+use qtp_tfrc::update;
+use std::time::Duration;
+
+use crate::filter::{WindowedMax, WindowedMin};
+use crate::{CcState, CongestionControl, FeedbackReport};
+
+/// Startup pacing gain `2/ln 2` (doubles the delivery rate each RTT).
+pub const STARTUP_GAIN: f64 = 2.885;
+
+/// Drain pacing gain (inverse of startup: empties the startup queue).
+pub const DRAIN_GAIN: f64 = 1.0 / STARTUP_GAIN;
+
+/// The probe-bandwidth gain cycle, advanced once per min-RTT. The probe
+/// slot (1.25) is followed by a compensating drain slot (0.75) and six
+/// cruise slots — the standard BBR cycle, entered at a fixed slot instead
+/// of a random one.
+pub const CYCLE_GAINS: [f64; 8] = [1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+
+/// Bandwidth filter window, feedback rounds.
+pub const BTLBW_WINDOW_ROUNDS: u64 = 10;
+
+/// RTT filter window.
+pub const MIN_RTT_WINDOW: Duration = Duration::from_secs(10);
+
+/// Startup ends after this many consecutive rounds without the bandwidth
+/// estimate growing by [`FULL_BW_THRESH`].
+pub const FULL_BW_ROUNDS: u32 = 3;
+
+/// Growth factor the bandwidth estimate must beat to keep startup alive.
+pub const FULL_BW_THRESH: f64 = 1.25;
+
+/// Drain ends once an RTT sample falls back within this factor of the
+/// windowed-min RTT — the startup queue is gone (with a hard time cap of
+/// [`DRAIN_CAP_RTTS`] propagation RTTs so a noisy floor cannot wedge the
+/// phase).
+pub const DRAIN_EXIT_THRESH: f64 = 1.25;
+
+/// Upper bound on the drain phase, in propagation RTTs.
+pub const DRAIN_CAP_RTTS: u32 = 8;
+
+/// In-flight cap in probe-bandwidth, as a multiple of the estimated BDP
+/// (`BtlBw · RTprop`); startup and drain use [`STARTUP_GAIN`] instead.
+pub const CWND_GAIN: f64 = 2.0;
+
+/// Phase of the BBR-lite cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BbrPhase {
+    /// Exponential search for the bottleneck bandwidth.
+    Startup,
+    /// Draining the queue startup built.
+    Drain,
+    /// Steady state: cruise at BtlBw, periodically probing.
+    ProbeBw,
+}
+
+impl BbrPhase {
+    /// Stable numeric code for trace events (0/1/2).
+    pub fn code(self) -> u8 {
+        match self {
+            BbrPhase::Startup => 0,
+            BbrPhase::Drain => 1,
+            BbrPhase::ProbeBw => 2,
+        }
+    }
+
+    /// Short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            BbrPhase::Startup => "startup",
+            BbrPhase::Drain => "drain",
+            BbrPhase::ProbeBw => "probe-bw",
+        }
+    }
+}
+
+/// BBR-lite controller state.
+#[derive(Debug, Clone)]
+pub struct BbrLite {
+    s: u32,
+    /// Smoothed RTT (for the nofeedback interval, like TFRC).
+    r: Option<Duration>,
+    /// Windowed-max delivery rate, bytes/second, keyed by round.
+    btlbw: WindowedMax,
+    /// Windowed-min RTT, seconds, keyed by nanoseconds of sim time.
+    min_rtt: WindowedMin,
+    /// Feedback rounds processed.
+    round: u64,
+    phase: BbrPhase,
+    /// Best bandwidth seen in startup and the rounds it has stalled.
+    full_bw: f64,
+    full_bw_count: u32,
+    /// Hard cap on the drain phase (normally drain exits earlier, when an
+    /// RTT sample returns to the propagation floor).
+    drain_until: SimTime,
+    /// Probe-bw cycle position and the time the slot was entered.
+    cycle_index: usize,
+    cycle_stamp: SimTime,
+    /// When startup was exited (None while still in startup).
+    startup_exit: Option<SimTime>,
+    /// Cached allowed rate, bytes/second.
+    x: f64,
+    nofeedback_deadline: SimTime,
+    ops: u64,
+}
+
+impl BbrLite {
+    /// A BBR-lite controller for segment size `s`. Cold start matches the
+    /// other controllers: one packet per second until the handshake seeds
+    /// an RTT.
+    pub fn new(s: u32) -> Self {
+        BbrLite {
+            s,
+            r: None,
+            btlbw: WindowedMax::new(BTLBW_WINDOW_ROUNDS),
+            min_rtt: WindowedMin::new(MIN_RTT_WINDOW.as_nanos() as u64),
+            round: 0,
+            phase: BbrPhase::Startup,
+            full_bw: 0.0,
+            full_bw_count: 0,
+            drain_until: SimTime::ZERO,
+            cycle_index: 0,
+            cycle_stamp: SimTime::ZERO,
+            startup_exit: None,
+            x: s as f64,
+            nofeedback_deadline: SimTime::from_secs(2),
+            ops: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> BbrPhase {
+        self.phase
+    }
+
+    /// Windowed-max bottleneck bandwidth estimate, bytes/second.
+    pub fn btlbw(&self) -> f64 {
+        self.btlbw.get().unwrap_or(0.0)
+    }
+
+    /// Windowed-min RTT estimate.
+    pub fn min_rtt(&self) -> Option<Duration> {
+        self.min_rtt.get().map(Duration::from_secs_f64)
+    }
+
+    /// When startup was exited, if it has been.
+    pub fn startup_exit(&self) -> Option<SimTime> {
+        self.startup_exit
+    }
+
+    fn gain(&self) -> f64 {
+        match self.phase {
+            BbrPhase::Startup => STARTUP_GAIN,
+            BbrPhase::Drain => DRAIN_GAIN,
+            BbrPhase::ProbeBw => CYCLE_GAINS[self.cycle_index],
+        }
+    }
+}
+
+impl CongestionControl for BbrLite {
+    fn seed_rtt(&mut self, now: SimTime, rtt: Duration) {
+        debug_assert!(!rtt.is_zero());
+        self.r = Some(rtt);
+        self.min_rtt.update(now.as_nanos(), rtt.as_secs_f64());
+        self.x = update::initial_rate(self.s, rtt);
+        self.nofeedback_deadline = now + update::nofeedback_interval(self.s, self.x, self.r);
+        self.ops += 3;
+    }
+
+    fn on_feedback(&mut self, fb: &FeedbackReport) {
+        self.ops += 10;
+        let sample = update::rtt_sample(fb.now, fb.ts_echo, fb.t_delay);
+        self.r = Some(update::rtt_ewma(self.r, sample));
+        self.min_rtt.update(fb.now.as_nanos(), sample.as_secs_f64());
+        self.round += 1;
+        self.btlbw.update(self.round, fb.x_recv);
+
+        let bw = self.btlbw();
+        let mrtt = Duration::from_secs_f64(self.min_rtt.get().unwrap_or(sample.as_secs_f64()));
+        match self.phase {
+            BbrPhase::Startup => {
+                if bw >= self.full_bw * FULL_BW_THRESH {
+                    self.full_bw = bw;
+                    self.full_bw_count = 0;
+                } else {
+                    self.full_bw_count += 1;
+                    if self.full_bw_count >= FULL_BW_ROUNDS {
+                        // The pipe is full: drain the startup queue, then
+                        // cruise.
+                        self.phase = BbrPhase::Drain;
+                        self.startup_exit = Some(fb.now);
+                        self.drain_until = fb.now + mrtt * DRAIN_CAP_RTTS;
+                    }
+                }
+            }
+            BbrPhase::Drain => {
+                // The queue is drained when RTT samples return to the
+                // propagation floor (or at the hard time cap).
+                let drained = sample.as_secs_f64() <= DRAIN_EXIT_THRESH * mrtt.as_secs_f64();
+                if drained || fb.now >= self.drain_until {
+                    self.phase = BbrPhase::ProbeBw;
+                    // Deterministic cycle entry at a cruise slot (full BBR
+                    // randomizes this; determinism is the point here).
+                    self.cycle_index = 2;
+                    self.cycle_stamp = fb.now;
+                }
+            }
+            BbrPhase::ProbeBw => {
+                if fb.now.saturating_since(self.cycle_stamp) >= mrtt {
+                    self.cycle_index = (self.cycle_index + 1) % CYCLE_GAINS.len();
+                    self.cycle_stamp = fb.now;
+                }
+            }
+        }
+
+        self.x = (self.gain() * bw).max(update::min_rate(self.s));
+        self.nofeedback_deadline = fb.now + update::nofeedback_interval(self.s, self.x, self.r);
+    }
+
+    fn on_nofeedback_timer(&mut self, now: SimTime) {
+        // Feedback stopped: halve the pacing rate until the model can be
+        // refreshed (the next report restores `gain · BtlBw`).
+        self.x = (self.x / 2.0).max(update::min_rate(self.s));
+        self.ops += 2;
+        self.nofeedback_deadline = now + update::nofeedback_interval(self.s, self.x, self.r);
+    }
+
+    fn nofeedback_deadline(&self) -> SimTime {
+        self.nofeedback_deadline
+    }
+
+    fn allowed_rate(&self) -> f64 {
+        self.x
+    }
+
+    fn send_interval(&self) -> Duration {
+        Duration::from_secs_f64(self.s as f64 / self.x)
+    }
+
+    fn cwnd_limit(&self) -> Option<u64> {
+        // Cap inflight at a small multiple of the estimated BDP so the
+        // model — not a standing queue — carries the rate: the pacing
+        // gains shape the queue only if the window stops feeding it.
+        let bw = self.btlbw.get()?;
+        let mrtt = self.min_rtt.get()?;
+        let gain = match self.phase {
+            BbrPhase::Startup | BbrPhase::Drain => STARTUP_GAIN,
+            BbrPhase::ProbeBw => CWND_GAIN,
+        };
+        Some(((gain * bw * mrtt) as u64).max(4 * self.s as u64))
+    }
+
+    fn rtt(&self) -> Option<Duration> {
+        self.r
+    }
+
+    fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    fn state(&self) -> CcState {
+        CcState::BbrLite {
+            phase: self.phase,
+            btlbw_bps: (self.btlbw() * 8.0) as u64,
+            min_rtt_us: self.min_rtt.get().map(|s| (s * 1e6) as u64).unwrap_or(0),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bbr-lite"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const S: u32 = 1000;
+    const RTT: Duration = Duration::from_millis(100);
+
+    fn fb(now: SimTime, x_recv: f64) -> FeedbackReport {
+        FeedbackReport {
+            now,
+            ts_echo: now - RTT,
+            t_delay: Duration::ZERO,
+            x_recv,
+            p: 0.0,
+            newly_acked_bytes: 10_000,
+            newly_lost_pkts: 0,
+        }
+    }
+
+    #[test]
+    fn startup_grows_exponentially_then_exits_on_a_plateau() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let mut now = SimTime::ZERO;
+        // Delivery keeps up with the pacing rate: startup holds.
+        let mut delivered = 10_000.0;
+        for _ in 0..6 {
+            now += RTT;
+            b.on_feedback(&fb(now, delivered));
+            assert_eq!(b.phase(), BbrPhase::Startup);
+            delivered *= 2.0;
+        }
+        let x_growing = b.allowed_rate();
+        assert!(x_growing > delivered, "startup paces above delivery");
+        // Delivery saturates at a bottleneck. The first flat round still
+        // registers as growth over last round's estimate; the next three
+        // stalled rounds exit startup.
+        for _ in 0..4 {
+            now += RTT;
+            b.on_feedback(&fb(now, delivered));
+        }
+        assert_ne!(b.phase(), BbrPhase::Startup);
+        assert_eq!(b.startup_exit(), Some(now));
+    }
+
+    #[test]
+    fn drain_then_probe_cruises_at_btlbw() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let mut now = SimTime::ZERO;
+        let bottleneck = 1_250_000.0; // 10 Mbit/s in bytes/s
+        for _ in 0..20 {
+            now += RTT;
+            b.on_feedback(&fb(now, bottleneck));
+        }
+        assert_eq!(b.phase(), BbrPhase::ProbeBw);
+        assert!((b.btlbw() - bottleneck).abs() < 1e-6);
+        // Across a full gain cycle the rate stays within [0.75, 1.25]·BtlBw.
+        for _ in 0..16 {
+            now += RTT;
+            b.on_feedback(&fb(now, bottleneck));
+            let ratio = b.allowed_rate() / bottleneck;
+            assert!((0.75..=1.25).contains(&ratio), "ratio = {ratio}");
+        }
+    }
+
+    #[test]
+    fn drain_holds_while_the_queue_stands_and_inflight_is_bdp_capped() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let mut now = SimTime::ZERO;
+        let mut delivered = 10_000.0;
+        for _ in 0..6 {
+            now += RTT;
+            b.on_feedback(&fb(now, delivered));
+            delivered *= 2.0;
+        }
+        // Plateau rounds with queue-inflated RTT samples: startup exits
+        // into drain, and drain must *hold* while samples stay inflated.
+        let inflated = |now: SimTime, x: f64| FeedbackReport {
+            now,
+            ts_echo: now - 3 * RTT,
+            t_delay: Duration::ZERO,
+            x_recv: x,
+            p: 0.0,
+            newly_acked_bytes: 10_000,
+            newly_lost_pkts: 0,
+        };
+        for _ in 0..4 {
+            now += RTT;
+            b.on_feedback(&inflated(now, delivered));
+        }
+        assert_eq!(b.phase(), BbrPhase::Drain);
+        now += RTT;
+        b.on_feedback(&inflated(now, delivered));
+        assert_eq!(b.phase(), BbrPhase::Drain, "queue still standing");
+        // One sample back at the propagation floor ends the drain…
+        now += RTT;
+        b.on_feedback(&fb(now, delivered));
+        assert_eq!(b.phase(), BbrPhase::ProbeBw);
+        // …and the in-flight cap is CWND_GAIN · BtlBw · RTprop.
+        let expect = (CWND_GAIN * b.btlbw() * RTT.as_secs_f64()) as u64;
+        assert_eq!(b.cwnd_limit(), Some(expect.max(4 * S as u64)));
+    }
+
+    #[test]
+    fn btlbw_forgets_a_vanished_bottleneck_after_the_window() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let mut now = SimTime::ZERO;
+        for _ in 0..5 {
+            now += RTT;
+            b.on_feedback(&fb(now, 2_000_000.0));
+        }
+        // The path degrades: after BTLBW_WINDOW_ROUNDS rounds the old
+        // maximum ages out of the filter.
+        for _ in 0..BTLBW_WINDOW_ROUNDS {
+            now += RTT;
+            b.on_feedback(&fb(now, 500_000.0));
+        }
+        assert!((b.btlbw() - 500_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn min_rtt_filter_tracks_the_propagation_floor() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let mut now = SimTime::ZERO;
+        // Queue inflation raises samples; the windowed min holds the floor.
+        for k in 0..8u64 {
+            now += RTT;
+            let inflated = RTT + Duration::from_millis(10 * (k + 1));
+            b.on_feedback(&FeedbackReport {
+                now,
+                ts_echo: now - inflated,
+                t_delay: Duration::ZERO,
+                x_recv: 1e6,
+                p: 0.0,
+                newly_acked_bytes: 10_000,
+                newly_lost_pkts: 0,
+            });
+        }
+        assert_eq!(b.min_rtt(), Some(RTT));
+    }
+
+    #[test]
+    fn nofeedback_halves_the_rate() {
+        let mut b = BbrLite::new(S);
+        b.seed_rtt(SimTime::ZERO, RTT);
+        let x = b.allowed_rate();
+        b.on_nofeedback_timer(b.nofeedback_deadline());
+        assert!((b.allowed_rate() - x / 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,167 @@
+//! Windowed extremum filters (the BBR building block).
+//!
+//! A [`WindowedMax`] ([`WindowedMin`]) tracks the maximum (minimum) of a
+//! time-stamped sample stream over a sliding window: `get()` returns the
+//! extremum of every sample `(t_i, v_i)` with `t_now - t_i < window`.
+//! Updates are amortized O(1) via a monotonic deque; the proptest below
+//! holds the deque exactly equal to a naive full-history oracle.
+//!
+//! Timestamps are abstract `u64` ticks — BBR-lite keys its bandwidth
+//! filter by feedback round and its RTT filter by microseconds.
+
+use std::collections::VecDeque;
+
+/// Sliding-window maximum over a monotonically timestamped stream.
+#[derive(Debug, Clone)]
+pub struct WindowedMax {
+    window: u64,
+    /// Monotonically decreasing candidate values, oldest first.
+    samples: VecDeque<(u64, f64)>,
+}
+
+impl WindowedMax {
+    /// A filter whose samples expire once they are `window` ticks old.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "zero-width filter window");
+        WindowedMax {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Record a sample. Timestamps must be non-decreasing.
+    pub fn update(&mut self, t: u64, v: f64) {
+        debug_assert!(self.samples.back().map_or(true, |&(bt, _)| bt <= t));
+        while self.samples.back().is_some_and(|&(_, bv)| bv <= v) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((t, v));
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(ft, _)| t.saturating_sub(ft) >= self.window)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Current windowed maximum (None before the first sample).
+    pub fn get(&self) -> Option<f64> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+}
+
+/// Sliding-window minimum over a monotonically timestamped stream.
+#[derive(Debug, Clone)]
+pub struct WindowedMin {
+    window: u64,
+    /// Monotonically increasing candidate values, oldest first.
+    samples: VecDeque<(u64, f64)>,
+}
+
+impl WindowedMin {
+    /// A filter whose samples expire once they are `window` ticks old.
+    pub fn new(window: u64) -> Self {
+        assert!(window > 0, "zero-width filter window");
+        WindowedMin {
+            window,
+            samples: VecDeque::new(),
+        }
+    }
+
+    /// Record a sample. Timestamps must be non-decreasing.
+    pub fn update(&mut self, t: u64, v: f64) {
+        debug_assert!(self.samples.back().map_or(true, |&(bt, _)| bt <= t));
+        while self.samples.back().is_some_and(|&(_, bv)| bv >= v) {
+            self.samples.pop_back();
+        }
+        self.samples.push_back((t, v));
+        while self
+            .samples
+            .front()
+            .is_some_and(|&(ft, _)| t.saturating_sub(ft) >= self.window)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Current windowed minimum (None before the first sample).
+    pub fn get(&self) -> Option<f64> {
+        self.samples.front().map(|&(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn max_tracks_and_expires() {
+        let mut f = WindowedMax::new(10);
+        f.update(0, 5.0);
+        f.update(2, 3.0);
+        assert_eq!(f.get(), Some(5.0));
+        // The 5.0 at t=0 expires at t=10 (strict window).
+        f.update(10, 1.0);
+        assert_eq!(f.get(), Some(3.0));
+        // ...and the 3.0 at t=2 expires at t=12.
+        f.update(12, 2.0);
+        assert_eq!(f.get(), Some(2.0));
+        f.update(13, 9.0);
+        assert_eq!(f.get(), Some(9.0));
+    }
+
+    #[test]
+    fn min_tracks_and_expires() {
+        let mut f = WindowedMin::new(5);
+        f.update(0, 4.0);
+        f.update(1, 7.0);
+        assert_eq!(f.get(), Some(4.0));
+        f.update(5, 6.0);
+        assert_eq!(f.get(), Some(6.0));
+        f.update(6, 5.0);
+        assert_eq!(f.get(), Some(5.0));
+    }
+
+    /// Naive oracle: scan the entire retained history each query.
+    fn oracle(history: &[(u64, f64)], now: u64, window: u64, max: bool) -> Option<f64> {
+        let vals = history
+            .iter()
+            .filter(|&&(t, _)| now.saturating_sub(t) < window)
+            .map(|&(_, v)| v);
+        if max {
+            vals.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
+        } else {
+            vals.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
+        }
+    }
+
+    proptest! {
+        /// The O(1) monotonic-deque filters agree with the naive
+        /// full-history scan after every single update.
+        #[test]
+        fn filters_match_full_history_oracle(
+            window in 1u64..50,
+            steps in prop::collection::vec((0u64..8, 0u32..1_000), 1..200),
+        ) {
+            let mut fmax = WindowedMax::new(window);
+            let mut fmin = WindowedMin::new(window);
+            let mut history: Vec<(u64, f64)> = Vec::new();
+            let mut t = 0u64;
+            for &(dt, raw) in &steps {
+                t += dt; // non-decreasing timestamps, frequent ties
+                let v = raw as f64 / 8.0;
+                fmax.update(t, v);
+                fmin.update(t, v);
+                history.push((t, v));
+                prop_assert_eq!(fmax.get(), oracle(&history, t, window, true));
+                prop_assert_eq!(fmin.get(), oracle(&history, t, window, false));
+            }
+        }
+    }
+}

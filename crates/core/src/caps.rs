@@ -97,6 +97,8 @@ pub fn cc_from_wire(code: u8, param: u64) -> Result<CcKind, CapsError> {
         2 => Ok(CcKind::Fixed {
             rate: Rate::from_bps(param),
         }),
+        3 => Ok(CcKind::Cubic),
+        4 => Ok(CcKind::BbrLite),
         other => Err(CapsError::BadCc(other)),
     }
 }
@@ -110,6 +112,10 @@ pub enum CcKind {
     Gtfrc { target: Rate },
     /// Fixed-rate (open loop) — used by ablation experiments only.
     Fixed { rate: Rate },
+    /// RFC 8312 CUBIC window growth, paced at `cwnd / RTT`.
+    Cubic,
+    /// Deterministic BBR-lite (windowed bandwidth/RTT model).
+    BbrLite,
 }
 
 impl CcKind {
@@ -119,6 +125,8 @@ impl CcKind {
             CcKind::Tfrc => 0,
             CcKind::Gtfrc { .. } => 1,
             CcKind::Fixed { .. } => 2,
+            CcKind::Cubic => 3,
+            CcKind::BbrLite => 4,
         }
     }
 }
@@ -311,6 +319,14 @@ mod tests {
             Err(CapsError::BadReliability(7))
         );
         assert_eq!(cc_from_wire(250, 0), Err(CapsError::BadCc(250)));
+        // Codes 3 and 4 are the window/model controllers; 5 is the first
+        // unassigned code.
+        assert_eq!(cc_from_wire(3, 0), Ok(CcKind::Cubic));
+        assert_eq!(cc_from_wire(4, 0), Ok(CcKind::BbrLite));
+        assert_eq!(cc_from_wire(5, 0), Err(CapsError::BadCc(5)));
+        for k in [CcKind::Cubic, CcKind::BbrLite] {
+            assert_eq!(cc_from_wire(k.wire_code(), 0), Ok(k));
+        }
         assert_eq!(
             reliability_from_wire(2, 1_000).unwrap(),
             ReliabilityMode::PartialTtl(Duration::from_millis(1))

@@ -1,16 +1,39 @@
-//! Congestion-control module dispatch.
+//! Congestion-control dispatch.
 //!
 //! The sender endpoint is parameterised by one of the negotiable CC
-//! variants (paper axis 3). Enum dispatch keeps the composition explicit
-//! and the call sites monomorphic.
+//! variants (paper axis 3). Dispatch goes through the [`qtp_cc`] trait
+//! seam: [`controller_for`] turns a negotiated [`CcKind`] into a boxed
+//! [`CongestionControl`], so adding a controller touches the registry here
+//! and nothing in the endpoint.
+//!
+//! The old closed-enum dispatcher [`CcMachine`] remains as a deprecated
+//! shim for one release; it only knows the original three TFRC-family
+//! variants and panics on the window/model controllers.
 
+use qtp_cc::{BbrLite, CongestionControl, Cubic, FixedCc, GtfrcCc, TfrcCc};
 use qtp_simnet::time::{Rate, SimTime};
 use qtp_tfrc::{GtfrcSender, SenderConfig, TfrcSender};
 use std::time::Duration;
 
 use crate::caps::CcKind;
 
+/// Instantiate the negotiated controller behind the trait seam.
+pub fn controller_for(kind: CcKind, s: u32) -> Box<dyn CongestionControl> {
+    match kind {
+        CcKind::Tfrc => Box::new(TfrcCc::new(s)),
+        CcKind::Gtfrc { target } => Box::new(GtfrcCc::new(s, target)),
+        CcKind::Fixed { rate } => Box::new(FixedCc::new(rate, s)),
+        CcKind::Cubic => Box::new(Cubic::new(s)),
+        CcKind::BbrLite => Box::new(BbrLite::new(s)),
+    }
+}
+
 /// A congestion-control machine chosen at negotiation time.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `controller_for` and the `qtp_cc::CongestionControl` trait; \
+            CcMachine cannot represent the Cubic/BbrLite controllers"
+)]
 #[derive(Debug, Clone)]
 pub enum CcMachine {
     Tfrc(TfrcSender),
@@ -22,8 +45,14 @@ pub enum CcMachine {
     },
 }
 
+#[allow(deprecated)]
 impl CcMachine {
     /// Instantiate from the negotiated kind.
+    ///
+    /// # Panics
+    ///
+    /// On [`CcKind::Cubic`] and [`CcKind::BbrLite`] — the closed enum
+    /// predates them; use [`controller_for`].
     pub fn new(kind: CcKind, s: u32) -> Self {
         match kind {
             CcKind::Tfrc => CcMachine::Tfrc(TfrcSender::new(SenderConfig::new(s))),
@@ -31,6 +60,10 @@ impl CcMachine {
                 CcMachine::Gtfrc(GtfrcSender::new(SenderConfig::new(s), target))
             }
             CcKind::Fixed { rate } => CcMachine::Fixed { rate, s },
+            CcKind::Cubic | CcKind::BbrLite => panic!(
+                "CcMachine is deprecated and cannot host {kind:?}; \
+                 use qtp_core::cc::controller_for"
+            ),
         }
     }
 
@@ -120,7 +153,75 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builds_each_kind() {
+    fn factory_builds_each_kind() {
+        for (kind, name) in [
+            (CcKind::Tfrc, "tfrc"),
+            (
+                CcKind::Gtfrc {
+                    target: Rate::from_mbps(2),
+                },
+                "gtfrc",
+            ),
+            (
+                CcKind::Fixed {
+                    rate: Rate::from_kbps(800),
+                },
+                "fixed",
+            ),
+            (CcKind::Cubic, "cubic"),
+            (CcKind::BbrLite, "bbr-lite"),
+        ] {
+            assert_eq!(controller_for(kind, 1000).name(), name);
+        }
+    }
+
+    #[test]
+    fn factory_fixed_rate_ignores_feedback() {
+        let mut f = controller_for(
+            CcKind::Fixed {
+                rate: Rate::from_kbps(800),
+            },
+            1000,
+        );
+        f.on_feedback(&qtp_cc::FeedbackReport {
+            now: SimTime::from_secs(1),
+            ts_echo: SimTime::ZERO,
+            t_delay: Duration::ZERO,
+            x_recv: 10.0,
+            p: 0.5,
+            newly_acked_bytes: 0,
+            newly_lost_pkts: 5,
+        });
+        assert_eq!(f.allowed_rate(), 100_000.0);
+        assert_eq!(f.nofeedback_deadline(), SimTime::MAX);
+        // 1000 B at 100 kB/s = 10 ms.
+        assert_eq!(f.send_interval(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn factory_gtfrc_floor_survives_heavy_loss_feedback() {
+        let mut g = controller_for(
+            CcKind::Gtfrc {
+                target: Rate::from_mbps(1),
+            },
+            1000,
+        );
+        g.seed_rtt(SimTime::ZERO, Duration::from_millis(100));
+        g.on_feedback(&qtp_cc::FeedbackReport {
+            now: SimTime::from_millis(100),
+            ts_echo: SimTime::ZERO,
+            t_delay: Duration::ZERO,
+            x_recv: 1_000.0,
+            p: 0.4,
+            newly_acked_bytes: 0,
+            newly_lost_pkts: 10,
+        });
+        assert!(g.allowed_rate() >= 125_000.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_builds_the_original_kinds() {
         let t = CcMachine::new(CcKind::Tfrc, 1000);
         assert!(matches!(t, CcMachine::Tfrc(_)));
         let g = CcMachine::new(
@@ -141,42 +242,9 @@ mod tests {
     }
 
     #[test]
-    fn fixed_rate_ignores_feedback() {
-        let mut f = CcMachine::new(
-            CcKind::Fixed {
-                rate: Rate::from_kbps(800),
-            },
-            1000,
-        );
-        f.on_feedback(
-            SimTime::from_secs(1),
-            SimTime::ZERO,
-            Duration::ZERO,
-            10.0,
-            0.5,
-        );
-        assert_eq!(f.allowed_rate(), 100_000.0);
-        assert_eq!(f.nofeedback_deadline(), SimTime::MAX);
-        // 1000 B at 100 kB/s = 10 ms.
-        assert_eq!(f.send_interval(), Duration::from_millis(10));
-    }
-
-    #[test]
-    fn gtfrc_floor_survives_heavy_loss_feedback() {
-        let mut g = CcMachine::new(
-            CcKind::Gtfrc {
-                target: Rate::from_mbps(1),
-            },
-            1000,
-        );
-        g.seed_rtt(SimTime::ZERO, Duration::from_millis(100));
-        g.on_feedback(
-            SimTime::from_millis(100),
-            SimTime::ZERO,
-            Duration::ZERO,
-            1_000.0,
-            0.4,
-        );
-        assert!(g.allowed_rate() >= 125_000.0);
+    #[allow(deprecated)]
+    #[should_panic(expected = "controller_for")]
+    fn deprecated_shim_refuses_the_new_kinds() {
+        let _ = CcMachine::new(CcKind::Cubic, 1000);
     }
 }

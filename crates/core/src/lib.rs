@@ -41,6 +41,8 @@ pub mod wire;
 
 pub use adapter::{SimAgent, SimHost};
 pub use caps::{CapabilitySet, CapsError, CcKind, FeedbackMode, ServerPolicy};
+pub use cc::controller_for;
+#[allow(deprecated)]
 pub use cc::CcMachine;
 pub use driver::{Command, Endpoint, Outbox, TimerGens, Transmit};
 pub use estimator::SenderLossEstimator;

@@ -3,8 +3,10 @@
 //!
 //! One state machine hosts every negotiated composition:
 //!
-//! * **congestion control** — a [`CcMachine`] (TFRC, gTFRC, or fixed rate)
-//!   paces transmissions;
+//! * **congestion control** — the negotiated
+//!   [`CongestionControl`](qtp_cc::CongestionControl) controller (TFRC,
+//!   gTFRC, fixed rate, CUBIC, or BBR-lite — see
+//!   [`controller_for`](crate::cc::controller_for)) paces transmissions;
 //! * **reliability** — a [`Scoreboard`] + [`ReliabilityPolicy`] decide
 //!   which declared losses to retransmit and which to abandon (emitting
 //!   `FWD` to move the receiver past them);
@@ -27,8 +29,10 @@ use qtp_simnet::prelude::*;
 use std::collections::BTreeMap;
 use std::time::Duration;
 
+use qtp_cc::{CcState, CongestionControl, FeedbackReport};
+
 use crate::caps::{CapabilitySet, FeedbackMode};
-use crate::cc::CcMachine;
+use crate::cc::controller_for;
 use crate::driver::{Endpoint, Outbox, TimerGens};
 use crate::estimator::SenderLossEstimator;
 use crate::probe::Probe;
@@ -109,7 +113,10 @@ pub struct QtpSender {
     cfg: QtpSenderConfig,
     state: State,
     chosen: Option<CapabilitySet>,
-    cc: Option<CcMachine>,
+    cc: Option<Box<dyn CongestionControl>>,
+    /// Last controller phase code surfaced in the trace (BBR-lite), so
+    /// transitions emit exactly one `CcPhaseChange`.
+    last_cc_phase: Option<u8>,
     sb: Scoreboard,
     policy: qtp_sack::ReliabilityPolicy,
     estimator: Option<SenderLossEstimator>,
@@ -169,6 +176,7 @@ impl QtpSender {
             state: State::AwaitSynAck,
             chosen: None,
             cc: None,
+            last_cc_phase: None,
             sb: Scoreboard::new(),
             policy,
             estimator: None,
@@ -290,7 +298,7 @@ impl QtpSender {
             .now
             .saturating_since(SimTime::from_nanos(ts_echo_nanos))
             .max(Duration::from_micros(100));
-        let mut cc = CcMachine::new(chosen.cc, self.cfg.s);
+        let mut cc = controller_for(chosen.cc, self.cfg.s);
         cc.seed_rtt(out.now, rtt);
         self.cc = Some(cc);
         self.policy = qtp_sack::ReliabilityPolicy::new(chosen.reliability);
@@ -398,6 +406,9 @@ impl QtpSender {
         let header = pkt.encode();
         let size = self.data_wire_size(header.len());
         out.send_new(self.flow, self.receiver_node, size, header);
+        if let Some(cc) = self.cc.as_mut() {
+            cc.on_send(out.now, size);
+        }
         self.tracer.emit(
             out.now.as_nanos(),
             TraceEventKind::PktSent {
@@ -435,6 +446,9 @@ impl QtpSender {
         // The payload rides inside the header bytes; only IP overhead on top.
         let size = header.len() as u32 + IP_OVERHEAD;
         out.send_new(self.flow, self.receiver_node, size, header);
+        if let Some(cc) = self.cc.as_mut() {
+            cc.on_send(out.now, size);
+        }
         self.tracer.emit(
             out.now.as_nanos(),
             TraceEventKind::PktSent {
@@ -566,7 +580,17 @@ impl QtpSender {
             return; // closed: let the timer lapse without re-arming
         }
         self.check_tail_loss(out.now);
-        self.send_one(out);
+        // Window-based controllers bound unacknowledged bytes in flight;
+        // when the window is full the pace timer keeps ticking but no
+        // packet leaves. Rate-based controllers return no limit, so their
+        // scheduling is untouched.
+        let window_open = match self.cc.as_ref().and_then(|cc| cc.cwnd_limit()) {
+            Some(limit) => self.sb.in_flight() * u64::from(self.cfg.s) < limit,
+            None => true,
+        };
+        if window_open {
+            self.send_one(out);
+        }
         self.maybe_send_forward(out);
         self.maybe_send_fin(out);
         if self.closed {
@@ -739,14 +763,17 @@ impl QtpSender {
             }
         };
 
-        let cc = self.cc.as_mut().unwrap();
-        cc.on_feedback(
-            out.now,
-            SimTime::from_nanos(ts_echo_nanos),
-            Duration::from_micros(t_delay_micros as u64),
-            x_recv as f64,
+        let report = FeedbackReport {
+            now: out.now,
+            ts_echo: SimTime::from_nanos(ts_echo_nanos),
+            t_delay: Duration::from_micros(t_delay_micros as u64),
+            x_recv: x_recv as f64,
             p,
-        );
+            newly_acked_bytes: (self.sb.cum_ack() - prev_cum) * self.cfg.s as u64,
+            newly_lost_pkts: digest.newly_lost.len() as u32,
+        };
+        let cc = self.cc.as_mut().unwrap();
+        cc.on_feedback(&report);
         let rate = cc.allowed_rate();
         let nofb = cc.nofeedback_deadline();
         let rtt_s = cc.rtt().map(|r| r.as_secs_f64()).unwrap_or(0.0);
@@ -771,8 +798,58 @@ impl QtpSender {
             d.rtt_estimate_s = rtt_s;
             d.tx_ops = cc_ops + est_ops + sb_ops;
         });
+        self.emit_cc_state(now);
         // Feedback may unblock the window (e.g. new losses to retransmit).
         self.maybe_send_forward(out);
+    }
+
+    /// Surface the typed controller snapshot for the window/model
+    /// controllers. The TFRC-family states emit nothing extra here, so
+    /// traces of pre-existing runs stay frozen.
+    fn emit_cc_state(&mut self, now: SimTime) {
+        let Some(state) = self.cc.as_ref().map(|cc| cc.state()) else {
+            return;
+        };
+        match state {
+            CcState::RateBased { .. } | CcState::FixedRate { .. } => {}
+            CcState::Cubic {
+                cwnd_bytes,
+                w_max_bytes,
+                tcp_friendly,
+            } => self.tracer.emit(
+                now.as_nanos(),
+                TraceEventKind::CubicState {
+                    cwnd_bytes,
+                    w_max_bytes,
+                    tcp_friendly,
+                },
+            ),
+            CcState::BbrLite {
+                phase,
+                btlbw_bps,
+                min_rtt_us,
+            } => {
+                let code = phase.code();
+                if self.last_cc_phase.is_some() && self.last_cc_phase != Some(code) {
+                    self.tracer.emit(
+                        now.as_nanos(),
+                        TraceEventKind::CcPhaseChange {
+                            phase: code,
+                            at_us: now.as_nanos() / 1_000,
+                        },
+                    );
+                }
+                self.last_cc_phase = Some(code);
+                self.tracer.emit(
+                    now.as_nanos(),
+                    TraceEventKind::BbrState {
+                        phase: code,
+                        btlbw_bps,
+                        min_rtt_us,
+                    },
+                );
+            }
+        }
     }
 
     fn on_nofb(&mut self, out: &mut Outbox) {

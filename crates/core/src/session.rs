@@ -204,6 +204,31 @@ impl Profile {
         }
     }
 
+    /// CUBIC (RFC 8312) with full reliability and receiver-side loss
+    /// estimation — the window-based point of comparison for the
+    /// controller races (C-group experiments).
+    pub fn cubic() -> Profile {
+        Profile {
+            caps: CapabilitySet {
+                reliability: ReliabilityMode::Full,
+                feedback: FeedbackMode::ReceiverLoss,
+                cc: CcKind::Cubic,
+            },
+        }
+    }
+
+    /// BBR-lite (deterministic model-based controller) with full
+    /// reliability and receiver-side loss estimation.
+    pub fn bbr_lite() -> Profile {
+        Profile {
+            caps: CapabilitySet {
+                reliability: ReliabilityMode::Full,
+                feedback: FeedbackMode::ReceiverLoss,
+                cc: CcKind::BbrLite,
+            },
+        }
+    }
+
     /// The wire-level capability set this profile offers in the handshake
     /// (lossless; [`Profile::try_from`] converts back).
     pub fn caps(&self) -> CapabilitySet {
@@ -1778,6 +1803,34 @@ mod tests {
         // Garbage that is not a capability problem stays silent.
         rx.handle_input(SimTime::ZERO, 64, &[0xFF, 1, 2, 3]);
         assert_eq!(rx.poll_event(), None);
+    }
+
+    /// A peer offering a congestion-control code from a future protocol
+    /// version (or a fuzzer) is rejected with the typed capability error,
+    /// not panicked on and not silently granted a different controller.
+    #[test]
+    fn unknown_cc_offer_surfaces_as_rejected() {
+        let plan = ConnectionPlan::new(Profile::tfrc());
+        let mut rx = Session::receiver(0, 1, 0, &plan);
+        rx.start(SimTime::ZERO);
+
+        let mut syn = QtpPacket::Syn {
+            ts_nanos: 7,
+            offered: CapabilitySet::qtp_light(),
+        }
+        .encode();
+        // type(1) + ts(8) + rel code(1) + rel param(8) + fb(1) = offset of
+        // the cc wire code.
+        syn[19] = 0x2A;
+        rx.handle_input(SimTime::ZERO, 64, &syn);
+        assert_eq!(
+            rx.poll_event(),
+            Some(SessionEvent::Rejected {
+                error: CapsError::BadCc(0x2A)
+            })
+        );
+        assert_eq!(rx.negotiated(), None);
+        assert!(rx.poll_transmit().is_none(), "no SYNACK for a bad offer");
     }
 
     #[test]

@@ -136,7 +136,7 @@ fn put_caps(out: &mut Vec<u8>, caps: &CapabilitySet) {
     let cc_param: u64 = match caps.cc {
         CcKind::Gtfrc { target } => target.bps(),
         CcKind::Fixed { rate } => rate.bps(),
-        CcKind::Tfrc => 0,
+        CcKind::Tfrc | CcKind::Cubic | CcKind::BbrLite => 0,
     };
     out.put_u64(cc_param);
 }
@@ -416,11 +416,17 @@ mod tests {
 
     #[test]
     fn syn_roundtrips_all_profiles() {
+        let mut cubic = CapabilitySet::tfrc_standard();
+        cubic.cc = CcKind::Cubic;
+        let mut bbr = CapabilitySet::tfrc_standard();
+        bbr.cc = CcKind::BbrLite;
         for caps in [
             CapabilitySet::qtp_af(Rate::from_mbps(3)),
             CapabilitySet::qtp_light(),
             CapabilitySet::qtp_light_partial(Duration::from_millis(150)),
             CapabilitySet::tfrc_standard(),
+            cubic,
+            bbr,
         ] {
             roundtrip(QtpPacket::Syn {
                 ts_nanos: 123_456_789,
@@ -430,6 +436,36 @@ mod tests {
                 ts_echo_nanos: 42,
                 chosen: caps,
             });
+        }
+    }
+
+    /// An attacker (or a newer peer) can put any byte in the SYN's cc-code
+    /// slot; every unassigned code must come back as a typed
+    /// `BadCapability`, never a panic or a silently wrong controller.
+    #[test]
+    fn unknown_cc_code_in_syn_decodes_to_bad_capability() {
+        let mut bytes = QtpPacket::Syn {
+            ts_nanos: 1,
+            offered: CapabilitySet::tfrc_standard(),
+        }
+        .encode();
+        // Layout: type(1) + ts(8) + rel code(1) + rel param(8) + fb(1),
+        // then the cc code byte.
+        let cc_off = 1 + 8 + 1 + 8 + 1;
+        assert_eq!(bytes[cc_off], CcKind::Tfrc.wire_code());
+        for bad in [5u8, 17, 255] {
+            bytes[cc_off] = bad;
+            assert_eq!(
+                QtpPacket::decode(&bytes),
+                Err(WireError::BadCapability(caps::CapsError::BadCc(bad)))
+            );
+        }
+        // Restoring a valid code decodes again (the mutation above was the
+        // only corruption).
+        bytes[cc_off] = CcKind::Cubic.wire_code();
+        match QtpPacket::decode(&bytes).unwrap() {
+            QtpPacket::Syn { offered, .. } => assert_eq!(offered.cc, CcKind::Cubic),
+            other => panic!("unexpected packet {other:?}"),
         }
     }
 

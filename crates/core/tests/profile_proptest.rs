@@ -36,6 +36,8 @@ fn arb_cc() -> impl Strategy<Value = CcKind> {
         (1u64..2_000_000_000).prop_map(|bps| CcKind::Fixed {
             rate: Rate::from_bps(bps)
         }),
+        Just(CcKind::Cubic),
+        Just(CcKind::BbrLite),
     ]
 }
 
@@ -102,7 +104,7 @@ proptest! {
             Err(other) => prop_assert!(false, "wrong axis: {:?}", other),
         }
         match caps::cc_from_wire(code, param) {
-            Ok(_) => prop_assert!(code <= 2),
+            Ok(_) => prop_assert!(code <= 4),
             Err(CapsError::BadCc(c)) => prop_assert_eq!(c, code),
             Err(other) => prop_assert!(false, "wrong axis: {:?}", other),
         }

@@ -139,6 +139,33 @@ pub enum TraceEventKind {
         /// Packets newly declared lost in this feedback round.
         pkts: u32,
     },
+    /// CUBIC window snapshot after a feedback round.
+    CubicState {
+        /// Congestion window, bytes.
+        cwnd_bytes: u64,
+        /// Window at the last multiplicative decrease, bytes.
+        w_max_bytes: u64,
+        /// Whether the TCP-friendly region is governing.
+        tcp_friendly: bool,
+    },
+    /// BBR-lite model snapshot after a feedback round.
+    BbrState {
+        /// Phase code (0 = startup, 1 = drain, 2 = probe-bw).
+        phase: u8,
+        /// Windowed-max bottleneck bandwidth estimate, bits/second.
+        btlbw_bps: u64,
+        /// Windowed-min RTT estimate, microseconds.
+        min_rtt_us: u64,
+    },
+    /// Controller phase transition (BBR-lite startup/drain/probe).
+    CcPhaseChange {
+        /// Phase code entered (0 = startup, 1 = drain, 2 = probe-bw).
+        phase: u8,
+        /// Transition time, microseconds — carried in the event so the
+        /// counter bank (which only sees the kind) can record when
+        /// startup was first exited.
+        at_us: u64,
+    },
     /// A timer was armed.
     TimerSet {
         /// Endpoint-local timer kind (see the endpoint's `TK_*`).
@@ -179,6 +206,9 @@ impl TraceEventKind {
             TraceEventKind::PktExpired { .. } => "pkt_expired",
             TraceEventKind::RateUpdate { .. } => "rate_update",
             TraceEventKind::LossEvent { .. } => "loss_event",
+            TraceEventKind::CubicState { .. } => "cubic_state",
+            TraceEventKind::BbrState { .. } => "bbr_state",
+            TraceEventKind::CcPhaseChange { .. } => "cc_phase_change",
             TraceEventKind::TimerSet { .. } => "timer_set",
             TraceEventKind::TimerFired { .. } => "timer_fired",
             TraceEventKind::TimerCancelled { .. } => "timer_cancelled",
@@ -250,6 +280,12 @@ pub struct CounterSet {
     pub timers_cancelled: u64,
     /// Non-fatal driver errors attributed to this connection.
     pub soft_errors: u64,
+    /// Controller state snapshots (CUBIC/BBR feedback rounds).
+    pub cc_state_updates: u64,
+    /// Controller phase transitions (BBR-lite).
+    pub cc_phase_changes: u64,
+    /// Time BBR-lite first left startup, microseconds (0 = never did).
+    pub bbr_startup_exit_us: u64,
 }
 
 impl CounterSet {
@@ -271,6 +307,16 @@ impl CounterSet {
             TraceEventKind::PktDropped { .. } => self.ttl_drops += 1,
             TraceEventKind::PktExpired { .. } => self.abandoned += 1,
             TraceEventKind::LossEvent { pkts } => self.loss_events += u64::from(*pkts),
+            TraceEventKind::CubicState { .. } | TraceEventKind::BbrState { .. } => {
+                self.cc_state_updates += 1
+            }
+            TraceEventKind::CcPhaseChange { phase, at_us } => {
+                self.cc_phase_changes += 1;
+                // Phase 1 (drain) is entered exactly once, when startup ends.
+                if *phase == 1 && self.bbr_startup_exit_us == 0 {
+                    self.bbr_startup_exit_us = *at_us;
+                }
+            }
             TraceEventKind::RateUpdate { .. } => self.rate_updates += 1,
             TraceEventKind::TimerSet { .. } => self.timers_set += 1,
             TraceEventKind::TimerFired { .. } => self.timer_fires += 1,
@@ -298,6 +344,15 @@ impl CounterSet {
         self.timer_fires += other.timer_fires;
         self.timers_cancelled += other.timers_cancelled;
         self.soft_errors += other.soft_errors;
+        self.cc_state_updates += other.cc_state_updates;
+        self.cc_phase_changes += other.cc_phase_changes;
+        // Earliest nonzero startup exit wins across merged connections.
+        if other.bbr_startup_exit_us != 0
+            && (self.bbr_startup_exit_us == 0
+                || other.bbr_startup_exit_us < self.bbr_startup_exit_us)
+        {
+            self.bbr_startup_exit_us = other.bbr_startup_exit_us;
+        }
     }
 }
 
@@ -631,6 +686,23 @@ impl QlogWriter {
                 rtt_us,
             } => format!("{{\"rate_bps\":{rate_bps},\"p_ppm\":{p_ppm},\"rtt_us\":{rtt_us}}}"),
             TraceEventKind::LossEvent { pkts } => format!("{{\"pkts\":{pkts}}}"),
+            TraceEventKind::CubicState {
+                cwnd_bytes,
+                w_max_bytes,
+                tcp_friendly,
+            } => format!(
+                "{{\"cwnd\":{cwnd_bytes},\"w_max\":{w_max_bytes},\"tcp_friendly\":{tcp_friendly}}}"
+            ),
+            TraceEventKind::BbrState {
+                phase,
+                btlbw_bps,
+                min_rtt_us,
+            } => format!(
+                "{{\"phase\":{phase},\"btlbw_bps\":{btlbw_bps},\"min_rtt_us\":{min_rtt_us}}}"
+            ),
+            TraceEventKind::CcPhaseChange { phase, at_us } => {
+                format!("{{\"phase\":{phase},\"at_us\":{at_us}}}")
+            }
             TraceEventKind::TimerSet { kind, at_nanos } => {
                 format!(
                     "{{\"kind\":{kind},\"at\":\"{}.{:09}\"}}",
@@ -862,6 +934,42 @@ mod tests {
         assert_eq!(a.pkts_tx, 4);
         assert_eq!(a.ttl_drops, 4);
         assert_eq!(a.soft_errors, 2);
+    }
+
+    #[test]
+    fn cc_counters_track_snapshots_and_first_startup_exit() {
+        let mut c = CounterSet::default();
+        c.apply(&TraceEventKind::CubicState {
+            cwnd_bytes: 10_000,
+            w_max_bytes: 20_000,
+            tcp_friendly: false,
+        });
+        c.apply(&TraceEventKind::BbrState {
+            phase: 0,
+            btlbw_bps: 1_000_000,
+            min_rtt_us: 40_000,
+        });
+        assert_eq!(c.cc_state_updates, 2);
+        c.apply(&TraceEventKind::CcPhaseChange {
+            phase: 1,
+            at_us: 900_000,
+        });
+        c.apply(&TraceEventKind::CcPhaseChange {
+            phase: 2,
+            at_us: 1_000_000,
+        });
+        assert_eq!(c.cc_phase_changes, 2);
+        assert_eq!(c.bbr_startup_exit_us, 900_000, "first drain entry sticks");
+        // Merge keeps the earliest nonzero exit.
+        let mut other = CounterSet {
+            bbr_startup_exit_us: 500_000,
+            ..CounterSet::default()
+        };
+        other.merge(&c);
+        assert_eq!(other.bbr_startup_exit_us, 500_000);
+        let mut zero = CounterSet::default();
+        zero.merge(&c);
+        assert_eq!(zero.bbr_startup_exit_us, 900_000);
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod gtfrc;
 pub mod loss_history;
 pub mod receiver;
 pub mod sender;
+pub mod update;
 
 pub use detector::{LossDetector, LostPacket, NDUPACK};
 pub use equation::{inverse, throughput};

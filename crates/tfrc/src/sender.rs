@@ -18,12 +18,9 @@ use qtp_metrics::{CostMeter, OpClass};
 use qtp_simnet::time::SimTime;
 
 use crate::equation;
+use crate::update;
 
-/// Maximum backoff interval: X never falls below `s / T_MBI` (§4.3).
-pub const T_MBI: Duration = Duration::from_secs(64);
-
-/// EWMA weight for the RTT estimate (§4.3 recommends q = 0.9).
-pub const RTT_EWMA_Q: f64 = 0.9;
+pub use crate::update::{RTT_EWMA_Q, T_MBI};
 
 /// Configuration knobs for the sender.
 #[derive(Debug, Clone)]
@@ -95,9 +92,7 @@ impl TfrcSender {
         debug_assert!(!rtt.is_zero());
         self.r = Some(rtt);
         self.r_sqmean = rtt.as_secs_f64().sqrt();
-        let s = self.cfg.s as f64;
-        let w_init = (4.0 * s).min((2.0 * s).max(4380.0));
-        self.x = w_init / rtt.as_secs_f64();
+        self.x = update::initial_rate(self.cfg.s, rtt);
         self.tld = Some(now);
         self.nofeedback_deadline = now + self.nofeedback_interval();
         self.meter.tick(OpClass::Update, 3);
@@ -137,14 +132,7 @@ impl TfrcSender {
     /// The nofeedback interval: `max(4R, 2s/X)` once an RTT is known (§4.3
     /// step 2 applied to the timer reset).
     fn nofeedback_interval(&self) -> Duration {
-        match self.r {
-            Some(r) => {
-                let by_rtt = 4.0 * r.as_secs_f64();
-                let by_rate = 2.0 * self.cfg.s as f64 / self.x;
-                Duration::from_secs_f64(by_rtt.max(by_rate))
-            }
-            None => Duration::from_secs(2),
-        }
+        update::nofeedback_interval(self.cfg.s, self.x, self.r)
     }
 
     /// Process one feedback report (§4.3).
@@ -167,20 +155,9 @@ impl TfrcSender {
         self.p = p;
         self.meter.tick(OpClass::Update, 3);
 
-        // 1. RTT sample and EWMA.
-        let raw = now.saturating_since(ts_echo);
-        let sample = raw.checked_sub(t_delay).unwrap_or(Duration::ZERO);
-        let sample = if sample.is_zero() {
-            Duration::from_micros(1)
-        } else {
-            sample
-        };
-        let r = match self.r {
-            None => sample,
-            Some(prev) => Duration::from_secs_f64(
-                RTT_EWMA_Q * prev.as_secs_f64() + (1.0 - RTT_EWMA_Q) * sample.as_secs_f64(),
-            ),
-        };
+        // 1. RTT sample and EWMA (shared with the qtp-cc controllers).
+        let sample = update::rtt_sample(now, ts_echo, t_delay);
+        let r = update::rtt_ewma(self.r, sample);
         self.r = Some(r);
         self.meter.tick(OpClass::Arith, 4);
 
@@ -198,7 +175,7 @@ impl TfrcSender {
         // 2/3. Rate update.
         let s = self.cfg.s as f64;
         let r_secs = r.as_secs_f64();
-        let floor = s / T_MBI.as_secs_f64();
+        let floor = update::min_rate(self.cfg.s);
         if p > 0.0 {
             let x_calc = equation::throughput(self.cfg.s, r, p);
             self.x = x_calc.min(2.0 * x_recv).max(floor);
@@ -233,8 +210,7 @@ impl TfrcSender {
 
     /// The nofeedback timer expired (§4.4): halve the effective rate.
     pub fn on_nofeedback_timer(&mut self, now: SimTime) {
-        let s = self.cfg.s as f64;
-        let floor = s / T_MBI.as_secs_f64();
+        let floor = update::min_rate(self.cfg.s);
         if !self.got_feedback {
             // Never heard from the receiver: halve the cold-start rate.
             self.x = (self.x / 2.0).max(floor);

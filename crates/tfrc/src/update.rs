@@ -1,0 +1,118 @@
+//! Shared sender-update arithmetic.
+//!
+//! The RFC 3448 sender and the `qtp-cc` controllers (CUBIC, BBR-lite) all
+//! reconstruct RTT samples the same way, seed from the same RFC 3390
+//! initial window and re-arm the same `max(4R, 2s/X)` nofeedback timer.
+//! This module is the single copy of that arithmetic; before it existed
+//! each formula lived inline in [`crate::sender::TfrcSender`] (and would
+//! have been duplicated per controller).
+//!
+//! Every helper performs the **exact operation sequence** the TFRC sender
+//! used to inline, so extracting them is numerics-preserving: fixed-seed
+//! runs through the refactored sender stay byte-identical.
+
+use std::time::Duration;
+
+use qtp_simnet::time::SimTime;
+
+/// Maximum backoff interval: X never falls below `s / T_MBI` (§4.3).
+pub const T_MBI: Duration = Duration::from_secs(64);
+
+/// EWMA weight for the RTT estimate (§4.3 recommends q = 0.9).
+pub const RTT_EWMA_Q: f64 = 0.9;
+
+/// RFC 3390 initial window in bytes: `min(4s, max(2s, 4380))`.
+pub fn initial_window(s: u32) -> f64 {
+    let s = s as f64;
+    (4.0 * s).min((2.0 * s).max(4380.0))
+}
+
+/// Handshake-seeded initial rate (§4.2): one initial window per RTT,
+/// bytes/second.
+pub fn initial_rate(s: u32, rtt: Duration) -> f64 {
+    initial_window(s) / rtt.as_secs_f64()
+}
+
+/// The absolute rate floor `s / T_MBI`, bytes/second.
+pub fn min_rate(s: u32) -> f64 {
+    s as f64 / T_MBI.as_secs_f64()
+}
+
+/// Reconstruct one RTT sample from a feedback report's echo fields:
+/// `(now - ts_echo) - t_delay`, clamped to at least a microsecond so a
+/// pathological report can never produce a zero (or negative) sample.
+pub fn rtt_sample(now: SimTime, ts_echo: SimTime, t_delay: Duration) -> Duration {
+    let raw = now.saturating_since(ts_echo);
+    let sample = raw.checked_sub(t_delay).unwrap_or(Duration::ZERO);
+    if sample.is_zero() {
+        Duration::from_micros(1)
+    } else {
+        sample
+    }
+}
+
+/// Fold a sample into the smoothed estimate with the §4.3 EWMA
+/// (`q = `[`RTT_EWMA_Q`]); the first sample is taken verbatim.
+pub fn rtt_ewma(prev: Option<Duration>, sample: Duration) -> Duration {
+    match prev {
+        None => sample,
+        Some(prev) => Duration::from_secs_f64(
+            RTT_EWMA_Q * prev.as_secs_f64() + (1.0 - RTT_EWMA_Q) * sample.as_secs_f64(),
+        ),
+    }
+}
+
+/// The nofeedback interval: `max(4R, 2s/X)` once an RTT is known (§4.3
+/// step 2 applied to the timer reset), 2 s before.
+pub fn nofeedback_interval(s: u32, x: f64, r: Option<Duration>) -> Duration {
+    match r {
+        Some(r) => {
+            let by_rtt = 4.0 * r.as_secs_f64();
+            let by_rate = 2.0 * s as f64 / x;
+            Duration::from_secs_f64(by_rtt.max(by_rate))
+        }
+        None => Duration::from_secs(2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_window_follows_rfc3390() {
+        assert_eq!(initial_window(1000), 4000.0); // 4s < 4380 only when s < 1095
+        assert_eq!(initial_window(1500), 4380.0);
+        assert_eq!(initial_window(4000), 8000.0); // 2s dominates for big s
+    }
+
+    #[test]
+    fn rtt_sample_clamps_to_a_microsecond() {
+        let now = SimTime::from_secs(1);
+        let s = rtt_sample(
+            now,
+            now - Duration::from_millis(10),
+            Duration::from_millis(50),
+        );
+        assert_eq!(s, Duration::from_micros(1));
+    }
+
+    #[test]
+    fn rtt_ewma_first_sample_verbatim() {
+        let s = Duration::from_millis(80);
+        assert_eq!(rtt_ewma(None, s), s);
+        let folded = rtt_ewma(Some(Duration::from_millis(100)), Duration::from_millis(200));
+        assert!(folded > Duration::from_millis(100) && folded < Duration::from_millis(120));
+    }
+
+    #[test]
+    fn nofeedback_interval_is_4r_or_2s_over_x() {
+        // High rate: 4R dominates.
+        let i = nofeedback_interval(1000, 1e6, Some(Duration::from_millis(100)));
+        assert_eq!(i, Duration::from_millis(400));
+        // Starved rate: 2s/X dominates.
+        let i = nofeedback_interval(1000, 100.0, Some(Duration::from_millis(100)));
+        assert_eq!(i, Duration::from_secs(20));
+        assert_eq!(nofeedback_interval(1000, 1e6, None), Duration::from_secs(2));
+    }
+}

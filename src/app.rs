@@ -27,6 +27,8 @@ pub fn caps_brief(caps: &CapabilitySet) -> String {
         CcKind::Tfrc => "TFRC".to_string(),
         CcKind::Gtfrc { target } => format!("gTFRC({}kbit/s)", target.bps() / 1000),
         CcKind::Fixed { rate } => format!("Fixed({}kbit/s)", rate.bps() / 1000),
+        CcKind::Cubic => "CUBIC".to_string(),
+        CcKind::BbrLite => "BBR-lite".to_string(),
     };
     format!("{rel}/{fb}/{cc}")
 }
